@@ -1,0 +1,105 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Run with no flags to reproduce everything, or select
+// one artefact:
+//
+//	experiments -exp table1      # serializability matrix
+//	experiments -exp fig2        # shopping-mix throughput
+//	experiments -exp fig3        # browsing-mix throughput
+//	experiments -exp fig4        # ordering-mix throughput
+//	experiments -exp fig5|6|7    # deadlock rates per mix
+//	experiments -exp fig8        # rejected transactions during recovery
+//	experiments -exp fig9        # throughput during recovery
+//	experiments -exp table2      # SLA placement vs optimal
+//
+// -quick shrinks the data sizes and durations for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdp/internal/experiments"
+	"sdp/internal/tpcw"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig2..fig9, table2, all")
+	quick := flag.Bool("quick", false, "shrink sizes and durations")
+	seed := flag.Int64("seed", 42, "workload seed")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	out := os.Stdout
+	render := func(t *experiments.Table) {
+		if *format == "csv" {
+			t.WriteCSV(out)
+		} else {
+			t.Write(out)
+		}
+	}
+
+	run := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+
+	ran := false
+	if run("table1") {
+		ran = true
+		fmt.Fprintln(out, "running Table 1 (serializability matrix)...")
+		render(experiments.RunTable1(cfg).Render())
+	}
+	throughput := []struct {
+		name string
+		mix  tpcw.Mix
+	}{
+		{"fig2", tpcw.ShoppingMix},
+		{"fig3", tpcw.BrowsingMix},
+		{"fig4", tpcw.OrderingMix},
+	}
+	for _, f := range throughput {
+		if run(f.name) {
+			ran = true
+			fmt.Fprintf(out, "running %s (throughput, %s mix)...\n", strings.Replace(f.name, "fig", "Figure ", 1), f.mix.Name)
+			render(experiments.RunThroughput(f.mix, cfg).Render(strings.Replace(f.name, "fig", "Figure ", 1)))
+		}
+	}
+	deadlocks := []struct {
+		name string
+		mix  tpcw.Mix
+	}{
+		{"fig5", tpcw.ShoppingMix},
+		{"fig6", tpcw.BrowsingMix},
+		{"fig7", tpcw.OrderingMix},
+	}
+	for _, f := range deadlocks {
+		if run(f.name) {
+			ran = true
+			fmt.Fprintf(out, "running %s (deadlock rate, %s mix)...\n", strings.Replace(f.name, "fig", "Figure ", 1), f.mix.Name)
+			render(experiments.RunDeadlocks(f.mix, cfg).Render(strings.Replace(f.name, "fig", "Figure ", 1)))
+		}
+	}
+	if run("fig8") || run("fig9") {
+		ran = true
+		fmt.Fprintln(out, "running Figures 8 and 9 (recovery)...")
+		rec := experiments.RunRecovery(cfg)
+		if run("fig8") {
+			render(rec.RenderRejected())
+		}
+		if run("fig9") {
+			render(rec.RenderThroughput())
+		}
+	}
+	if run("table2") {
+		ran = true
+		fmt.Fprintln(out, "running Table 2 (SLA placement)...")
+		render(experiments.RunTable2(cfg).Render())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,287 @@
+// Command sdpsh is an interactive SQL shell against an in-process data
+// platform. It boots a colo with a configurable number of machines, lets
+// you create databases with SLAs, run SQL, and inject machine failures to
+// watch recovery — a sandbox for the whole system.
+//
+//	sdpsh -machines 6
+//
+// Shell commands (everything else is SQL sent to the current database):
+//
+//	\create <db> [sizeMB] [tps]   create a database with an SLA
+//	\use <db>                     switch the current database
+//	\dbs                          list databases
+//	\machines                     list machines and their databases
+//	\fail <machine>               fail a machine and recover
+//	\migrate <db> <from> <to>     move a replica between machines
+//	\rebalance                    spread load by migrating replicas
+//	\stats                        platform counters
+//	\quit
+//
+// BEGIN starts an interactive transaction; statements then run inside it
+// until COMMIT or ROLLBACK.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdp"
+)
+
+func main() {
+	machines := flag.Int("machines", 6, "free machines in the colo")
+	flag.Parse()
+
+	p := sdp.New(sdp.Config{ClusterSize: 4})
+	west := p.AddColo("local", "local", *machines)
+
+	fmt.Printf("sdp shell — colo %q with %d machines. \\create <db> to begin, \\quit to exit.\n",
+		west.Name(), *machines)
+
+	var current *sdp.Conn
+	var tx *sdp.Tx
+	currentName := ""
+	scanner := bufio.NewScanner(os.Stdin)
+	prompt := func() {
+		switch {
+		case currentName == "":
+			fmt.Print("sdp> ")
+		case tx != nil:
+			fmt.Printf("sdp:%s*> ", currentName)
+		default:
+			fmt.Printf("sdp:%s> ", currentName)
+		}
+	}
+	for prompt(); scanner.Scan(); prompt() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if tx != nil {
+				fmt.Println("finish the open transaction first (COMMIT or ROLLBACK)")
+				continue
+			}
+			if !command(p, line, &current, &currentName) {
+				return
+			}
+			continue
+		}
+		if current == nil {
+			fmt.Println("no database selected; \\create <db> or \\use <db> first")
+			continue
+		}
+		switch strings.ToUpper(strings.TrimSuffix(line, ";")) {
+		case "BEGIN":
+			if tx != nil {
+				fmt.Println("transaction already open")
+				continue
+			}
+			t, err := current.Begin()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			tx = t
+			fmt.Println("transaction started")
+			continue
+		case "COMMIT":
+			if tx == nil {
+				fmt.Println("no open transaction")
+				continue
+			}
+			if err := tx.Commit(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("committed")
+			}
+			tx = nil
+			continue
+		case "ROLLBACK":
+			if tx == nil {
+				fmt.Println("no open transaction")
+				continue
+			}
+			if err := tx.Rollback(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("rolled back")
+			}
+			tx = nil
+			continue
+		}
+		var res *sdp.Result
+		var err error
+		if tx != nil {
+			res, err = tx.Exec(line)
+		} else {
+			res, err = current.Exec(line)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			if tx != nil && sdp.IsRetryable(err) {
+				fmt.Println("transaction aborted; start a new one with BEGIN")
+				tx = nil
+			}
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func command(p *sdp.Platform, line string, current **sdp.Conn, currentName *string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\create":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\create <db> [sizeMB] [tps]")
+			return true
+		}
+		sizeMB, tps := 300.0, 2.0
+		if len(fields) > 2 {
+			sizeMB, _ = strconv.ParseFloat(fields[2], 64)
+		}
+		if len(fields) > 3 {
+			tps, _ = strconv.ParseFloat(fields[3], 64)
+		}
+		err := p.CreateDatabase(fields[1], sdp.SLA{SizeMB: sizeMB, MinTPS: tps, MaxRejectFraction: 0.001}, "local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		*current = p.Open(fields[1])
+		*currentName = fields[1]
+		fmt.Printf("created %s (%.0f MB, %.1f TPS) — now current\n", fields[1], sizeMB, tps)
+	case "\\use":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\use <db>")
+			return true
+		}
+		*current = p.Open(fields[1])
+		*currentName = fields[1]
+	case "\\dbs":
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, db := range co.Databases() {
+			cl, _ := co.Route(db)
+			reps, _ := cl.Replicas(db)
+			fmt.Printf("  %-20s replicas=%v\n", db, reps)
+		}
+	case "\\machines":
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, cl := range co.Clusters() {
+			fmt.Printf("cluster %s:\n", cl.Name())
+			for _, id := range cl.MachineIDs() {
+				m, _ := cl.Machine(id)
+				status := "up"
+				if m.Failed() {
+					status = "FAILED"
+				}
+				fmt.Printf("  %-12s %-6s dbs=%v used=%v\n", id, status, m.Engine().Databases(), m.Used())
+			}
+		}
+		fmt.Printf("free pool: %d\n", co.FreeMachines())
+	case "\\fail":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\fail <machine>")
+			return true
+		}
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		report, err := co.FailMachine(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("recovered: %v", report.Recovered)
+		if len(report.Failed) > 0 {
+			fmt.Printf(", failed: %v", report.Failed)
+		}
+		fmt.Println()
+	case "\\migrate":
+		if len(fields) != 4 {
+			fmt.Println("usage: \\migrate <db> <from> <to>")
+			return true
+		}
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		cl, err := co.Route(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if err := cl.MigrateReplica(fields[1], fields[2], fields[3]); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		reps, _ := cl.Replicas(fields[1])
+		fmt.Printf("migrated; replicas now %v\n", reps)
+	case "\\rebalance":
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, cl := range co.Clusters() {
+			report, err := cl.Rebalance(16)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("cluster %s: %d moves, peak %.2f -> %.2f\n",
+				cl.Name(), len(report.Moves), report.PeakBefore, report.PeakAfter)
+			for _, m := range report.Moves {
+				fmt.Printf("  moved %s: %s -> %s\n", m.DB, m.From, m.To)
+			}
+		}
+	case "\\stats":
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, cl := range co.Clusters() {
+			s := cl.Stats()
+			fmt.Printf("cluster %s: committed=%d aborted=%d rejected=%d deadlocks=%d\n",
+				cl.Name(), s.Committed, s.Aborted, s.Rejected, s.Deadlocks)
+		}
+	default:
+		fmt.Println("unknown command", fields[0])
+	}
+	return true
+}
+
+func printResult(res *sdp.Result) {
+	if len(res.Cols) == 0 {
+		fmt.Printf("ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

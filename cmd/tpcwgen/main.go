@@ -1,0 +1,57 @@
+// Command tpcwgen generates a TPC-W database as SQL text on stdout —
+// useful for inspecting the evaluation workload's data, or loading it into
+// any SQL system.
+//
+//	tpcwgen -size 200 -seed 42 > tpcw.sql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sdp/internal/sqldb"
+	"sdp/internal/tpcw"
+)
+
+// sqlWriter implements tpcw.DB by rendering every statement to a writer.
+type sqlWriter struct{ w *bufio.Writer }
+
+func (s sqlWriter) Begin() (tpcw.Txn, error) { return sqlTxn{w: s.w}, nil }
+
+type sqlTxn struct{ w *bufio.Writer }
+
+func (t sqlTxn) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	// Substitute parameters positionally; the generator only uses literals.
+	for _, p := range params {
+		sql = strings.Replace(sql, "?", p.String(), 1)
+	}
+	if _, err := t.w.WriteString(sql); err != nil {
+		return nil, err
+	}
+	if _, err := t.w.WriteString(";\n"); err != nil {
+		return nil, err
+	}
+	return &sqldb.Result{}, nil
+}
+
+func (t sqlTxn) Commit() error   { return t.w.Flush() }
+func (t sqlTxn) Rollback() error { return nil }
+
+func main() {
+	size := flag.Float64("size", 200, "nominal database size in MB")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	scale := tpcw.ScaleForMB(*size, *seed)
+	fmt.Fprintf(w, "-- TPC-W database, ~%.0f MB (%d items, %d customers, %d orders), seed %d\n",
+		*size, scale.Items, scale.Customers, scale.Orders, *seed)
+	if err := tpcw.Load(sqlWriter{w: w}, scale); err != nil {
+		log.Fatal(err)
+	}
+}

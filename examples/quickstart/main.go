@@ -1,0 +1,83 @@
+// Quickstart: create a database with an SLA, connect, and run SQL with
+// ACID transactions. The platform transparently replicates the database
+// over two machines and coordinates every write with two-phase commit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdp"
+)
+
+func main() {
+	// A platform with one colo ("west") holding 4 free commodity machines.
+	p := sdp.New(sdp.Config{ClusterSize: 4})
+	p.AddColo("west", "us-west", 4)
+
+	// The paper's API has two calls. Call one: create a database with an
+	// SLA. Placement, replication and fault tolerance are automatic.
+	err := p.CreateDatabase("bookstore", sdp.SLA{
+		SizeMB:            300,
+		MinTPS:            5,
+		MaxRejectFraction: 0.001,
+	}, "west")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Call two: connect and use SQL.
+	conn := p.Open("bookstore")
+	mustExec(conn, `CREATE TABLE book (
+		id INT PRIMARY KEY,
+		title TEXT NOT NULL,
+		price FLOAT,
+		stock INT NOT NULL
+	)`)
+	mustExec(conn, `INSERT INTO book VALUES
+		(1, 'The Art of Computer Programming', 199.99, 3),
+		(2, 'A Relational Model of Data', 10.50, 12),
+		(3, 'Transaction Processing', 89.00, 5)`)
+
+	// An ACID transaction: buy a book (decrement stock, record the sale).
+	mustExec(conn, "CREATE TABLE sale (id INT PRIMARY KEY, book_id INT, price FLOAT)")
+	tx, err := conn.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE book SET stock = stock - 1 WHERE id = ?", sdp.Int(1)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO sale VALUES (?, ?, ?)", sdp.Int(1), sdp.Int(1), sdp.Float(199.99)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Joins and aggregates work, because every machine runs a full SQL
+	// engine — the platform never dumbs the query language down.
+	res, err := conn.Query(`
+		SELECT b.title, COUNT(*) AS sales, SUM(s.price) AS revenue
+		FROM sale s JOIN book b ON s.book_id = b.id
+		GROUP BY b.title ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sales report:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-40s %d sale(s), $%.2f\n", row[0].Str, row[1].Int, row[2].Float)
+	}
+
+	res, err = conn.Query("SELECT stock FROM book WHERE id = 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remaining stock of book 1: %d\n", res.Rows[0][0].Int)
+}
+
+func mustExec(conn *sdp.Conn, sql string) {
+	if _, err := conn.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql[:40], err)
+	}
+}

@@ -1,0 +1,3 @@
+module sdp
+
+go 1.22

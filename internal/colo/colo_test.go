@@ -1,0 +1,139 @@
+package colo
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sdp/internal/core"
+	"sdp/internal/sla"
+)
+
+func smallReq() sla.Resources { return sla.Profile(400, 2) }
+
+func TestCreateDatabaseFormsClusters(t *testing.T) {
+	c := New("colo1", Options{ClusterSize: 3})
+	c.AddFreeMachines(10)
+
+	if err := c.CreateDatabase("db1", smallReq(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Clusters()); got != 1 {
+		t.Fatalf("clusters = %d", got)
+	}
+	if c.FreeMachines() != 7 {
+		t.Errorf("free = %d, want 7", c.FreeMachines())
+	}
+	// A second small database fits the same cluster — no new machines.
+	if err := c.CreateDatabase("db2", smallReq(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeMachines() != 7 {
+		t.Errorf("free = %d after second db, want 7", c.FreeMachines())
+	}
+}
+
+func TestCreateDatabaseGrowsWhenFull(t *testing.T) {
+	c := New("colo1", Options{ClusterSize: 2, MaxClusterSize: 3})
+	c.AddFreeMachines(8)
+	big := sla.Resources{CPU: 0.9, Memory: 0.9, Disk: 0.4, DiskBW: 0.4}
+	if err := c.CreateDatabase("db1", big, 2); err != nil {
+		t.Fatal(err)
+	}
+	// db2 cannot share machines with db1 (0.9+0.9 > 1): the cluster grows
+	// to MaxClusterSize, then a new cluster forms.
+	if err := c.CreateDatabase("db2", big, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatabase("db3", big, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Clusters()); got < 2 {
+		t.Errorf("clusters = %d, want >= 2", got)
+	}
+}
+
+func TestCreateDatabaseExhaustsPool(t *testing.T) {
+	c := New("colo1", Options{ClusterSize: 2})
+	c.AddFreeMachines(2)
+	big := sla.Resources{CPU: 0.9, Memory: 0.9, Disk: 0.9, DiskBW: 0.9}
+	if err := c.CreateDatabase("db1", big, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := c.CreateDatabase("db2", big, 2)
+	if !errors.Is(err, ErrNoFreeMachines) {
+		t.Fatalf("err = %v, want ErrNoFreeMachines", err)
+	}
+}
+
+func TestRouteAndQuery(t *testing.T) {
+	c := New("colo1", Options{ClusterSize: 2})
+	c.AddFreeMachines(4)
+	if err := c.CreateDatabase("app", smallReq(), 2); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Route("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (1, 5)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec("app", "SELECT v FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 5 {
+		t.Errorf("v = %v", res.Rows[0][0])
+	}
+	if _, err := c.Route("missing"); !errors.Is(err, ErrNoDatabase) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFailMachineTriggersRecovery(t *testing.T) {
+	c := New("colo1", Options{ClusterSize: 3, RecoveryThreads: 2})
+	c.AddFreeMachines(5)
+	if err := c.CreateDatabase("app", smallReq(), 2); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.Route("app")
+	if _, err := cl.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := cl.Exec("app", fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps, _ := cl.Replicas("app")
+	report, err := c.FailMachine(reps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) != 0 {
+		t.Fatalf("recovery failed: %v", report.Failed)
+	}
+	reps2, _ := cl.Replicas("app")
+	if len(reps2) != 2 {
+		t.Errorf("replicas after recovery = %v", reps2)
+	}
+	// Replacement machine drawn from the pool.
+	if c.FreeMachines() != 1 {
+		t.Errorf("free = %d, want 1", c.FreeMachines())
+	}
+	if _, err := c.FailMachine("nope"); err == nil {
+		t.Error("failing unknown machine succeeded")
+	}
+	_ = core.ErrNoMachine // keep the core import honest
+}

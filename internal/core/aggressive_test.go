@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sdp/internal/sqldb"
+)
+
+// TestAggressiveAsyncFailureAborts exercises the aggressive controller's
+// deferred-failure path: a write acknowledged after one replica may later
+// fail on the other replica, in which case either a subsequent operation or
+// the 2PC vote must abort the transaction — never a silent partial commit.
+func TestAggressiveAsyncFailureAborts(t *testing.T) {
+	cfg := sqldb.DefaultConfig()
+	cfg.LockTimeout = 60 * time.Millisecond
+	c := newTestCluster(t, 2, Options{Replicas: 2, AckMode: Aggressive, EngineConfig: cfg})
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 0), (2, 0)")
+
+	// Block row 1 on ONE machine only, with a direct engine transaction
+	// (as if a local admin session held the lock): the aggressive
+	// controller will ack a cluster write on row 1 from the other machine
+	// and only later discover the timeout.
+	reps, _ := c.Replicas("app")
+	m0, _ := c.Machine(reps[0])
+	blocker, err := m0.Engine().Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blocker.Exec("UPDATE t SET n = 99 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := c.Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write probably acks from the unblocked replica.
+	if _, err := tx.Exec("UPDATE t SET n = 1 WHERE id = 1"); err != nil {
+		// Acked from the blocked replica and timed out: also a valid abort.
+		_ = blocker.Rollback()
+		return
+	}
+	// Either a later operation notices the failed branch, or commit's 2PC
+	// vote does. It must NOT commit.
+	time.Sleep(100 * time.Millisecond) // let the blocked branch time out
+	_, opErr := tx.Exec("UPDATE t SET n = 2 WHERE id = 2")
+	commitErr := error(nil)
+	if opErr == nil {
+		commitErr = tx.Commit()
+	}
+	_ = blocker.Rollback()
+	if opErr == nil && commitErr == nil {
+		t.Fatal("transaction committed despite a failed branch")
+	}
+	// No partial effects anywhere.
+	for _, id := range reps {
+		m, _ := c.Machine(id)
+		res, err := m.Engine().Exec("app", "SELECT n FROM t WHERE id = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int != 0 {
+			t.Errorf("machine %s: n = %v after aborted txn", id, res.Rows[0][0])
+		}
+	}
+}
+
+// TestReplicaConvergenceRandomised drives a mixed workload (inserts,
+// updates, deletes across two tables) through the cluster under every
+// option/ack combination and verifies all replicas end bit-identical.
+func TestReplicaConvergenceRandomised(t *testing.T) {
+	for _, mode := range []AckMode{Conservative, Aggressive} {
+		for _, opt := range []ReadOption{ReadOption1, ReadOption2, ReadOption3} {
+			t.Run(fmt.Sprintf("%s/%s", mode, opt), func(t *testing.T) {
+				cfg := sqldb.DefaultConfig()
+				cfg.LockTimeout = 100 * time.Millisecond
+				c := newTestCluster(t, 2, Options{Replicas: 2, AckMode: mode, ReadOption: opt, EngineConfig: cfg})
+				clusterExec(t, c, "CREATE TABLE a (id INT PRIMARY KEY, v INT)")
+				clusterExec(t, c, "CREATE TABLE b (id INT PRIMARY KEY, v INT)")
+				for i := 0; i < 40; i++ {
+					clusterExec(t, c, fmt.Sprintf("INSERT INTO a VALUES (%d, 0)", i))
+					clusterExec(t, c, fmt.Sprintf("INSERT INTO b VALUES (%d, 0)", i))
+				}
+				var wg sync.WaitGroup
+				for w := 0; w < 4; w++ {
+					wg.Add(1)
+					go func(seed int) {
+						defer wg.Done()
+						for i := 0; i < 40; i++ {
+							k := (seed*31 + i*7) % 40
+							tx, err := c.Begin("app")
+							if err != nil {
+								continue
+							}
+							var e1, e2 error
+							switch i % 4 {
+							case 0:
+								_, e1 = tx.Exec(fmt.Sprintf("UPDATE a SET v = v + 1 WHERE id = %d", k))
+								_, e2 = tx.Exec(fmt.Sprintf("UPDATE b SET v = v + 1 WHERE id = %d", k))
+							case 1:
+								_, e1 = tx.Exec(fmt.Sprintf("SELECT v FROM a WHERE id = %d", k))
+								_, e2 = tx.Exec(fmt.Sprintf("UPDATE b SET v = v - 1 WHERE id = %d", k))
+							case 2:
+								_, e1 = tx.Exec(fmt.Sprintf("DELETE FROM a WHERE id = %d", k))
+								_, e2 = tx.Exec(fmt.Sprintf("INSERT INTO a VALUES (%d, -5)", k))
+							default:
+								_, e1 = tx.Exec(fmt.Sprintf("UPDATE a SET v = v * 2 WHERE id = %d", k))
+							}
+							if e1 != nil || e2 != nil {
+								_ = tx.Rollback()
+								continue
+							}
+							_ = tx.Commit()
+						}
+					}(w)
+				}
+				wg.Wait()
+
+				var fingerprints []string
+				for _, id := range c.MachineIDs() {
+					m, _ := c.Machine(id)
+					ra, err := m.Engine().Exec("app", "SELECT COUNT(*), SUM(v), SUM(id*v) FROM a")
+					if err != nil {
+						t.Fatal(err)
+					}
+					rb, err := m.Engine().Exec("app", "SELECT COUNT(*), SUM(v), SUM(id*v) FROM b")
+					if err != nil {
+						t.Fatal(err)
+					}
+					fingerprints = append(fingerprints, fmt.Sprint(ra.Rows[0], rb.Rows[0]))
+				}
+				for i := 1; i < len(fingerprints); i++ {
+					if fingerprints[i] != fingerprints[0] {
+						t.Fatalf("replicas diverged:\n  %s\n  %s", fingerprints[0], fingerprints[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAggressiveWritesDoNotDivergeOnConflict stresses the specific risk of
+// aggressive acknowledgement: two writers racing on the same rows from
+// different "first" replicas. Strict 2PL + 2PC must still serialise the
+// writes identically on both machines.
+func TestAggressiveWritesDoNotDivergeOnConflict(t *testing.T) {
+	cfg := sqldb.DefaultConfig()
+	cfg.LockTimeout = 80 * time.Millisecond
+	c := newTestCluster(t, 2, Options{Replicas: 2, AckMode: Aggressive, EngineConfig: cfg})
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, '')")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(tag string) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_, _ = c.Exec("app", fmt.Sprintf("UPDATE t SET v = '%s%d' WHERE id = 1", tag, i))
+			}
+		}(fmt.Sprintf("w%d-", w))
+	}
+	wg.Wait()
+
+	var vals []string
+	for _, id := range c.MachineIDs() {
+		m, _ := c.Machine(id)
+		res, err := m.Engine().Exec("app", "SELECT v FROM t WHERE id = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, res.Rows[0][0].Str)
+	}
+	if vals[0] != vals[1] {
+		t.Fatalf("replicas diverged: %q vs %q", vals[0], vals[1])
+	}
+	if errors.Is(nil, ErrRejected) { // keep errors import honest
+		t.Fatal("unreachable")
+	}
+}

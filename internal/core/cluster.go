@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sdp/internal/sla"
+	"sdp/internal/sqldb"
+)
+
+// Cluster is the fault-tolerant cluster controller of the paper: it owns a
+// set of machines, maps each client database to two or more of them, keeps
+// the replicas synchronised with read-one-write-all + 2PC, and manages
+// replica creation and machine failures. All client database connections go
+// through the controller; clients never talk to a machine directly.
+type Cluster struct {
+	name string
+	opts Options
+
+	mu       sync.Mutex
+	machines map[string]*Machine
+	order    []string // machine IDs in registration order
+	dbs      map[string]*dbState
+
+	gidSeq  atomic.Uint64
+	rrSeq   atomic.Uint64
+	homeSeq uint64 // guarded by mu; rotates Option-1 read homes
+
+	// pair mirrors commit-in-transit state to the backup controller of the
+	// process pair (see pair.go).
+	pair pairMirror
+
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// dbState is the controller's bookkeeping for one client database.
+type dbState struct {
+	name     string
+	replicas []string   // live machines hosting the database
+	readHome string     // Option 1's designated read replica
+	copying  *copyState // non-nil while a new replica is being created
+	// pending counts in-flight write operations per table (lower-cased
+	// name). The copy process drains a table's counter after marking it
+	// in-flight; since rejections stop new arrivals, the wait is bounded
+	// by the outstanding writes rather than starving under load.
+	pending map[string]*drainCounter
+	req     sla.Resources // per-replica SLA reservation (zero if unmanaged)
+
+	// partitions and tableAt are set only for table-partitioned databases
+	// (the paper's larger-than-one-machine extension; see partition.go).
+	partitions []partitionState
+	tableAt    map[string]int
+}
+
+// pendingFor returns (creating if needed) the drain counter of a table.
+// Called with the cluster mutex held.
+func (ds *dbState) pendingFor(table string) *drainCounter {
+	if ds.pending == nil {
+		ds.pending = make(map[string]*drainCounter)
+	}
+	d, ok := ds.pending[table]
+	if !ok {
+		d = &drainCounter{}
+		ds.pending[table] = d
+	}
+	return d
+}
+
+// copyState tracks an in-progress replica creation (Algorithm 1).
+type copyState struct {
+	target   string
+	wholeDB  bool // database-granularity copy: all writes rejected
+	copied   map[string]bool
+	inFlight string
+}
+
+// drainCounter counts in-flight write operations of a database so the copy
+// process can wait for enqueued-but-unexecuted writes to drain before
+// locking a table (closing the routing/execution race that Algorithm 1's
+// proof assumes away).
+type drainCounter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (d *drainCounter) inc() {
+	d.mu.Lock()
+	if d.cond == nil {
+		d.cond = sync.NewCond(&d.mu)
+	}
+	d.n++
+	d.mu.Unlock()
+}
+
+func (d *drainCounter) dec() {
+	d.mu.Lock()
+	d.n--
+	if d.n == 0 && d.cond != nil {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+func (d *drainCounter) wait() {
+	d.mu.Lock()
+	if d.cond == nil {
+		d.cond = sync.NewCond(&d.mu)
+	}
+	for d.n > 0 {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// NewCluster creates an empty cluster controller.
+func NewCluster(name string, opts Options) *Cluster {
+	return &Cluster{
+		name:     name,
+		opts:     opts.withDefaults(),
+		machines: make(map[string]*Machine),
+		dbs:      make(map[string]*dbState),
+	}
+}
+
+// Name returns the cluster's name.
+func (c *Cluster) Name() string { return c.name }
+
+// Options returns the controller's configuration.
+func (c *Cluster) Options() Options { return c.opts }
+
+// AddMachine registers a new machine (from the colo's free pool) and returns
+// it.
+func (c *Cluster) AddMachine(id string) (*Machine, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.machines[id]; dup {
+		return nil, fmt.Errorf("core: machine %s already in cluster %s", id, c.name)
+	}
+	var rec sqldb.Recorder
+	if c.opts.Recorder != nil {
+		rec = c.opts.Recorder.ForSite(id)
+	}
+	m := newMachine(id, c.opts.EngineConfig, rec)
+	c.machines[id] = m
+	c.order = append(c.order, id)
+	return m, nil
+}
+
+// AddMachines registers n machines named m1..mn (continuing any existing
+// numbering) and returns their IDs.
+func (c *Cluster) AddMachines(n int) ([]string, error) {
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("m%d", len(c.MachineIDs())+1)
+		if _, err := c.AddMachine(id); err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Machine returns the machine with the given ID.
+func (c *Cluster) Machine(id string) (*Machine, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.machines[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoMachine, id)
+	}
+	return m, nil
+}
+
+// MachineIDs lists all machine IDs in registration order.
+func (c *Cluster) MachineIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// LiveMachineIDs lists the IDs of machines that have not failed.
+func (c *Cluster) LiveMachineIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, id := range c.order {
+		if !c.machines[id].Failed() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Databases lists database names in sorted order.
+func (c *Cluster) Databases() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.dbs))
+	for n := range c.dbs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Replicas returns the machine IDs currently hosting db.
+func (c *Cluster) Replicas(db string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	out := make([]string, len(ds.replicas))
+	copy(out, ds.replicas)
+	return out, nil
+}
+
+// CreateDatabase creates a database on Options.Replicas machines, chosen by
+// least current database count (the cluster-internal default; SLA-aware
+// placement lives in the sla package and uses CreateDatabaseOn).
+func (c *Cluster) CreateDatabase(db string) error {
+	c.mu.Lock()
+	type cand struct {
+		id string
+		n  int32
+	}
+	var cands []cand
+	for _, id := range c.order {
+		m := c.machines[id]
+		if !m.Failed() {
+			cands = append(cands, cand{id: id, n: m.dbCount.Load()})
+		}
+	}
+	c.mu.Unlock()
+	if len(cands) < c.opts.Replicas {
+		return fmt.Errorf("%w: need %d machines for %s, have %d live", ErrNoReplicas, c.opts.Replicas, db, len(cands))
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].n < cands[j].n })
+	ids := make([]string, c.opts.Replicas)
+	for i := range ids {
+		ids[i] = cands[i].id
+	}
+	return c.CreateDatabaseOn(db, ids)
+}
+
+// CreateDatabaseOn creates a database hosted on the given machines.
+func (c *Cluster) CreateDatabaseOn(db string, machineIDs []string) error {
+	if len(machineIDs) == 0 {
+		return fmt.Errorf("%w: no machines given for %s", ErrNoReplicas, db)
+	}
+	c.mu.Lock()
+	if _, dup := c.dbs[db]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDatabaseExists, db)
+	}
+	ms := make([]*Machine, 0, len(machineIDs))
+	for _, id := range machineIDs {
+		m, ok := c.machines[id]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrNoMachine, id)
+		}
+		if m.Failed() {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrMachineFailed, id)
+		}
+		ms = append(ms, m)
+	}
+	c.mu.Unlock()
+
+	for _, m := range ms {
+		if err := m.engine.CreateDatabase(db); err != nil {
+			return err
+		}
+		m.dbCount.Add(1)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Rotate each database's Option-1 read home across its replicas so
+	// read load balances over the machines even though any one database's
+	// reads all go to one place.
+	home := machineIDs[int(c.homeSeq)%len(machineIDs)]
+	c.homeSeq++
+	c.dbs[db] = &dbState{
+		name:     db,
+		replicas: append([]string{}, machineIDs...),
+		readHome: home,
+	}
+	return nil
+}
+
+// DropDatabase removes a database from every replica.
+func (c *Cluster) DropDatabase(db string) error {
+	c.mu.Lock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	replicas := append([]string{}, ds.replicas...)
+	delete(c.dbs, db)
+	ms := make([]*Machine, 0, len(replicas))
+	for _, id := range replicas {
+		ms = append(ms, c.machines[id])
+	}
+	c.mu.Unlock()
+	for _, m := range ms {
+		if m.Failed() {
+			continue
+		}
+		if err := m.engine.DropDatabase(db); err != nil {
+			return err
+		}
+		m.dbCount.Add(-1)
+	}
+	return nil
+}
+
+// FailMachine marks a machine as failed, removes it from every database's
+// replica set, and returns the names of the databases that lost a replica
+// (the recovery work list). It models the paper's machine failure within a
+// colo.
+func (c *Cluster) FailMachine(id string) ([]string, error) {
+	c.mu.Lock()
+	m, ok := c.machines[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoMachine, id)
+	}
+	var affected []string
+	for _, ds := range c.dbs {
+		for i, rid := range ds.replicas {
+			if rid == id {
+				ds.replicas = append(ds.replicas[:i], ds.replicas[i+1:]...)
+				affected = append(affected, ds.name)
+				if ds.readHome == id && len(ds.replicas) > 0 {
+					ds.readHome = ds.replicas[0]
+				}
+				break
+			}
+		}
+		// Partitioned databases: drop the machine from its partition; the
+		// remaining replicas of that partition keep serving.
+		for pi := range ds.partitions {
+			p := &ds.partitions[pi]
+			for i, rid := range p.replicas {
+				if rid == id {
+					p.replicas = append(p.replicas[:i], p.replicas[i+1:]...)
+					affected = append(affected, ds.name)
+					if p.readHome == id && len(p.replicas) > 0 {
+						p.readHome = p.replicas[0]
+					}
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(affected)
+	c.mu.Unlock()
+	m.fail()
+	return affected, nil
+}
+
+// pickReadMachine chooses the replica that serves a read for txn t,
+// implementing the paper's three read-routing options. The copy target of an
+// in-progress replica creation is never chosen because it only joins
+// ds.replicas once the copy completes. tables lists the tables the read
+// touches; it only matters for partitioned databases, where all tables must
+// live in one partition.
+func (c *Cluster) pickReadMachine(t *Txn, tables []string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.dbs[t.db]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoDatabase, t.db)
+	}
+	if ds.partitioned() {
+		return c.partitionReadRoute(ds, tables)
+	}
+	if len(ds.replicas) == 0 {
+		return "", ErrNoReplicas
+	}
+	switch c.opts.ReadOption {
+	case ReadOption1:
+		// All reads of the database go to its designated home replica.
+		if !contains(ds.replicas, ds.readHome) {
+			ds.readHome = ds.replicas[0]
+		}
+		return ds.readHome, nil
+	case ReadOption2:
+		// All reads of this transaction go to one replica, chosen once.
+		if t.readHome != "" && contains(ds.replicas, t.readHome) {
+			return t.readHome, nil
+		}
+		pick := ds.replicas[int(c.rrSeq.Add(1))%len(ds.replicas)]
+		t.readHome = pick
+		return pick, nil
+	default: // ReadOption3
+		return ds.replicas[int(c.rrSeq.Add(1))%len(ds.replicas)], nil
+	}
+}
+
+// writeRoute decides which machines a write on table must execute on,
+// applying Algorithm 1 while a replica is being created. It returns the
+// target machine IDs and a release function that must be called once the
+// write has finished executing on all of them (the copy process drains
+// in-flight writes before locking a table).
+func (c *Cluster) writeRoute(db, table string) ([]string, func(), error) {
+	table = lowerName(table)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	if ds.partitioned() {
+		targets, err := ds.partitionWriteRoute(table)
+		if err != nil {
+			return nil, nil, err
+		}
+		d := ds.pendingFor(table)
+		d.inc()
+		return targets, d.dec, nil
+	}
+	if len(ds.replicas) == 0 {
+		return nil, nil, ErrNoReplicas
+	}
+	targets := append([]string{}, ds.replicas...)
+	if cs := ds.copying; cs != nil {
+		switch {
+		case cs.wholeDB:
+			// Database-granularity copy: every write to the database is
+			// proactively rejected for the duration of the copy.
+			c.rejected.Add(1)
+			return nil, nil, ErrRejected
+		case table == cs.inFlight:
+			// Algorithm 1, line 11: write on the table being copied.
+			c.rejected.Add(1)
+			return nil, nil, ErrRejected
+		case cs.copied[table]:
+			// Algorithm 1, line 9: table already copied — include target.
+			targets = append(targets, cs.target)
+		default:
+			// Algorithm 1, line 13: not yet copied — exclude target.
+		}
+	}
+	d := ds.pendingFor(table)
+	d.inc()
+	return targets, d.dec, nil
+}
+
+// Begin starts a distributed transaction on db.
+func (c *Cluster) Begin(db string) (*Txn, error) {
+	c.mu.Lock()
+	_, ok := c.dbs[db]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	return &Txn{
+		c:        c,
+		db:       db,
+		gid:      c.gidSeq.Add(1),
+		sessions: make(map[string]*replicaSession),
+	}, nil
+}
+
+// Exec runs a single statement in its own transaction (autocommit).
+func (c *Cluster) Exec(db, sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	t, err := c.Begin(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.Exec(sql, params...)
+	if err != nil {
+		_ = t.Rollback()
+		return nil, err
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats is a snapshot of cluster-level counters.
+type Stats struct {
+	Committed uint64
+	Aborted   uint64
+	Rejected  uint64 // proactive rejections (SLA availability metric)
+	Deadlocks uint64 // summed over all machines
+}
+
+// Stats returns cluster counters. Deadlocks are aggregated from every
+// machine's engine.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Committed: c.committed.Load(),
+		Aborted:   c.aborted.Load(),
+		Rejected:  c.rejected.Load(),
+	}
+	c.mu.Lock()
+	ms := make([]*Machine, 0, len(c.machines))
+	for _, m := range c.machines {
+		ms = append(ms, m)
+	}
+	c.mu.Unlock()
+	for _, m := range ms {
+		s.Deadlocks += m.engine.Stats().Deadlocks
+	}
+	return s
+}
+
+func lowerName(s string) string {
+	return strings.ToLower(s)
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package core
+
+import "errors"
+
+// Sentinel errors surfaced by the cluster controller.
+var (
+	// ErrRejected marks a proactive rejection: a write hit a table that is
+	// currently being copied to a new replica (Algorithm 1, line 11), or a
+	// database being copied at database granularity. These rejections are
+	// the availability metric of the paper's SLA model.
+	ErrRejected = errors.New("core: operation rejected during replica creation")
+
+	// ErrMachineFailed is returned when an operation was routed to a
+	// machine that has failed; the transaction is aborted and the client
+	// should retry.
+	ErrMachineFailed = errors.New("core: machine failed")
+
+	// ErrNoDatabase is returned for operations on an unknown database.
+	ErrNoDatabase = errors.New("core: no such database")
+
+	// ErrDatabaseExists is returned when creating a database that exists.
+	ErrDatabaseExists = errors.New("core: database already exists")
+
+	// ErrNoMachine is returned when a named machine does not exist.
+	ErrNoMachine = errors.New("core: no such machine")
+
+	// ErrNoReplicas is returned when no live replica can serve a request.
+	ErrNoReplicas = errors.New("core: no live replicas available")
+
+	// ErrTxnDone is returned for operations on a finished transaction.
+	ErrTxnDone = errors.New("core: transaction already finished")
+
+	// ErrCopyInProgress is returned when a second replica creation is
+	// requested for a database that is already being copied.
+	ErrCopyInProgress = errors.New("core: replica creation already in progress")
+)

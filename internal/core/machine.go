@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sdp/internal/sla"
+	"sdp/internal/sqldb"
+)
+
+// Machine is one database machine of the cluster: a commodity box running a
+// single-node DBMS instance. The cluster controller is the only client of
+// its engine.
+type Machine struct {
+	id     string
+	engine *sqldb.Engine
+
+	mu       sync.Mutex
+	failed   bool
+	capacity sla.Resources
+	hasCap   bool
+	used     sla.Resources
+
+	// dbCount tracks how many databases are hosted here, for the cluster's
+	// internal least-loaded placement.
+	dbCount atomic.Int32
+}
+
+// newMachine creates a machine with a fresh engine.
+func newMachine(id string, cfg sqldb.Config, rec sqldb.Recorder) *Machine {
+	e := sqldb.NewEngine(cfg)
+	if rec != nil {
+		e.SetRecorder(rec)
+	}
+	return &Machine{id: id, engine: e}
+}
+
+// ID returns the machine's identifier.
+func (m *Machine) ID() string { return m.id }
+
+// Engine exposes the machine's DBMS instance (statistics, experiments).
+func (m *Machine) Engine() *sqldb.Engine { return m.engine }
+
+// Failed reports whether the machine has failed.
+func (m *Machine) Failed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed
+}
+
+// fail marks the machine as failed and closes its engine, modelling a
+// power or disk failure.
+func (m *Machine) fail() {
+	m.mu.Lock()
+	m.failed = true
+	m.mu.Unlock()
+	m.engine.Close()
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"sdp/internal/sla"
+)
+
+// MigrateReplica moves one replica of db from one machine to another while
+// the database keeps serving transactions: a new replica is created on the
+// target with Algorithm 1 (so one-copy serializability is preserved
+// throughout), and only once the target is fully synchronised is the source
+// replica retired. This is the replica-movement primitive behind the
+// paper's SLA-driven "database placement and migration within a cluster";
+// the SLA model counts each move in reallocation_rate(j).
+func (c *Cluster) MigrateReplica(db, fromID, toID string) error {
+	c.mu.Lock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	if !contains(ds.replicas, fromID) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: %s does not host %s", fromID, db)
+	}
+	req := ds.req
+	c.mu.Unlock()
+
+	// Reserve SLA capacity on the target up front so a concurrent
+	// placement cannot oversubscribe it.
+	target, err := c.Machine(toID)
+	if err != nil {
+		return err
+	}
+	reserved := false
+	if req != (sla.Resources{}) {
+		if !target.reserve(req) {
+			return fmt.Errorf("%w: migrating %s to %s", ErrNoCapacity, db, toID)
+		}
+		reserved = true
+	}
+
+	if err := c.CreateReplica(db, toID); err != nil {
+		if reserved {
+			target.release(req)
+		}
+		return err
+	}
+
+	// The target is now a full replica; retire the source.
+	if err := c.retireReplica(db, fromID); err != nil {
+		return err
+	}
+	if reserved {
+		if m, merr := c.Machine(fromID); merr == nil {
+			m.release(req)
+		}
+	}
+	return nil
+}
+
+// retireReplica removes one replica of db from a machine: the machine stops
+// receiving the database's operations, then drops its copy.
+func (c *Cluster) retireReplica(db, machineID string) error {
+	c.mu.Lock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	found := false
+	for i, id := range ds.replicas {
+		if id == machineID {
+			ds.replicas = append(ds.replicas[:i], ds.replicas[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.mu.Unlock()
+		return fmt.Errorf("core: %s does not host %s", machineID, db)
+	}
+	if len(ds.replicas) == 0 {
+		// Never retire the last replica.
+		ds.replicas = append(ds.replicas, machineID)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: cannot retire the last replica of %s", ErrNoReplicas, db)
+	}
+	if ds.readHome == machineID {
+		ds.readHome = ds.replicas[0]
+	}
+	m := c.machines[machineID]
+	c.mu.Unlock()
+
+	if m != nil && !m.Failed() {
+		// In-flight transactions may still hold branches on the retiring
+		// machine; they complete normally (their sessions were created
+		// before removal). New transactions no longer route here. The
+		// copy is dropped once the engine has no open transactions on it;
+		// dropping immediately is safe for our engine because scans and
+		// locks are per-table objects that survive catalog removal, but
+		// we keep it simple and drop right away.
+		if err := m.engine.DropDatabase(db); err != nil {
+			return err
+		}
+		m.dbCount.Add(-1)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package core implements the paper's cluster controller: the component
+// that manages a set of single-node DBMS machines, replicates each client
+// database across two or more of them with read-one-write-all + two-phase
+// commit, routes reads according to the paper's Options 1/2/3, acknowledges
+// writes conservatively or aggressively, keeps replicas consistent during
+// online replica creation (Algorithm 1), and re-replicates databases when a
+// machine fails.
+package core
+
+import (
+	"sdp/internal/history"
+	"sdp/internal/sqldb"
+)
+
+// ReadOption selects how the controller routes read operations among the
+// replicas of a database (Section 3.1 of the paper).
+type ReadOption int
+
+// Read-routing options.
+const (
+	// ReadOption1 routes all reads of a database, regardless of
+	// transaction, to the same replica. Best cache locality; serializable
+	// under both acknowledgement modes.
+	ReadOption1 ReadOption = 1
+	// ReadOption2 routes all reads of one transaction to the same replica,
+	// chosen per transaction. Serializable only with a conservative
+	// controller.
+	ReadOption2 ReadOption = 2
+	// ReadOption3 routes each read operation independently. Most
+	// load-balancing freedom; serializable only with a conservative
+	// controller.
+	ReadOption3 ReadOption = 3
+)
+
+// String names the option as in the paper.
+func (o ReadOption) String() string {
+	switch o {
+	case ReadOption1:
+		return "option1"
+	case ReadOption2:
+		return "option2"
+	case ReadOption3:
+		return "option3"
+	default:
+		return "option?"
+	}
+}
+
+// AckMode selects when the controller acknowledges a write to the client.
+type AckMode int
+
+// Write-acknowledgement modes.
+const (
+	// Conservative waits for the write to complete on every replica before
+	// returning to the client. Serializable under all read options.
+	Conservative AckMode = iota
+	// Aggressive returns as soon as one replica completes the write,
+	// tracking the remaining replicas asynchronously and aborting the
+	// transaction later if any of them failed. Not serializable under
+	// Options 2 and 3 (Table 1).
+	Aggressive
+)
+
+// String names the mode.
+func (m AckMode) String() string {
+	if m == Aggressive {
+		return "aggressive"
+	}
+	return "conservative"
+}
+
+// Options configures a cluster controller.
+type Options struct {
+	// ReadOption is the read-routing policy (default ReadOption1).
+	ReadOption ReadOption
+	// AckMode is the write-acknowledgement policy (default Conservative).
+	AckMode AckMode
+	// Replicas is the number of machines each database is hosted on
+	// (default 2, as in the paper's evaluation).
+	Replicas int
+	// CopyGranularity selects table- or database-level locking during
+	// replica creation (default table-level).
+	CopyGranularity sqldb.DumpGranularity
+	// EngineConfig configures every machine's DBMS instance.
+	EngineConfig sqldb.Config
+	// Recorder, when non-nil, captures all data operations for offline
+	// serializability checking.
+	Recorder *history.Recorder
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.ReadOption == 0 {
+		o.ReadOption = ReadOption1
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	zero := sqldb.Config{}
+	if o.EngineConfig == zero {
+		o.EngineConfig = sqldb.DefaultConfig()
+	}
+	return o
+}

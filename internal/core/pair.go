@@ -1,0 +1,141 @@
+package core
+
+import "sync"
+
+// The cluster controller runs as a process pair in the paper: the backup
+// tracks the primary's state with respect to committing transactions and,
+// on takeover, cleans up the transactions in transit. This file implements
+// that commit-in-transit mirror. The mirror is updated synchronously at
+// each 2PC phase change (modelling the backup's state tracking), and
+// TakeOver drives every in-transit transaction to a safe conclusion:
+// transactions that had reached the commit decision are committed on all
+// participants, everything else is rolled back.
+
+// CommitStage identifies where in the commit protocol a transaction is.
+type CommitStage int
+
+// Commit stages mirrored to the backup controller.
+const (
+	// StagePreparing: prepares have been issued, no decision yet.
+	StagePreparing CommitStage = iota
+	// StageCommitting: all participants voted yes; the commit decision is
+	// logged and must survive a controller failure.
+	StageCommitting
+)
+
+// inTransit is the mirrored record of one committing transaction.
+type inTransit struct {
+	gid      uint64
+	stage    CommitStage
+	sessions []*replicaSession
+}
+
+// pairMirror is the backup controller's view of commits in transit.
+type pairMirror struct {
+	mu      sync.Mutex
+	records map[uint64]*inTransit
+
+	// crashHook, when set, is consulted at each stage transition; returning
+	// true makes the primary "die" at that point (the commit path stops,
+	// leaving cleanup to TakeOver). Used by failure-injection tests.
+	crashHook func(stage CommitStage, gid uint64) bool
+}
+
+func (p *pairMirror) init() {
+	p.mu.Lock()
+	if p.records == nil {
+		p.records = make(map[uint64]*inTransit)
+	}
+	p.mu.Unlock()
+}
+
+func (p *pairMirror) begin(t *Txn) *inTransit {
+	p.init()
+	rec := &inTransit{gid: t.gid, stage: StagePreparing}
+	for _, s := range t.sessions {
+		rec.sessions = append(rec.sessions, s)
+	}
+	p.mu.Lock()
+	p.records[t.gid] = rec
+	p.mu.Unlock()
+	return rec
+}
+
+func (p *pairMirror) advance(rec *inTransit, stage CommitStage) {
+	p.mu.Lock()
+	rec.stage = stage
+	p.mu.Unlock()
+}
+
+func (p *pairMirror) finish(rec *inTransit) {
+	p.mu.Lock()
+	delete(p.records, rec.gid)
+	p.mu.Unlock()
+}
+
+// crashed reports whether the injected primary failure triggers here.
+func (p *pairMirror) crashed(stage CommitStage, gid uint64) bool {
+	p.mu.Lock()
+	hook := p.crashHook
+	p.mu.Unlock()
+	return hook != nil && hook(stage, gid)
+}
+
+// SetCrashHook installs a primary-failure injection point for tests and
+// experiments: when the hook returns true the commit path halts at that
+// stage, as if the primary controller process died.
+func (c *Cluster) SetCrashHook(hook func(stage CommitStage, gid uint64) bool) {
+	c.pair.mu.Lock()
+	c.pair.crashHook = hook
+	c.pair.mu.Unlock()
+}
+
+// InTransit returns the number of commits currently in transit (visible to
+// the backup controller).
+func (c *Cluster) InTransit() int {
+	c.pair.init()
+	c.pair.mu.Lock()
+	defer c.pair.mu.Unlock()
+	return len(c.pair.records)
+}
+
+// TakeOver performs the backup controller's takeover processing: every
+// transaction recorded as having reached the commit decision is committed on
+// all its participants, and every transaction still in the prepare phase is
+// rolled back. It returns how many transactions were committed and rolled
+// back. Client connections are assumed re-established by the application
+// layer, as in the paper.
+func (c *Cluster) TakeOver() (committed, rolledBack int) {
+	c.pair.init()
+	c.pair.mu.Lock()
+	recs := make([]*inTransit, 0, len(c.pair.records))
+	for _, r := range c.pair.records {
+		recs = append(recs, r)
+	}
+	c.pair.records = make(map[uint64]*inTransit)
+	c.pair.crashHook = nil
+	c.pair.mu.Unlock()
+
+	for _, rec := range recs {
+		if rec.stage == StageCommitting {
+			for _, s := range rec.sessions {
+				_ = s.commitPrepared().wait()
+			}
+			c.committed.Add(1)
+			if recd := c.opts.Recorder; recd != nil {
+				recd.Commit(rec.gid)
+			}
+			committed++
+		} else {
+			for _, s := range rec.sessions {
+				_ = s.rollback().wait()
+			}
+			c.aborted.Add(1)
+			rolledBack++
+		}
+		for _, s := range rec.sessions {
+			s.close()
+		}
+	}
+	return committed, rolledBack
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newPartitionedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := NewCluster("part", Options{Replicas: 2})
+	if _, err := c.AddMachines(4); err != nil {
+		t.Fatal(err)
+	}
+	// Two partitions, each replicated over two machines.
+	if err := c.CreatePartitionedDatabase("big", [][]string{{"m1", "m2"}, {"m3", "m4"}}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPartitionedCreateErrors(t *testing.T) {
+	c := NewCluster("part", Options{})
+	if _, err := c.AddMachines(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreatePartitionedDatabase("x", nil); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.CreatePartitionedDatabase("x", [][]string{{"m1"}, {"m1"}}); err == nil {
+		t.Error("overlapping partitions accepted")
+	}
+	if err := c.CreatePartitionedDatabase("x", [][]string{{"m9"}}); !errors.Is(err, ErrNoMachine) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.CreatePartitionedDatabase("x", [][]string{{"m1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreatePartitionedDatabase("x", [][]string{{"m2"}}); !errors.Is(err, ErrDatabaseExists) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPartitionedTablePlacement(t *testing.T) {
+	c := newPartitionedCluster(t)
+	tables := []string{"users", "orders", "items", "logs", "events", "tags"}
+	for _, tbl := range tables {
+		if _, err := c.Exec("big", fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, v INT)", tbl)); err != nil {
+			t.Fatalf("create %s: %v", tbl, err)
+		}
+	}
+	parts := c.Partitions("big")
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %v", parts)
+	}
+	// Each table lives on exactly its partition's machines (both replicas)
+	// and nowhere else.
+	counts := map[int]int{}
+	for _, tbl := range tables {
+		pi := c.TablePartition("big", tbl)
+		counts[pi]++
+		for idx, group := range parts {
+			for _, id := range group {
+				m, _ := c.Machine(id)
+				eng := m.Engine()
+				has := false
+				for _, name := range eng.Tables("big") {
+					if name == tbl {
+						has = true
+					}
+				}
+				if (idx == pi) != has {
+					t.Errorf("table %s on machine %s: has=%v, want %v", tbl, id, has, idx == pi)
+				}
+			}
+		}
+	}
+	// With 6 hashed tables, both partitions should get at least one.
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("degenerate distribution: %v", counts)
+	}
+}
+
+func TestPartitionedCrossPartitionTransaction(t *testing.T) {
+	c := newPartitionedCluster(t)
+	// Find two tables in different partitions.
+	var t0, t1 string
+	for _, name := range []string{"alpha", "beta", "gamma", "delta", "epsilon"} {
+		if _, err := c.Exec("big", fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, v INT)", name)); err != nil {
+			t.Fatal(err)
+		}
+		switch c.TablePartition("big", name) {
+		case 0:
+			if t0 == "" {
+				t0 = name
+			}
+		case 1:
+			if t1 == "" {
+				t1 = name
+			}
+		}
+	}
+	if t0 == "" || t1 == "" {
+		t.Skip("hash put all probe tables in one partition")
+	}
+
+	// One ACID transaction spanning both partitions: 2PC must make it
+	// atomic across all four machines.
+	tx, err := c.Begin("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(fmt.Sprintf("INSERT INTO %s VALUES (1, 10)", t0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(fmt.Sprintf("INSERT INTO %s VALUES (1, 20)", t1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And a rollback spanning both partitions leaves no trace.
+	tx2, _ := c.Begin("big")
+	if _, err := tx2.Exec(fmt.Sprintf("INSERT INTO %s VALUES (2, 0)", t0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Exec(fmt.Sprintf("INSERT INTO %s VALUES (2, 0)", t1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tbl := range []string{t0, t1} {
+		res, err := c.Exec("big", "SELECT COUNT(*) FROM "+tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int != 1 {
+			t.Errorf("%s count = %v, want 1", tbl, res.Rows[0][0])
+		}
+	}
+
+	// Joins within one partition work; across partitions they are
+	// rejected with a clear error.
+	if _, err := c.Exec("big", fmt.Sprintf(
+		"SELECT a.v, b.v FROM %s a JOIN %s b ON a.id = b.id", t0, t1)); !errors.Is(err, ErrCrossPartition) {
+		t.Errorf("cross-partition join err = %v", err)
+	}
+}
+
+func TestPartitionedSurvivesMachineFailure(t *testing.T) {
+	c := newPartitionedCluster(t)
+	if _, err := c.Exec("big", "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Exec("big", fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi := c.TablePartition("big", "t")
+	parts := c.Partitions("big")
+	victim := parts[pi][0]
+	affected, err := c.FailMachine(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != "big" {
+		t.Errorf("affected = %v", affected)
+	}
+	// The partition keeps serving from its surviving replica.
+	res, err := c.Exec("big", "SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 20 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if _, err := c.Exec("big", "INSERT INTO t VALUES (100, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	// Replica creation is explicitly unsupported for partitioned databases.
+	if err := c.CreateReplica("big", "m1"); err == nil {
+		t.Error("CreateReplica on partitioned database succeeded")
+	}
+}
+
+func TestPartitionedReplicaConsistency(t *testing.T) {
+	c := newPartitionedCluster(t)
+	if _, err := c.Exec("big", "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := c.Exec("big", fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi := c.TablePartition("big", "t")
+	parts := c.Partitions("big")
+	var sums []int64
+	for _, id := range parts[pi] {
+		m, _ := c.Machine(id)
+		res, err := m.Engine().Exec("big", "SELECT SUM(v) FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, res.Rows[0][0].Int)
+	}
+	if len(sums) != 2 || sums[0] != sums[1] {
+		t.Errorf("partition replicas diverged: %v", sums)
+	}
+}

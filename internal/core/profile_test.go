@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sdp/internal/sqldb"
+)
+
+func TestObserveDatabase(t *testing.T) {
+	c := newTestCluster(t, 2, Options{Replicas: 1})
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	for i := 0; i < 300; i++ {
+		clusterExec(t, c, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i))
+	}
+	reps, _ := c.Replicas("app")
+
+	rep, err := c.ObserveDatabase("app", reps[0], 100*time.Millisecond, func(stop <-chan struct{}) {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			_, _ = c.Exec("app", "SELECT v FROM t WHERE id = ?", intv(int64(i%300)))
+			if i%5 == 0 {
+				_, _ = c.Exec("app", "UPDATE t SET v = v + 1 WHERE id = ?", intv(int64(i%300)))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ObservedTPS <= 0 {
+		t.Errorf("ObservedTPS = %v", rep.ObservedTPS)
+	}
+	if rep.SizeMB <= 0 {
+		t.Errorf("SizeMB = %v", rep.SizeMB)
+	}
+	if rep.Req.CPU <= 0 || rep.Req.Disk <= 0 {
+		t.Errorf("Req = %v", rep.Req)
+	}
+	// The requirement must be internally consistent with the calibration.
+	if got, want := rep.Req.CPU, rep.ObservedTPS/10; got != want {
+		t.Errorf("Req.CPU = %v, want %v", got, want)
+	}
+}
+
+func TestObserveDatabaseErrors(t *testing.T) {
+	c := newTestCluster(t, 2, Options{Replicas: 1})
+	if _, err := c.ObserveDatabase("app", "m99", time.Millisecond, func(<-chan struct{}) {}); !errors.Is(err, ErrNoMachine) {
+		t.Errorf("err = %v", err)
+	}
+	reps, _ := c.Replicas("app")
+	other := "m1"
+	if reps[0] == "m1" {
+		other = "m2"
+	}
+	if _, err := c.ObserveDatabase("app", other, time.Millisecond, func(<-chan struct{}) {}); !errors.Is(err, ErrNoDatabase) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func intv(v int64) sqldb.Value { return sqldb.NewInt(v) }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sdp/internal/sla"
+)
+
+// The paper leaves "more sophisticated methods for allocating databases to
+// machines" as future work and restricts Algorithm 2 to never move existing
+// databases. This file implements the natural extension it gestures at: a
+// greedy rebalancer that migrates replicas of SLA-managed databases off the
+// most-loaded machine whenever that strictly reduces the cluster's peak
+// utilisation. Every move goes through MigrateReplica, so serving
+// transactions are never interrupted and each move counts against the SLA's
+// reallocation_rate.
+
+// Move records one replica migration performed by Rebalance.
+type Move struct {
+	DB   string
+	From string
+	To   string
+}
+
+// RebalanceReport summarises a Rebalance run.
+type RebalanceReport struct {
+	Moves []Move
+	// PeakBefore and PeakAfter are the maximum machine utilisations (the
+	// dominant resource dimension, as a fraction of capacity) before and
+	// after.
+	PeakBefore float64
+	PeakAfter  float64
+}
+
+// utilisation returns the machine's dominant-dimension load fraction.
+func (m *Machine) utilisation() float64 {
+	used := m.Used()
+	cap := m.Capacity()
+	frac := func(u, c float64) float64 {
+		if c <= 0 {
+			return 0
+		}
+		return u / c
+	}
+	max := frac(used.CPU, cap.CPU)
+	if f := frac(used.Memory, cap.Memory); f > max {
+		max = f
+	}
+	if f := frac(used.Disk, cap.Disk); f > max {
+		max = f
+	}
+	if f := frac(used.DiskBW, cap.DiskBW); f > max {
+		max = f
+	}
+	return max
+}
+
+// Rebalance migrates up to maxMoves replicas to reduce the cluster's peak
+// machine utilisation. It only considers databases placed with PlaceWithSLA
+// (those carry a resource requirement); a move is performed only when the
+// peak strictly decreases and the target has capacity.
+func (c *Cluster) Rebalance(maxMoves int) (RebalanceReport, error) {
+	report := RebalanceReport{PeakBefore: c.peakUtilisation()}
+	report.PeakAfter = report.PeakBefore
+	for len(report.Moves) < maxMoves {
+		move, ok := c.planMove()
+		if !ok {
+			break
+		}
+		if err := c.MigrateReplica(move.DB, move.From, move.To); err != nil {
+			// Capacity may have changed under us; stop rather than loop.
+			return report, err
+		}
+		report.Moves = append(report.Moves, move)
+		report.PeakAfter = c.peakUtilisation()
+	}
+	return report, nil
+}
+
+// peakUtilisation returns the highest live-machine utilisation.
+func (c *Cluster) peakUtilisation() float64 {
+	c.mu.Lock()
+	ms := make([]*Machine, 0, len(c.machines))
+	for _, m := range c.machines {
+		if !m.Failed() {
+			ms = append(ms, m)
+		}
+	}
+	c.mu.Unlock()
+	peak := 0.0
+	for _, m := range ms {
+		if u := m.utilisation(); u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// planMove finds the best single migration: take the most-loaded machine,
+// and try to move one of its SLA-managed replicas to the least-loaded
+// machine that fits it, provided the peak strictly improves.
+func (c *Cluster) planMove() (Move, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Most-loaded live machine.
+	var hottest *Machine
+	for _, id := range c.order {
+		m := c.machines[id]
+		if m.Failed() {
+			continue
+		}
+		if hottest == nil || m.utilisation() > hottest.utilisation() {
+			hottest = m
+		}
+	}
+	if hottest == nil {
+		return Move{}, false
+	}
+	peak := hottest.utilisation()
+
+	// Its SLA-managed databases, largest requirement first would be
+	// classic; we simply scan in name order for determinism.
+	for _, db := range hottest.engine.Databases() {
+		ds := c.dbs[db]
+		if ds == nil || ds.req == (sla.Resources{}) || ds.copying != nil {
+			continue
+		}
+		if !contains(ds.replicas, hottest.id) {
+			continue
+		}
+		// Candidate targets: live machines not hosting db, coldest first.
+		var best *Machine
+		for _, id := range c.order {
+			m := c.machines[id]
+			if m.Failed() || m == hottest || contains(ds.replicas, id) {
+				continue
+			}
+			if !m.Used().Add(ds.req).Fits(m.Capacity()) {
+				continue
+			}
+			if best == nil || m.utilisation() < best.utilisation() {
+				best = m
+			}
+		}
+		if best == nil {
+			continue
+		}
+		// Does the move strictly reduce the peak? After the move the
+		// hottest machine drops by the db's share; the target rises.
+		hotAfter := utilOf(hottest.Used().Sub(ds.req), hottest.Capacity())
+		tgtAfter := utilOf(best.Used().Add(ds.req), best.Capacity())
+		newPeak := hotAfter
+		if tgtAfter > newPeak {
+			newPeak = tgtAfter
+		}
+		if newPeak+1e-9 < peak {
+			return Move{DB: db, From: hottest.id, To: best.id}, true
+		}
+	}
+	return Move{}, false
+}
+
+func utilOf(used, cap sla.Resources) float64 {
+	frac := func(u, c float64) float64 {
+		if c <= 0 {
+			return 0
+		}
+		return u / c
+	}
+	max := frac(used.CPU, cap.CPU)
+	if f := frac(used.Memory, cap.Memory); f > max {
+		max = f
+	}
+	if f := frac(used.Disk, cap.Disk); f > max {
+		max = f
+	}
+	if f := frac(used.DiskBW, cap.DiskBW); f > max {
+		max = f
+	}
+	return max
+}

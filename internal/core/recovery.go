@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RecoveryReport summarises one recovery run.
+type RecoveryReport struct {
+	Recovered []string         // databases successfully re-replicated
+	Failed    map[string]error // databases whose recovery failed
+}
+
+// RecoverDatabases re-replicates each named database onto a fresh machine,
+// running up to `threads` concurrent copy processes — the x-axis of the
+// paper's Figure 8/9 recovery experiments. Targets are chosen
+// least-loaded-first among live machines not already hosting the database.
+func (c *Cluster) RecoverDatabases(dbs []string, threads int) RecoveryReport {
+	if threads <= 0 {
+		threads = 1
+	}
+	report := RecoveryReport{Failed: make(map[string]error)}
+	var mu sync.Mutex
+
+	work := make(chan string)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for db := range work {
+				err := c.recoverOne(db)
+				mu.Lock()
+				if err != nil {
+					report.Failed[db] = err
+				} else {
+					report.Recovered = append(report.Recovered, db)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, db := range dbs {
+		work <- db
+	}
+	close(work)
+	wg.Wait()
+	sort.Strings(report.Recovered)
+	return report
+}
+
+// recoverOne picks a target machine and creates the replica.
+func (c *Cluster) recoverOne(db string) error {
+	target, err := c.pickRecoveryTarget(db)
+	if err != nil {
+		return err
+	}
+	return c.CreateReplica(db, target)
+}
+
+// pickRecoveryTarget returns the live machine with the fewest hosted
+// databases that does not already host db.
+func (c *Cluster) pickRecoveryTarget(db string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	best := ""
+	var bestN int32
+	for _, id := range c.order {
+		m := c.machines[id]
+		if m.Failed() || contains(ds.replicas, id) {
+			continue
+		}
+		if ds.copying != nil && ds.copying.target == id {
+			continue
+		}
+		if n := m.dbCount.Load(); best == "" || n < bestN {
+			best, bestN = id, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: no machine can host a new replica of %s", ErrNoReplicas, db)
+	}
+	return best, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sdp/internal/history"
+	"sdp/internal/sqldb"
+)
+
+// runAdversarialTrials drives pairs of transactions shaped like the paper's
+// Section 3.1 example — T1: r(x) w(y), T2: r(y) w(x) — against a two-machine
+// cluster under the given read option and ack mode, and returns the number
+// of serializability violations found by the history checker.
+//
+// Per Table 1 the expectation is: zero violations for every option with a
+// conservative controller and for Option 1 with an aggressive controller;
+// violations possible (and in practice frequent) for Options 2 and 3 with an
+// aggressive controller.
+func runAdversarialTrials(t *testing.T, opt ReadOption, mode AckMode, trials int) int {
+	t.Helper()
+	rec := history.NewRecorder()
+	cfg := sqldb.DefaultConfig()
+	cfg.LockTimeout = 50 * time.Millisecond
+	c := NewCluster("t1", Options{
+		ReadOption:   opt,
+		AckMode:      mode,
+		Replicas:     2,
+		EngineConfig: cfg,
+		Recorder:     rec,
+	})
+	if _, err := c.AddMachines(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("app", "CREATE TABLE obj (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("app", "INSERT INTO obj VALUES (1, 0), (2, 0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		rec.Reset()
+
+		run := func(readID, writeID int) {
+			tx, err := c.Begin("app")
+			if err != nil {
+				return
+			}
+			if _, err := tx.Exec("SELECT v FROM obj WHERE id = ?", sqldb.NewInt(int64(readID))); err != nil {
+				return // aborted (deadlock/timeout); excluded from the check
+			}
+			if _, err := tx.Exec("UPDATE obj SET v = v + 1 WHERE id = ?", sqldb.NewInt(int64(writeID))); err != nil {
+				return
+			}
+			_ = tx.Commit()
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); run(1, 2) }() // T1: r(x) w(y)
+		go func() { defer wg.Done(); run(2, 1) }() // T2: r(y) w(x)
+		wg.Wait()
+
+		if ok, _, _ := history.Check(rec); !ok {
+			violations++
+		}
+	}
+	return violations
+}
+
+func TestTable1ConservativeAlwaysSerializable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	for _, opt := range []ReadOption{ReadOption1, ReadOption2, ReadOption3} {
+		t.Run(opt.String(), func(t *testing.T) {
+			if v := runAdversarialTrials(t, opt, Conservative, 30); v != 0 {
+				t.Errorf("conservative %s: %d violations, want 0 (Theorem 2)", opt, v)
+			}
+		})
+	}
+}
+
+func TestTable1AggressiveOption1Serializable(t *testing.T) {
+	if v := runAdversarialTrials(t, ReadOption1, Aggressive, 60); v != 0 {
+		t.Errorf("aggressive option1: %d violations, want 0 (Theorem 1)", v)
+	}
+}
+
+func TestTable1AggressiveOption2And3NotSerializable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	// The anomaly is a race; it does not fire on every trial, but over
+	// enough trials it must appear for Options 2 and 3.
+	total := 0
+	for _, opt := range []ReadOption{ReadOption2, ReadOption3} {
+		v := runAdversarialTrials(t, opt, Aggressive, 150)
+		t.Logf("aggressive %s: %d violations in 150 trials", opt, v)
+		total += v
+	}
+	if total == 0 {
+		t.Error("aggressive options 2/3 produced no serializability violations; the paper's anomaly did not reproduce")
+	}
+}
+
+// TestAnomalyRequiresPrepareOptimisation is the ablation the paper implies:
+// with the release-read-locks-at-PREPARE optimisation disabled, even the
+// aggressive controller with Options 2/3 cannot produce the anomaly, because
+// strict 2PL + 2PC then guarantee one-copy serializability.
+func TestAnomalyRequiresPrepareOptimisation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	rec := history.NewRecorder()
+	cfg := sqldb.DefaultConfig()
+	cfg.LockTimeout = 50 * time.Millisecond
+	cfg.ReleaseReadLocksAtPrepare = false
+	c := NewCluster("ablate", Options{
+		ReadOption:   ReadOption3,
+		AckMode:      Aggressive,
+		Replicas:     2,
+		EngineConfig: cfg,
+		Recorder:     rec,
+	})
+	if _, err := c.AddMachines(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("app", "CREATE TABLE obj (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("app", "INSERT INTO obj VALUES (1, 0), (2, 0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	violations := 0
+	for trial := 0; trial < 50; trial++ {
+		rec.Reset()
+		var wg sync.WaitGroup
+		run := func(readID, writeID int64) {
+			defer wg.Done()
+			tx, err := c.Begin("app")
+			if err != nil {
+				return
+			}
+			if _, err := tx.Exec("SELECT v FROM obj WHERE id = ?", sqldb.NewInt(readID)); err != nil {
+				return
+			}
+			if _, err := tx.Exec("UPDATE obj SET v = v + 1 WHERE id = ?", sqldb.NewInt(writeID)); err != nil {
+				return
+			}
+			_ = tx.Commit()
+		}
+		wg.Add(2)
+		go run(1, 2)
+		go run(2, 1)
+		wg.Wait()
+		if ok, _, _ := history.Check(rec); !ok {
+			violations++
+		}
+	}
+	if violations != 0 {
+		t.Errorf("without the prepare optimisation: %d violations, want 0", violations)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sdp/internal/sqldb"
+)
+
+// opResult is the outcome of one operation executed on a replica.
+type opResult struct {
+	res *sqldb.Result
+	err error
+}
+
+// future resolves to the result of an asynchronously executed operation.
+// It is safe for any number of goroutines to wait on it.
+type future struct {
+	done chan struct{}
+	res  opResult
+}
+
+func newFuture() *future { return &future{done: make(chan struct{})} }
+
+// complete resolves the future. It must be called exactly once.
+func (f *future) complete(r opResult) {
+	f.res = r
+	close(f.done)
+}
+
+// wait blocks until the operation finishes and returns its outcome. It may
+// be called repeatedly and concurrently.
+func (f *future) wait() opResult {
+	<-f.done
+	return f.res
+}
+
+// poll returns the outcome if the operation has finished.
+func (f *future) poll() (opResult, bool) {
+	select {
+	case <-f.done:
+		return f.res, true
+	default:
+		return opResult{}, false
+	}
+}
+
+// waitAny blocks until one of the futures resolves and returns its outcome —
+// the aggressive controller's "return as soon as one machine answers".
+func waitAny(futs []*future) opResult {
+	if len(futs) == 1 {
+		return futs[0].wait()
+	}
+	ch := make(chan opResult, len(futs))
+	for _, f := range futs {
+		go func(f *future) { ch <- f.wait() }(f)
+	}
+	return <-ch
+}
+
+// replicaSession is the controller's connection to one machine on behalf of
+// one distributed transaction. Operations enqueue onto a FIFO queue drained
+// by a dedicated goroutine, exactly like statements written down one JDBC
+// connection: per-machine order is preserved, but machines run independently
+// of each other — the property that makes the aggressive controller's
+// anomaly (Table 1) possible.
+type replicaSession struct {
+	machine *Machine
+	txn     *sqldb.Txn
+	ops     chan func()
+	closed  chan struct{}
+}
+
+// newReplicaSession begins a transaction branch on the machine and starts
+// its queue worker.
+func newReplicaSession(m *Machine, db string, globalID uint64) (*replicaSession, error) {
+	if m.Failed() {
+		return nil, ErrMachineFailed
+	}
+	txn, err := m.engine.BeginWithID(db, globalID)
+	if err != nil {
+		return nil, err
+	}
+	s := &replicaSession{
+		machine: m,
+		txn:     txn,
+		ops:     make(chan func(), 64),
+		closed:  make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+func (s *replicaSession) run() {
+	defer close(s.closed)
+	for f := range s.ops {
+		f()
+	}
+}
+
+// enqueue schedules fn on the session's queue and returns a future for its
+// result. fn runs after every previously enqueued operation on this machine.
+func (s *replicaSession) enqueue(fn func() opResult) *future {
+	fut := newFuture()
+	s.ops <- func() { fut.complete(s.guard(fn)) }
+	return fut
+}
+
+// guard fails fast when the machine has died instead of touching its engine.
+func (s *replicaSession) guard(fn func() opResult) opResult {
+	if s.machine.Failed() {
+		return opResult{err: ErrMachineFailed}
+	}
+	return fn()
+}
+
+// execStmt enqueues a statement execution.
+func (s *replicaSession) execStmt(stmt sqldb.Statement, params []sqldb.Value) *future {
+	return s.enqueue(func() opResult {
+		res, err := s.txn.ExecStmt(stmt, params...)
+		return opResult{res: res, err: err}
+	})
+}
+
+// prepare enqueues the PREPARE action of 2PC. It runs after all previously
+// enqueued operations on this machine (FIFO), but independently of the
+// transaction's pending operations on other machines.
+func (s *replicaSession) prepare() *future {
+	return s.enqueue(func() opResult {
+		return opResult{err: s.txn.Prepare()}
+	})
+}
+
+// commitPrepared enqueues the COMMIT action of 2PC.
+func (s *replicaSession) commitPrepared() *future {
+	return s.enqueue(func() opResult {
+		return opResult{err: s.txn.CommitPrepared()}
+	})
+}
+
+// commit enqueues a one-phase commit (read-only branches).
+func (s *replicaSession) commit() *future {
+	return s.enqueue(func() opResult {
+		return opResult{err: s.txn.Commit()}
+	})
+}
+
+// rollback enqueues a rollback.
+func (s *replicaSession) rollback() *future {
+	return s.enqueue(func() opResult {
+		return opResult{err: s.txn.Rollback()}
+	})
+}
+
+// close shuts the queue down after all enqueued work drains.
+func (s *replicaSession) close() {
+	close(s.ops)
+	<-s.closed
+}

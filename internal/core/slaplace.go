@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sdp/internal/sla"
+)
+
+// ErrNoCapacity is returned when no combination of live machines can host a
+// database's replicas without violating resource constraints. The colo
+// controller reacts by adding machines from the free pool.
+var ErrNoCapacity = errors.New("core: insufficient capacity for SLA placement")
+
+// SetCapacity assigns a machine's resource capacity R[i] (paper Section 4).
+// Machines default to the unit capacity.
+func (m *Machine) SetCapacity(cap sla.Resources) {
+	m.mu.Lock()
+	m.capacity = cap
+	m.hasCap = true
+	m.mu.Unlock()
+}
+
+// Capacity returns the machine's resource capacity.
+func (m *Machine) Capacity() sla.Resources {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.hasCap {
+		return sla.UnitMachine(m.id).Cap
+	}
+	return m.capacity
+}
+
+// Used returns the resources reserved on the machine by SLA placement.
+func (m *Machine) Used() sla.Resources {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// reserve adds req to the machine's reservation if it fits; it reports
+// whether the reservation succeeded.
+func (m *Machine) reserve(req sla.Resources) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cap := m.capacity
+	if !m.hasCap {
+		cap = sla.UnitMachine(m.id).Cap
+	}
+	if !m.used.Add(req).Fits(cap) {
+		return false
+	}
+	m.used = m.used.Add(req)
+	return true
+}
+
+// release subtracts req from the machine's reservation.
+func (m *Machine) release(req sla.Resources) {
+	m.mu.Lock()
+	m.used = m.used.Sub(req)
+	m.mu.Unlock()
+}
+
+// PlaceWithSLA creates a database whose replicas are placed by First-Fit
+// (the paper's Algorithm 2) against the machines' capacities and current
+// reservations. req is the per-replica resource requirement r[j] observed
+// during the profiling period. It returns the chosen machine IDs.
+func (c *Cluster) PlaceWithSLA(db string, req sla.Resources, replicas int) ([]string, error) {
+	if replicas <= 0 {
+		replicas = c.opts.Replicas
+	}
+	c.mu.Lock()
+	order := append([]string{}, c.order...)
+	machines := make(map[string]*Machine, len(c.machines))
+	for id, m := range c.machines {
+		machines[id] = m
+	}
+	c.mu.Unlock()
+
+	var chosen []string
+	var reserved []*Machine
+	undo := func() {
+		for _, m := range reserved {
+			m.release(req)
+		}
+	}
+	for _, id := range order {
+		if len(chosen) == replicas {
+			break
+		}
+		m := machines[id]
+		if m.Failed() {
+			continue
+		}
+		if m.reserve(req) {
+			chosen = append(chosen, id)
+			reserved = append(reserved, m)
+		}
+	}
+	if len(chosen) < replicas {
+		undo()
+		return nil, fmt.Errorf("%w: %s needs %d replicas of %s", ErrNoCapacity, db, replicas, req)
+	}
+	if err := c.CreateDatabaseOn(db, chosen); err != nil {
+		undo()
+		return nil, err
+	}
+	c.mu.Lock()
+	if ds, ok := c.dbs[db]; ok {
+		ds.req = req
+	}
+	c.mu.Unlock()
+	return chosen, nil
+}
+
+// ReleaseSLA drops the reservations of a database after it is dropped.
+func (c *Cluster) ReleaseSLA(db string, machineIDs []string, req sla.Resources) {
+	for _, id := range machineIDs {
+		if m, err := c.Machine(id); err == nil {
+			m.release(req)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdp/internal/sqldb"
+)
+
+// Txn is a distributed transaction managed by the cluster controller. Reads
+// execute on one replica chosen by the read option; writes execute on all
+// replicas; commit runs two-phase commit across the machines touched. A Txn
+// must be used from a single goroutine, like a database connection.
+type Txn struct {
+	c   *Cluster
+	db  string
+	gid uint64
+
+	sessions map[string]*replicaSession
+	readHome string // Option 2's per-transaction read replica
+
+	wrote    bool
+	finished bool
+
+	// async tracks, in aggressive mode, writes whose remaining replicas
+	// have not been confirmed yet. Before each subsequent operation the
+	// already-resolved ones are checked; unresolved ones are left pending
+	// and ultimately checked by the PREPARE votes.
+	async []*future
+}
+
+// GlobalID returns the controller-assigned global transaction ID.
+func (t *Txn) GlobalID() uint64 { return t.gid }
+
+// session returns (creating if needed) the replica session on machine id.
+func (t *Txn) session(id string) (*replicaSession, error) {
+	if s, ok := t.sessions[id]; ok {
+		return s, nil
+	}
+	m, err := t.c.Machine(id)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newReplicaSession(m, t.db, t.gid)
+	if err != nil {
+		return nil, err
+	}
+	t.sessions[id] = s
+	return s, nil
+}
+
+// Exec parses and executes one statement. SELECT statements are routed to a
+// single replica; all other statements execute on every replica of the
+// database (read-one-write-all).
+func (t *Txn) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	stmt, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return t.ExecStmt(stmt, params...)
+}
+
+// ExecStmt executes a pre-parsed statement.
+func (t *Txn) ExecStmt(stmt sqldb.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
+	if t.finished {
+		return nil, ErrTxnDone
+	}
+	if err := t.checkAsync(); err != nil {
+		t.abort()
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqldb.SelectStmt:
+		return t.execRead(stmt, selectTables(s), params)
+	case *sqldb.ExplainStmt:
+		// EXPLAIN is a read: route it like the statement it describes.
+		var tables []string
+		if sel, ok := s.Inner.(*sqldb.SelectStmt); ok {
+			tables = selectTables(sel)
+		}
+		return t.execRead(stmt, tables, params)
+	case *sqldb.InsertStmt:
+		return t.execWrite(stmt, s.Table, params)
+	case *sqldb.UpdateStmt:
+		return t.execWrite(stmt, s.Table, params)
+	case *sqldb.DeleteStmt:
+		return t.execWrite(stmt, s.Table, params)
+	case *sqldb.CreateTableStmt:
+		return t.execWrite(stmt, s.Table, params)
+	case *sqldb.CreateIndexStmt:
+		return t.execWrite(stmt, s.Table, params)
+	case *sqldb.DropTableStmt:
+		return t.execWrite(stmt, s.Table, params)
+	case *sqldb.BeginStmt:
+		return &sqldb.Result{}, nil // transactions are explicit in this API
+	case *sqldb.CommitStmt:
+		return &sqldb.Result{}, t.Commit()
+	case *sqldb.RollbackStmt:
+		return &sqldb.Result{}, t.Rollback()
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+// checkAsync inspects resolved-but-unchecked asynchronous writes; a failure
+// on any replica aborts the transaction, per the paper's aggressive
+// controller ("subsequent operations of the transaction are aborted").
+func (t *Txn) checkAsync() error {
+	remaining := t.async[:0]
+	var firstErr error
+	for _, f := range t.async {
+		if r, done := f.poll(); done {
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		} else {
+			remaining = append(remaining, f)
+		}
+	}
+	t.async = remaining
+	return firstErr
+}
+
+// execRead routes a read-only statement to one replica.
+func (t *Txn) execRead(stmt sqldb.Statement, tables []string, params []sqldb.Value) (*sqldb.Result, error) {
+	id, err := t.c.pickReadMachine(t, tables)
+	if err != nil {
+		t.abort()
+		return nil, err
+	}
+	s, err := t.session(id)
+	if err != nil {
+		t.abort()
+		return nil, err
+	}
+	r := s.execStmt(stmt, params).wait()
+	if r.err != nil {
+		t.abort()
+		return nil, r.err
+	}
+	return r.res, nil
+}
+
+// execWrite routes a write to every replica, applying Algorithm 1 during
+// replica creation, and acknowledges it per the controller's AckMode.
+func (t *Txn) execWrite(stmt sqldb.Statement, table string, params []sqldb.Value) (*sqldb.Result, error) {
+	targets, release, err := t.c.writeRoute(t.db, table)
+	if err != nil {
+		t.abort()
+		return nil, err
+	}
+	t.wrote = true
+
+	futs := make([]*future, 0, len(targets))
+	for _, id := range targets {
+		s, serr := t.session(id)
+		if serr != nil {
+			release()
+			t.abort()
+			return nil, serr
+		}
+		futs = append(futs, s.execStmt(stmt, params))
+	}
+
+	// The copy process may only proceed past this write once every replica
+	// has executed it.
+	go func(fs []*future) {
+		for _, f := range fs {
+			f.wait()
+		}
+		release()
+	}(append([]*future{}, futs...))
+
+	if t.c.opts.AckMode == Conservative {
+		// Wait for all replicas; any failure aborts.
+		var res *sqldb.Result
+		var firstErr error
+		for _, f := range futs {
+			r := f.wait()
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+			if res == nil && r.res != nil {
+				res = r.res
+			}
+		}
+		if firstErr != nil {
+			t.abort()
+			return nil, firstErr
+		}
+		return res, nil
+	}
+
+	// Aggressive: return on the first replica's answer; remember the rest.
+	r := waitAny(futs)
+	t.async = append(t.async, futs...)
+	if r.err != nil {
+		t.abort()
+		return nil, r.err
+	}
+	return r.res, nil
+}
+
+// Commit finishes the transaction. Read-only transactions commit in one
+// phase on each replica they touched; transactions with writes run 2PC: the
+// PREPARE action is enqueued on every session (behind any still-pending
+// writes on that machine, but concurrently across machines) and the
+// transaction commits only if every participant votes yes.
+func (t *Txn) Commit() error {
+	if t.finished {
+		return ErrTxnDone
+	}
+
+	if !t.wrote {
+		var firstErr error
+		for _, s := range t.sessions {
+			if r := s.commit().wait(); r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		}
+		t.cleanup()
+		if firstErr != nil {
+			t.c.aborted.Add(1)
+			return firstErr
+		}
+		t.c.committed.Add(1)
+		if rec := t.c.opts.Recorder; rec != nil {
+			rec.Commit(t.gid)
+		}
+		return nil
+	}
+
+	// Mirror the commit to the backup controller before issuing prepares.
+	rec := t.c.pair.begin(t)
+
+	// Phase 1: prepare everywhere, concurrently.
+	votes := make(map[string]*future, len(t.sessions))
+	for id, s := range t.sessions {
+		votes[id] = s.prepare()
+	}
+	var voteErr error
+	for _, f := range votes {
+		if r := f.wait(); r.err != nil && voteErr == nil {
+			voteErr = r.err
+		}
+	}
+	if t.c.pair.crashed(StagePreparing, t.gid) {
+		// Primary controller died before the commit decision; the backup's
+		// TakeOver will roll this transaction back.
+		t.finished = true
+		return ErrMachineFailed
+	}
+	if voteErr != nil {
+		// Phase 2 (abort): roll everyone back.
+		t.c.pair.finish(rec)
+		t.rollbackAll()
+		t.cleanup()
+		t.c.aborted.Add(1)
+		return fmt.Errorf("core: transaction aborted by 2PC: %w", voteErr)
+	}
+
+	// Commit decision reached: mirror it, then run phase 2.
+	t.c.pair.advance(rec, StageCommitting)
+	if t.c.pair.crashed(StageCommitting, t.gid) {
+		// Primary died after the decision; TakeOver completes the commit.
+		t.finished = true
+		return ErrMachineFailed
+	}
+
+	// Phase 2 (commit).
+	commits := make([]*future, 0, len(t.sessions))
+	for _, s := range t.sessions {
+		commits = append(commits, s.commitPrepared())
+	}
+	for _, f := range commits {
+		// A machine that dies between prepare and commit is repaired by
+		// recovery (re-replication), not by blocking the commit.
+		_ = f.wait()
+	}
+	t.c.pair.finish(rec)
+	t.cleanup()
+	t.c.committed.Add(1)
+	if rec := t.c.opts.Recorder; rec != nil {
+		rec.Commit(t.gid)
+	}
+	return nil
+}
+
+// Rollback aborts the transaction on every replica it touched.
+func (t *Txn) Rollback() error {
+	if t.finished {
+		return ErrTxnDone
+	}
+	t.abort()
+	return nil
+}
+
+// abort rolls back every session and finishes the transaction.
+func (t *Txn) abort() {
+	if t.finished {
+		return
+	}
+	t.rollbackAll()
+	t.cleanup()
+	t.c.aborted.Add(1)
+}
+
+func (t *Txn) rollbackAll() {
+	var wg sync.WaitGroup
+	for _, s := range t.sessions {
+		wg.Add(1)
+		go func(f *future) {
+			defer wg.Done()
+			_ = f.wait()
+		}(s.rollback())
+	}
+	wg.Wait()
+}
+
+// cleanup closes all sessions and marks the transaction finished.
+func (t *Txn) cleanup() {
+	for _, s := range t.sessions {
+		s.close()
+	}
+	t.finished = true
+}
+
+// IsRejection reports whether err is a proactive rejection (Algorithm 1).
+func IsRejection(err error) bool { return errors.Is(err, ErrRejected) }
+
+// IsRetryable reports whether the error is transient from the client's
+// perspective: deadlock victim, lock timeout, rejection during copy, a
+// machine failure mid-transaction, or a branch abort surfacing through a
+// 2PC vote (the aggressive controller learns of an asynchronous write
+// failure only when the prepare vote comes back).
+func IsRetryable(err error) bool {
+	return errors.Is(err, sqldb.ErrDeadlock) ||
+		errors.Is(err, sqldb.ErrLockTimeout) ||
+		errors.Is(err, sqldb.ErrTxnAborted) ||
+		errors.Is(err, ErrRejected) ||
+		errors.Is(err, ErrMachineFailed)
+}

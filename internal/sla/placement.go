@@ -1,0 +1,196 @@
+package sla
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement maps database names to the machine names hosting their replicas.
+type Placement map[string][]string
+
+// Allocator places database replicas onto machines, tracking remaining
+// capacity. It implements the paper's Algorithm 2 (First-Fit for the
+// replicas of each arriving database, adding new machines when no existing
+// machine fits) plus two classic variants used as ablations.
+type Allocator struct {
+	machines  []Machine
+	remaining []Resources
+	placement Placement
+	// NewMachine supplies additional machines from the free pool when
+	// First-Fit cannot place a replica. The default mints unit machines.
+	NewMachine func(idx int) Machine
+}
+
+// NewAllocator creates an allocator over an initial (possibly empty) set of
+// machines.
+func NewAllocator(machines []Machine) *Allocator {
+	a := &Allocator{placement: make(Placement)}
+	for _, m := range machines {
+		a.machines = append(a.machines, m)
+		a.remaining = append(a.remaining, m.Cap)
+	}
+	a.NewMachine = func(idx int) Machine { return UnitMachine(fmt.Sprintf("m%d", idx+1)) }
+	return a
+}
+
+// Machines returns the machines currently in use (in order of addition).
+func (a *Allocator) Machines() []Machine {
+	out := make([]Machine, len(a.machines))
+	copy(out, a.machines)
+	return out
+}
+
+// MachineCount returns the number of machines that host at least one
+// replica.
+func (a *Allocator) MachineCount() int {
+	used := make(map[string]bool)
+	for _, ms := range a.placement {
+		for _, m := range ms {
+			used[m] = true
+		}
+	}
+	return len(used)
+}
+
+// Placement returns the current placement.
+func (a *Allocator) Placement() Placement {
+	out := make(Placement, len(a.placement))
+	for db, ms := range a.placement {
+		out[db] = append([]string{}, ms...)
+	}
+	return out
+}
+
+// Remaining returns the remaining capacity of machine i.
+func (a *Allocator) Remaining(i int) Resources { return a.remaining[i] }
+
+// Place allocates the replicas of a new database using First-Fit
+// (Algorithm 2): each replica goes to the first existing machine with
+// enough remaining capacity that does not already hold a replica of the
+// same database; replicas that do not fit anywhere get fresh machines from
+// the pool. Existing databases are never moved, matching the paper's
+// restriction that M and M' differ only in the new database's rows.
+func (a *Allocator) Place(d Database) ([]string, error) {
+	return a.placeWith(d, a.firstFit)
+}
+
+// PlaceBestFit is the Best-Fit ablation: each replica goes to the machine
+// with the least remaining capacity (by the max-dimension measure) that
+// still fits it.
+func (a *Allocator) PlaceBestFit(d Database) ([]string, error) {
+	return a.placeWith(d, a.bestFit)
+}
+
+func (a *Allocator) placeWith(d Database, pick func(req Resources, exclude map[int]bool) int) ([]string, error) {
+	if d.Replicas <= 0 {
+		d.Replicas = 1
+	}
+	if _, dup := a.placement[d.Name]; dup {
+		return nil, fmt.Errorf("sla: database %s already placed", d.Name)
+	}
+	if !d.Req.NonNegative() {
+		return nil, fmt.Errorf("sla: negative resource requirement for %s", d.Name)
+	}
+	chosen := make([]int, 0, d.Replicas)
+	exclude := make(map[int]bool)
+	for r := 0; r < d.Replicas; r++ {
+		idx := pick(d.Req, exclude)
+		if idx < 0 {
+			// Algorithm 2, line 13: host the replica on a new machine.
+			nm := a.NewMachine(len(a.machines))
+			if !d.Req.Fits(nm.Cap) {
+				return nil, fmt.Errorf("sla: replica of %s (%s) exceeds a whole machine (%s)", d.Name, d.Req, nm.Cap)
+			}
+			a.machines = append(a.machines, nm)
+			a.remaining = append(a.remaining, nm.Cap)
+			idx = len(a.machines) - 1
+		}
+		chosen = append(chosen, idx)
+		exclude[idx] = true
+	}
+	names := make([]string, len(chosen))
+	for i, idx := range chosen {
+		a.remaining[idx] = a.remaining[idx].Sub(d.Req)
+		names[i] = a.machines[idx].Name
+	}
+	a.placement[d.Name] = names
+	return names, nil
+}
+
+// firstFit returns the first machine index that fits req, or -1.
+func (a *Allocator) firstFit(req Resources, exclude map[int]bool) int {
+	for i := range a.machines {
+		if exclude[i] {
+			continue
+		}
+		if req.Fits(a.remaining[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// bestFit returns the fitting machine with the smallest max-dimension
+// remaining capacity, or -1.
+func (a *Allocator) bestFit(req Resources, exclude map[int]bool) int {
+	best, bestSlack := -1, 0.0
+	for i := range a.machines {
+		if exclude[i] || !req.Fits(a.remaining[i]) {
+			continue
+		}
+		rem := a.remaining[i].Sub(req)
+		slack := maxDim(rem)
+		if best < 0 || slack < bestSlack {
+			best, bestSlack = i, slack
+		}
+	}
+	return best
+}
+
+func maxDim(r Resources) float64 {
+	m := r.CPU
+	if r.Memory > m {
+		m = r.Memory
+	}
+	if r.Disk > m {
+		m = r.Disk
+	}
+	if r.DiskBW > m {
+		m = r.DiskBW
+	}
+	return m
+}
+
+// PlaceAll places a sequence of databases with First-Fit in arrival order
+// and returns the number of machines used.
+func PlaceAll(dbs []Database) (int, Placement, error) {
+	a := NewAllocator(nil)
+	for _, d := range dbs {
+		if _, err := a.Place(d); err != nil {
+			return 0, nil, err
+		}
+	}
+	return a.MachineCount(), a.Placement(), nil
+}
+
+// PlaceAllFirstFitDecreasing sorts the databases by decreasing
+// max-dimension requirement before running First-Fit — the offline FFD
+// ablation (the paper leaves non-greedy reallocation to future work).
+func PlaceAllFirstFitDecreasing(dbs []Database) (int, Placement, error) {
+	sorted := append([]Database{}, dbs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return maxDim(sorted[i].Req) > maxDim(sorted[j].Req)
+	})
+	return PlaceAll(sorted)
+}
+
+// PlaceAllBestFit places databases with Best-Fit in arrival order.
+func PlaceAllBestFit(dbs []Database) (int, Placement, error) {
+	a := NewAllocator(nil)
+	for _, d := range dbs {
+		if _, err := a.PlaceBestFit(d); err != nil {
+			return 0, nil, err
+		}
+	}
+	return a.MachineCount(), a.Placement(), nil
+}

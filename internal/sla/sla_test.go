@@ -1,0 +1,249 @@
+package sla
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{CPU: 1, Memory: 2, Disk: 3, DiskBW: 4}
+	b := Resources{CPU: 0.5, Memory: 1, Disk: 1, DiskBW: 2}
+	sum := a.Add(b)
+	if sum != (Resources{CPU: 1.5, Memory: 3, Disk: 4, DiskBW: 6}) {
+		t.Errorf("Add = %v", sum)
+	}
+	if diff := sum.Sub(b); diff != a {
+		t.Errorf("Sub = %v", diff)
+	}
+	if !b.Fits(a) {
+		t.Error("b should fit in a")
+	}
+	if a.Fits(b) {
+		t.Error("a should not fit in b")
+	}
+	if !a.Sub(b).NonNegative() {
+		t.Error("a-b should be non-negative")
+	}
+	if b.Sub(a).NonNegative() {
+		t.Error("b-a should be negative somewhere")
+	}
+	if s := a.Scale(2); s != (Resources{CPU: 2, Memory: 4, Disk: 6, DiskBW: 8}) {
+		t.Errorf("Scale = %v", s)
+	}
+}
+
+func TestAvailabilityConstraint(t *testing.T) {
+	s := SLA{MinThroughput: 1, MaxRejectFraction: 0.001, Period: 24 * time.Hour}
+	in := AvailabilityInputs{
+		MachineFailureRate: 1,
+		ReallocationRate:   1,
+		RecoveryTime:       2 * time.Minute,
+		WriteMix:           0.3,
+	}
+	// (1+1) * (120/86400) * 0.3 = 0.000833... < 0.001
+	frac := in.RejectFraction(s.Period)
+	if frac <= 0.0008 || frac >= 0.00085 {
+		t.Errorf("RejectFraction = %v", frac)
+	}
+	if !s.SatisfiesAvailability(in) {
+		t.Error("constraint should hold")
+	}
+	in.WriteMix = 0.5
+	if s.SatisfiesAvailability(in) {
+		t.Error("constraint should fail with write mix 0.5")
+	}
+	maxRT := s.MaxRecoveryTime(in)
+	in.RecoveryTime = maxRT - time.Second
+	if !s.SatisfiesAvailability(in) {
+		t.Errorf("recovery just under MaxRecoveryTime (%v) should satisfy", maxRT)
+	}
+}
+
+func TestProfileMonotone(t *testing.T) {
+	small := Profile(200, 1)
+	big := Profile(1000, 10)
+	if !small.Fits(big) {
+		t.Errorf("larger database should need at least as much everywhere: %v vs %v", small, big)
+	}
+	if !big.Fits(UnitMachine("m").Cap) {
+		t.Errorf("the largest paper database must fit one machine: %v", big)
+	}
+}
+
+func TestFirstFitBasics(t *testing.T) {
+	a := NewAllocator(nil)
+	d := Database{Name: "db1", Req: Resources{CPU: 0.6, Memory: 0.6, Disk: 0.1, DiskBW: 0.1}, Replicas: 2}
+	ms, err := a.Place(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0] == ms[1] {
+		t.Fatalf("placement = %v (replicas must be on distinct machines)", ms)
+	}
+	// A second database of the same size cannot share (0.6+0.6 > 1): two
+	// more machines.
+	if _, err := a.Place(Database{Name: "db2", Req: d.Req, Replicas: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.MachineCount(); n != 4 {
+		t.Errorf("machines = %d, want 4", n)
+	}
+	// A small database fits into the slack of existing machines.
+	small := Database{Name: "db3", Req: Resources{CPU: 0.1, Memory: 0.1}, Replicas: 2}
+	ms, err = a.Place(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := a.MachineCount(); n != 4 {
+		t.Errorf("machines after small db = %d, want 4 (%v)", n, ms)
+	}
+}
+
+func TestPlaceDuplicate(t *testing.T) {
+	a := NewAllocator(nil)
+	d := Database{Name: "x", Req: Resources{CPU: 0.1}, Replicas: 1}
+	if _, err := a.Place(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Place(d); err == nil {
+		t.Error("duplicate placement succeeded")
+	}
+}
+
+func TestPlaceOversized(t *testing.T) {
+	a := NewAllocator(nil)
+	d := Database{Name: "huge", Req: Resources{CPU: 2}, Replicas: 1}
+	if _, err := a.Place(d); err == nil {
+		t.Error("oversized database placed")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewAllocator(nil)
+	for i := 0; i < 40; i++ {
+		d := Database{
+			Name:     string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Req:      Profile(200+rng.Float64()*800, 0.1+rng.Float64()*9.9),
+			Replicas: 2,
+		}
+		if _, err := a.Place(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range a.machines {
+		if !a.remaining[i].NonNegative() {
+			t.Errorf("machine %d over capacity: %v", i, a.remaining[i])
+		}
+	}
+	// Every database must have its replicas on distinct machines.
+	for db, ms := range a.Placement() {
+		seen := map[string]bool{}
+		for _, m := range ms {
+			if seen[m] {
+				t.Errorf("%s has two replicas on %s", db, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestOptimalMatchesHandComputedCases(t *testing.T) {
+	cap := UnitMachine("m").Cap
+	half := Resources{CPU: 0.5, Memory: 0.5, Disk: 0.5, DiskBW: 0.5}
+	third := Resources{CPU: 0.34, Memory: 0.34, Disk: 0.34, DiskBW: 0.34}
+
+	// 4 half-machine databases, 1 replica each: exactly 2 machines.
+	var dbs []Database
+	for i := 0; i < 4; i++ {
+		dbs = append(dbs, Database{Name: string(rune('a' + i)), Req: half, Replicas: 1})
+	}
+	res := Optimal(dbs, cap, 0)
+	if !res.Exact || res.Machines != 2 {
+		t.Errorf("4 halves: %+v, want 2 exact", res)
+	}
+
+	// 3 thirds-sized databases with 2 replicas each: 6 replicas of 0.34
+	// → 2 per machine → 3 machines (replicas of one db must be distinct).
+	dbs = nil
+	for i := 0; i < 3; i++ {
+		dbs = append(dbs, Database{Name: string(rune('a' + i)), Req: third, Replicas: 2})
+	}
+	res = Optimal(dbs, cap, 0)
+	if !res.Exact || res.Machines != 3 {
+		t.Errorf("3 thirds x2: %+v, want 3 exact", res)
+	}
+
+	// Infeasible: database larger than a machine.
+	res = Optimal([]Database{{Name: "x", Req: Resources{CPU: 2}, Replicas: 1}}, cap, 0)
+	if res.Machines != 0 {
+		t.Errorf("infeasible: %+v", res)
+	}
+}
+
+func TestOptimalNeverWorseThanFirstFit(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 3 + r.Intn(5)
+			dbs := make([]Database, n)
+			for i := range dbs {
+				dbs[i] = Database{
+					Name:     string(rune('a' + i)),
+					Req:      Profile(200+r.Float64()*800, 0.1+r.Float64()*9.9),
+					Replicas: 1 + r.Intn(2),
+				}
+			}
+			vals[0] = reflect.ValueOf(dbs)
+		},
+	}
+	cap := UnitMachine("m").Cap
+	if err := quick.Check(func(dbs []Database) bool {
+		ff, _, err := PlaceAll(dbs)
+		if err != nil {
+			return true
+		}
+		opt := Optimal(dbs, cap, 500_000)
+		return opt.Machines <= ff && opt.Machines >= 1
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirstFitDecreasingAndBestFit(t *testing.T) {
+	// A workload where plain First-Fit is suboptimal: arrival order
+	// small, large, small, large with sizes 0.3/0.7.
+	small := Resources{CPU: 0.3, Memory: 0.3, Disk: 0.3, DiskBW: 0.3}
+	large := Resources{CPU: 0.7, Memory: 0.7, Disk: 0.7, DiskBW: 0.7}
+	dbs := []Database{
+		{Name: "s1", Req: small, Replicas: 1},
+		{Name: "l1", Req: large, Replicas: 1},
+		{Name: "s2", Req: small, Replicas: 1},
+		{Name: "l2", Req: large, Replicas: 1},
+	}
+	ff, _, err := PlaceAll(dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffd, _, err := PlaceAllFirstFitDecreasing(dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _, err := PlaceAllBestFit(dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffd > ff || bf > ff+1 {
+		t.Errorf("ff=%d ffd=%d bf=%d", ff, ffd, bf)
+	}
+	if ffd != 2 {
+		t.Errorf("FFD should pack 2 machines, got %d", ffd)
+	}
+	opt := Optimal(dbs, UnitMachine("m").Cap, 0)
+	if opt.Machines != 2 {
+		t.Errorf("optimal = %+v, want 2", opt)
+	}
+}

@@ -1,0 +1,174 @@
+package sqldb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PageKey identifies a page across all tables of one engine.
+type PageKey struct {
+	Table string
+	Page  int
+}
+
+// PoolStats reports buffer-pool activity counters.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no accesses were made.
+func (s PoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// BufferPool is a fixed-capacity LRU cache of decoded pages, one per engine.
+// It models the DBMS buffer pool of the paper's MySQL instances: a hit serves
+// already-decoded rows, a miss pays the decode cost of the page's disk format
+// plus an optional simulated disk latency. The pool is the mechanism that
+// makes the paper's read-routing options (1/2/3) perform differently — routing
+// all of a database's reads to one replica keeps that replica's pool warm.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[PageKey]*list.Element
+	lru      *list.List // front = most recently used
+
+	missLatency time.Duration
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type poolEntry struct {
+	key   PageKey
+	slots []pageSlot
+}
+
+// NewBufferPool creates a pool holding at most capacity decoded pages.
+// A capacity of 0 or less disables caching entirely (every access is a miss).
+// missLatency is added to every miss to simulate disk I/O; zero disables it.
+func NewBufferPool(capacity int, missLatency time.Duration) *BufferPool {
+	return &BufferPool{
+		capacity:    capacity,
+		entries:     make(map[PageKey]*list.Element),
+		lru:         list.New(),
+		missLatency: missLatency,
+	}
+}
+
+// Get returns the decoded slots for key, loading and decoding via load on a
+// miss. The returned slice is shared with the pool; callers must not mutate
+// it (the table layer copies rows before handing them to transactions).
+func (p *BufferPool) Get(key PageKey, load func() []byte) ([]pageSlot, error) {
+	p.mu.Lock()
+	if el, ok := p.entries[key]; ok {
+		p.lru.MoveToFront(el)
+		slots := el.Value.(*poolEntry).slots
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return slots, nil
+	}
+	p.mu.Unlock()
+
+	// Miss: decode outside the pool mutex so concurrent misses overlap,
+	// exactly as concurrent disk reads would.
+	p.misses.Add(1)
+	if p.missLatency > 0 {
+		time.Sleep(p.missLatency)
+	}
+	encoded := load()
+	slots, err := decodePage(encoded)
+	if err != nil {
+		return nil, err
+	}
+
+	if p.capacity <= 0 {
+		return slots, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		// Raced with another loader; keep the resident copy.
+		p.lru.MoveToFront(el)
+		return el.Value.(*poolEntry).slots, nil
+	}
+	el := p.lru.PushFront(&poolEntry{key: key, slots: slots})
+	p.entries[key] = el
+	for p.lru.Len() > p.capacity {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.entries, oldest.Value.(*poolEntry).key)
+		p.evictions.Add(1)
+	}
+	return slots, nil
+}
+
+// Put installs (or replaces) the decoded image of a page, used by the write
+// path so that writes keep the cache coherent (write-through).
+func (p *BufferPool) Put(key PageKey, slots []pageSlot) {
+	if p.capacity <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		el.Value.(*poolEntry).slots = slots
+		p.lru.MoveToFront(el)
+		return
+	}
+	el := p.lru.PushFront(&poolEntry{key: key, slots: slots})
+	p.entries[key] = el
+	for p.lru.Len() > p.capacity {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.entries, oldest.Value.(*poolEntry).key)
+		p.evictions.Add(1)
+	}
+}
+
+// Invalidate drops a page from the pool.
+func (p *BufferPool) Invalidate(key PageKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		p.lru.Remove(el)
+		delete(p.entries, key)
+	}
+}
+
+// InvalidateTable drops every cached page of a table (used by DROP TABLE).
+func (p *BufferPool) InvalidateTable(table string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, el := range p.entries {
+		if key.Table == table {
+			p.lru.Remove(el)
+			delete(p.entries, key)
+		}
+	}
+}
+
+// Len returns the number of resident pages.
+func (p *BufferPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *BufferPool) Stats() PoolStats {
+	return PoolStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+	}
+}

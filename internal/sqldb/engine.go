@@ -1,0 +1,311 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config holds the tunables of one engine instance. The defaults model a
+// small commodity DBMS installation as in the paper's experimental setup
+// (MySQL 5 with a fixed buffer pool).
+type Config struct {
+	// PoolPages is the buffer-pool capacity in pages. Zero or negative
+	// disables caching (every page access pays decode cost).
+	PoolPages int
+
+	// MissLatency is an optional simulated disk latency added to every
+	// buffer-pool miss.
+	MissLatency time.Duration
+
+	// LockTimeout bounds lock waits; zero means wait forever (deadlocks are
+	// still detected immediately via the wait-for graph).
+	LockTimeout time.Duration
+
+	// ReleaseReadLocksAtPrepare enables the common 2PC optimisation of
+	// releasing read locks after the PREPARE action and before COMMIT.
+	// Most production systems (including MySQL) implement it; the paper
+	// shows it breaks global serializability under read-routing Options 2
+	// and 3 with an aggressive cluster controller.
+	ReleaseReadLocksAtPrepare bool
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation:
+// a 256-page pool, no artificial disk latency, a 2-second lock timeout, and
+// the prepare-time read-lock release on (as in real systems).
+func DefaultConfig() Config {
+	return Config{
+		PoolPages:                 256,
+		LockTimeout:               2 * time.Second,
+		ReleaseReadLocksAtPrepare: true,
+	}
+}
+
+// OpEvent describes one data access, emitted to the history recorder. Seq is
+// a per-engine monotonically increasing sequence number assigned at access
+// time (after lock acquisition), so for two conflicting events the Seq order
+// is the true conflict order on this engine.
+type OpEvent struct {
+	Seq       uint64
+	Txn       uint64 // engine-local transaction ID
+	GlobalTxn uint64 // caller-assigned global transaction ID (0 if none)
+	Write     bool
+	Object    string // "db/table:key" for a row, "db/table" for a whole table
+}
+
+// Recorder receives operation events for offline serializability checking.
+// Implementations must be safe for concurrent use.
+type Recorder interface {
+	RecordOp(OpEvent)
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	Deadlocks uint64
+	Pool      PoolStats
+}
+
+// Engine is a single-node DBMS instance: the unit the cluster controller
+// replicates and fails over. One engine hosts any number of named databases
+// that share its buffer pool — the resource contention at the heart of the
+// paper's multi-tenancy problem.
+type Engine struct {
+	cfg   Config
+	pool  *BufferPool
+	locks *lockManager
+
+	mu     sync.RWMutex // guards catalog
+	dbs    map[string]map[string]*Table
+	closed bool
+
+	nextTxn atomic.Uint64
+	seq     atomic.Uint64
+
+	recorder atomic.Pointer[recorderBox]
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+type recorderBox struct{ r Recorder }
+
+// NewEngine creates an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:   cfg,
+		pool:  NewBufferPool(cfg.PoolPages, cfg.MissLatency),
+		locks: newLockManager(cfg.LockTimeout),
+		dbs:   make(map[string]map[string]*Table),
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Pool exposes the engine's buffer pool (for statistics and experiments).
+func (e *Engine) Pool() *BufferPool { return e.pool }
+
+// SetRecorder installs (or clears, with nil) the history recorder.
+func (e *Engine) SetRecorder(r Recorder) {
+	e.recorder.Store(&recorderBox{r: r})
+}
+
+// record emits an operation event if a recorder is installed.
+func (e *Engine) record(t *Txn, write bool, object string) {
+	box := e.recorder.Load()
+	if box == nil || box.r == nil {
+		return
+	}
+	box.r.RecordOp(OpEvent{
+		Seq:       e.seq.Add(1),
+		Txn:       t.id,
+		GlobalTxn: t.GlobalID,
+		Write:     write,
+		Object:    object,
+	})
+}
+
+// Close marks the engine closed; subsequent operations fail with
+// ErrEngineClosed. It models a machine failure (power/disk) in the paper.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+}
+
+// Closed reports whether Close was called.
+func (e *Engine) Closed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Commits:   e.commits.Load(),
+		Aborts:    e.aborts.Load(),
+		Deadlocks: e.locks.deadlockCount(),
+		Pool:      e.pool.Stats(),
+	}
+}
+
+func (e *Engine) finishTxn(t *Txn, committed bool) {
+	if committed {
+		e.commits.Add(1)
+	} else {
+		e.aborts.Add(1)
+	}
+}
+
+// CreateDatabase registers a new empty database namespace.
+func (e *Engine) CreateDatabase(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	if _, ok := e.dbs[name]; ok {
+		return fmt.Errorf("sqldb: database %s already exists", name)
+	}
+	e.dbs[name] = make(map[string]*Table)
+	return nil
+}
+
+// DropDatabase removes a database and all its tables.
+func (e *Engine) DropDatabase(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	tables, ok := e.dbs[name]
+	if !ok {
+		return fmt.Errorf("sqldb: database %s does not exist", name)
+	}
+	for _, t := range tables {
+		e.pool.InvalidateTable(fmt.Sprintf("%s@%d", t.qname, t.version))
+	}
+	delete(e.dbs, name)
+	return nil
+}
+
+// HasDatabase reports whether the named database exists.
+func (e *Engine) HasDatabase(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.dbs[name]
+	return ok
+}
+
+// Databases lists database names in sorted order.
+func (e *Engine) Databases() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.dbs))
+	for n := range e.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tables lists the table names of a database in sorted order.
+func (e *Engine) Tables(db string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	tables := e.dbs[db]
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table returns the named table of a database.
+func (e *Engine) Table(db, name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	tables, ok := e.dbs[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: database %s", ErrNoTable, db)
+	}
+	t, ok := tables[lower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoTable, db, name)
+	}
+	return t, nil
+}
+
+// DatabaseByteSize returns the approximate total encoded size of a database.
+func (e *Engine) DatabaseByteSize(db string) int64 {
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.dbs[db]))
+	for _, t := range e.dbs[db] {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+	var total int64
+	for _, t := range tables {
+		total += t.ByteSize()
+	}
+	return total
+}
+
+// Begin starts a transaction against the named database.
+func (e *Engine) Begin(db string) (*Txn, error) {
+	return e.BeginWithID(db, 0)
+}
+
+// BeginWithID starts a transaction carrying a caller-assigned global
+// transaction ID (used by the cluster controller to correlate the branches
+// of a distributed transaction across replicas).
+func (e *Engine) BeginWithID(db string, globalID uint64) (*Txn, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	if _, ok := e.dbs[db]; !ok {
+		return nil, fmt.Errorf("%w: database %s", ErrNoTable, db)
+	}
+	t := &Txn{
+		GlobalID: globalID,
+		id:       e.nextTxn.Add(1),
+		engine:   e,
+		locks:    make(map[lockID]struct{}),
+	}
+	t.db = db
+	return t, nil
+}
+
+// Exec runs a single statement in its own transaction (autocommit).
+func (e *Engine) Exec(db, sql string, params ...Value) (*Result, error) {
+	t, err := e.Begin(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.Exec(sql, params...)
+	if err != nil {
+		_ = t.Rollback()
+		return nil, err
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// qualified returns the lock/pool namespace name of a table.
+func qualified(db, table string) string { return db + "/" + lower(table) }
+
+func lower(s string) string { return strings.ToLower(s) }

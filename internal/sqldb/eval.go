@@ -1,0 +1,400 @@
+package sqldb
+
+import (
+	"fmt"
+)
+
+// colBinding associates one position of a joined row with its table alias
+// and column name (both lower-cased).
+type colBinding struct {
+	table string
+	col   string
+}
+
+// evalCtx is the environment an expression is evaluated in. In grouped
+// evaluation, row is the group's representative row and groupRows holds the
+// full group for aggregate functions.
+type evalCtx struct {
+	bindings  []colBinding
+	row       Row
+	params    []Value
+	groupRows []Row
+	grouped   bool
+}
+
+// evalExpr evaluates e in ctx using SQL three-valued logic: unknown is
+// represented as the NULL value.
+func evalExpr(e Expr, ctx *evalCtx) (Value, error) {
+	switch ex := e.(type) {
+	case *LiteralExpr:
+		return ex.Val, nil
+	case *ParamExpr:
+		if ex.Index >= len(ctx.params) {
+			return Null, fmt.Errorf("sqldb: missing binding for parameter %d", ex.Index+1)
+		}
+		return ctx.params[ex.Index], nil
+	case *ColumnExpr:
+		idx := resolveBinding(ctx.bindings, ex)
+		if idx == -2 {
+			return Null, errAmbiguous(ex.Col)
+		}
+		if idx < 0 {
+			return Null, fmt.Errorf("%w: %s", ErrNoColumn, ex.Col)
+		}
+		if idx >= len(ctx.row) {
+			return Null, nil
+		}
+		return ctx.row[idx], nil
+	case *BinaryExpr:
+		return evalBinary(ex, ctx)
+	case *UnaryExpr:
+		v, err := evalExpr(ex.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		switch ex.Op {
+		case OpNot:
+			if v.IsNull() {
+				return Null, nil
+			}
+			if v.Typ != TypeBool {
+				return Null, fmt.Errorf("%w: NOT applied to %s", ErrTypeMismatch, v.Typ)
+			}
+			return NewBool(!v.Bool), nil
+		case OpNeg:
+			switch v.Typ {
+			case TypeNull:
+				return Null, nil
+			case TypeInt:
+				return NewInt(-v.Int), nil
+			case TypeFloat:
+				return NewFloat(-v.Float), nil
+			default:
+				return Null, fmt.Errorf("%w: unary minus applied to %s", ErrTypeMismatch, v.Typ)
+			}
+		}
+		return Null, fmt.Errorf("sqldb: unknown unary operator")
+	case *InExpr:
+		v, err := evalExpr(ex.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		sawNull := false
+		for _, le := range ex.List {
+			lv, err := evalExpr(le, ctx)
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if Equal(v, lv) {
+				return NewBool(!ex.Negate), nil
+			}
+		}
+		if sawNull {
+			return Null, nil
+		}
+		return NewBool(ex.Negate), nil
+	case *BetweenExpr:
+		v, err := evalExpr(ex.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := evalExpr(ex.Lo, ctx)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := evalExpr(ex.Hi, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null, nil
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		if ex.Negate {
+			in = !in
+		}
+		return NewBool(in), nil
+	case *LikeExpr:
+		v, err := evalExpr(ex.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		p, err := evalExpr(ex.Pattern, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return Null, nil
+		}
+		if v.Typ != TypeText || p.Typ != TypeText {
+			return Null, fmt.Errorf("%w: LIKE wants TEXT operands", ErrTypeMismatch)
+		}
+		m := likeMatch(v.Str, p.Str)
+		if ex.Negate {
+			m = !m
+		}
+		return NewBool(m), nil
+	case *IsNullExpr:
+		v, err := evalExpr(ex.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		isNull := v.IsNull()
+		if ex.Negate {
+			isNull = !isNull
+		}
+		return NewBool(isNull), nil
+	case *AggExpr:
+		return evalAggregate(ex, ctx)
+	default:
+		return Null, fmt.Errorf("sqldb: unsupported expression %T", e)
+	}
+}
+
+func evalBinary(ex *BinaryExpr, ctx *evalCtx) (Value, error) {
+	// AND/OR need lazy three-valued evaluation.
+	if ex.Op == OpAnd || ex.Op == OpOr {
+		l, err := evalExpr(ex.L, ctx)
+		if err != nil {
+			return Null, err
+		}
+		r, err := evalExpr(ex.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		lt, lk := boolState(l)
+		rt, rk := boolState(r)
+		if !lk || !rk {
+			return Null, fmt.Errorf("%w: %s applied to non-boolean", ErrTypeMismatch, ex.Op)
+		}
+		if ex.Op == OpAnd {
+			switch {
+			case lt == tvFalse || rt == tvFalse:
+				return NewBool(false), nil
+			case lt == tvNull || rt == tvNull:
+				return Null, nil
+			default:
+				return NewBool(true), nil
+			}
+		}
+		switch {
+		case lt == tvTrue || rt == tvTrue:
+			return NewBool(true), nil
+		case lt == tvNull || rt == tvNull:
+			return Null, nil
+		default:
+			return NewBool(false), nil
+		}
+	}
+
+	l, err := evalExpr(ex.L, ctx)
+	if err != nil {
+		return Null, err
+	}
+	r, err := evalExpr(ex.R, ctx)
+	if err != nil {
+		return Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
+	}
+
+	switch ex.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if !comparable(l, r) {
+			return Null, fmt.Errorf("%w: cannot compare %s with %s", ErrTypeMismatch, l.Typ, r.Typ)
+		}
+		c := Compare(l, r)
+		var out bool
+		switch ex.Op {
+		case OpEq:
+			out = c == 0
+		case OpNe:
+			out = c != 0
+		case OpLt:
+			out = c < 0
+		case OpLe:
+			out = c <= 0
+		case OpGt:
+			out = c > 0
+		case OpGe:
+			out = c >= 0
+		}
+		return NewBool(out), nil
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if !l.numeric() || !r.numeric() {
+			return Null, fmt.Errorf("%w: arithmetic on %s and %s", ErrTypeMismatch, l.Typ, r.Typ)
+		}
+		if l.Typ == TypeInt && r.Typ == TypeInt && ex.Op != OpDiv {
+			switch ex.Op {
+			case OpAdd:
+				return NewInt(l.Int + r.Int), nil
+			case OpSub:
+				return NewInt(l.Int - r.Int), nil
+			case OpMul:
+				return NewInt(l.Int * r.Int), nil
+			}
+		}
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch ex.Op {
+		case OpAdd:
+			return NewFloat(lf + rf), nil
+		case OpSub:
+			return NewFloat(lf - rf), nil
+		case OpMul:
+			return NewFloat(lf * rf), nil
+		default:
+			if rf == 0 {
+				return Null, nil // SQL: division by zero yields NULL
+			}
+			return NewFloat(lf / rf), nil
+		}
+	}
+	return Null, fmt.Errorf("sqldb: unknown binary operator %s", ex.Op)
+}
+
+// comparable reports whether two non-null values can be ordered.
+func comparable(a, b Value) bool {
+	if a.numeric() && b.numeric() {
+		return true
+	}
+	return a.Typ == b.Typ
+}
+
+// three-valued truth states.
+type triState int
+
+const (
+	tvFalse triState = iota
+	tvTrue
+	tvNull
+)
+
+func boolState(v Value) (triState, bool) {
+	switch v.Typ {
+	case TypeNull:
+		return tvNull, true
+	case TypeBool:
+		if v.Bool {
+			return tvTrue, true
+		}
+		return tvFalse, true
+	default:
+		return tvFalse, false
+	}
+}
+
+// predTrue evaluates a predicate and reports whether it is definitely true
+// (SQL WHERE semantics: NULL filters the row out).
+func predTrue(e Expr, ctx *evalCtx) (bool, error) {
+	v, err := evalExpr(e, ctx)
+	if err != nil {
+		return false, err
+	}
+	st, ok := boolState(v)
+	if !ok {
+		return false, fmt.Errorf("%w: predicate evaluated to %s", ErrTypeMismatch, v.Typ)
+	}
+	return st == tvTrue, nil
+}
+
+// evalAggregate computes an aggregate over the current group.
+func evalAggregate(ex *AggExpr, ctx *evalCtx) (Value, error) {
+	if !ctx.grouped {
+		return Null, fmt.Errorf("sqldb: aggregate %s outside grouped context", ex.Fn)
+	}
+	rows := ctx.groupRows
+
+	if ex.Star {
+		if ex.Fn != AggCount {
+			return Null, fmt.Errorf("sqldb: %s(*) is not valid", ex.Fn)
+		}
+		return NewInt(int64(len(rows))), nil
+	}
+
+	count := int64(0)
+	var sum float64
+	sumIsInt := true
+	var sumInt int64
+	var minV, maxV Value
+	first := true
+	var seen map[string]bool
+	if ex.Distinct {
+		seen = make(map[string]bool)
+	}
+	for _, r := range rows {
+		sub := &evalCtx{bindings: ctx.bindings, row: r, params: ctx.params}
+		v, err := evalExpr(ex.E, sub)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if seen != nil {
+			k := keyString(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		count++
+		switch ex.Fn {
+		case AggSum, AggAvg:
+			if !v.numeric() {
+				return Null, fmt.Errorf("%w: %s over %s", ErrTypeMismatch, ex.Fn, v.Typ)
+			}
+			if v.Typ == TypeInt {
+				sumInt += v.Int
+			} else {
+				sumIsInt = false
+			}
+			sum += v.AsFloat()
+		case AggMin:
+			if first || Compare(v, minV) < 0 {
+				minV = v
+			}
+		case AggMax:
+			if first || Compare(v, maxV) > 0 {
+				maxV = v
+			}
+		}
+		first = false
+	}
+
+	switch ex.Fn {
+	case AggCount:
+		return NewInt(count), nil
+	case AggSum:
+		if count == 0 {
+			return Null, nil
+		}
+		if sumIsInt {
+			return NewInt(sumInt), nil
+		}
+		return NewFloat(sum), nil
+	case AggAvg:
+		if count == 0 {
+			return Null, nil
+		}
+		return NewFloat(sum / float64(count)), nil
+	case AggMin:
+		if count == 0 {
+			return Null, nil
+		}
+		return minV, nil
+	case AggMax:
+		if count == 0 {
+			return Null, nil
+		}
+		return maxV, nil
+	}
+	return Null, fmt.Errorf("sqldb: unknown aggregate")
+}

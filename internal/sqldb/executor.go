@@ -1,0 +1,1195 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of a statement: column names and rows for queries,
+// an affected-row count for DML.
+type Result struct {
+	Cols     []string
+	Rows     []Row
+	Affected int
+}
+
+// locking helpers ----------------------------------------------------------
+
+func (t *Txn) lockTable(tbl *Table, mode LockMode) error {
+	return t.engine.locks.acquire(t, lockID{Table: tbl.qname}, mode)
+}
+
+func (t *Txn) lockRow(tbl *Table, key string, mode LockMode) error {
+	return t.engine.locks.acquire(t, lockID{Table: tbl.qname, Key: key}, mode)
+}
+
+// execute dispatches a parsed statement. The transaction's state has already
+// been validated by the caller.
+func (e *Engine) execute(t *Txn, stmt Statement, params []Value) (*Result, error) {
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return e.execCreateTable(t, s)
+	case *CreateIndexStmt:
+		return e.execCreateIndex(t, s)
+	case *DropTableStmt:
+		return e.execDropTable(t, s)
+	case *InsertStmt:
+		return e.execInsert(t, s, params)
+	case *UpdateStmt:
+		return e.execUpdate(t, s, params)
+	case *DeleteStmt:
+		return e.execDelete(t, s, params)
+	case *SelectStmt:
+		return e.execSelect(t, s, params)
+	case *ExplainStmt:
+		return e.execExplain(t, s, params)
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return nil, fmt.Errorf("sqldb: transaction-control statements are handled by the session layer")
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// --- DDL -------------------------------------------------------------------
+//
+// DDL statements take effect immediately and are not undone by rollback
+// (matching MySQL's implicit-commit behaviour for DDL).
+
+func (e *Engine) execCreateTable(t *Txn, s *CreateTableStmt) (*Result, error) {
+	cols := make([]Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = Column{Name: c.Name, Typ: c.Typ, PrimaryKey: c.PrimaryKey, NotNull: c.NotNull, Unique: c.Unique}
+	}
+	schema, err := NewSchema(s.Table, cols)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	tables, ok := e.dbs[t.db]
+	if !ok {
+		return nil, fmt.Errorf("%w: database %s", ErrNoTable, t.db)
+	}
+	key := lower(s.Table)
+	if _, exists := tables[key]; exists {
+		if s.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+	}
+	tables[key] = newTable(e, qualified(t.db, s.Table), schema)
+	return &Result{}, nil
+}
+
+func (e *Engine) execCreateIndex(t *Txn, s *CreateIndexStmt) (*Result, error) {
+	tbl, err := e.Table(t.db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := tbl.schema.ColIndex(s.Col)
+	if colIdx < 0 {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.Col)
+	}
+	// Build under a table S lock so the index sees a consistent image.
+	if err := t.lockTable(tbl, LockS); err != nil {
+		return nil, err
+	}
+	if err := tbl.createIndex(s.Name, colIdx, s.Unique); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) execDropTable(t *Txn, s *DropTableStmt) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	tables, ok := e.dbs[t.db]
+	if !ok {
+		return nil, fmt.Errorf("%w: database %s", ErrNoTable, t.db)
+	}
+	key := lower(s.Table)
+	tbl, exists := tables[key]
+	if !exists {
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoTable, t.db, s.Table)
+	}
+	delete(tables, key)
+	e.pool.InvalidateTable(fmt.Sprintf("%s@%d", tbl.qname, tbl.version))
+	return &Result{}, nil
+}
+
+// --- INSERT ------------------------------------------------------------------
+
+func (e *Engine) execInsert(t *Txn, s *InsertStmt, params []Value) (*Result, error) {
+	tbl, err := e.Table(t.db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.schema
+
+	// Map the statement's column list to schema positions.
+	positions := make([]int, 0, len(s.Cols))
+	if len(s.Cols) == 0 {
+		for i := range schema.Cols {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, c := range s.Cols {
+			idx := schema.ColIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, c)
+			}
+			positions = append(positions, idx)
+		}
+	}
+
+	hasUniqueSecondary := false
+	for _, c := range schema.Cols {
+		if c.Unique && !c.PrimaryKey {
+			hasUniqueSecondary = true
+		}
+	}
+
+	// Lock order: table intention lock first, then row locks.
+	tableMode := LockIX
+	if schema.PKIdx < 0 || hasUniqueSecondary {
+		// Without a primary key there is no row-lock identity; with a
+		// unique secondary index the uniqueness probe needs a stable view.
+		tableMode = LockX
+	}
+	if err := t.lockTable(tbl, tableMode); err != nil {
+		return nil, err
+	}
+
+	ctx := &evalCtx{params: params}
+	affected := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(positions) {
+			return nil, fmt.Errorf("%w: INSERT has %d values for %d columns", ErrTypeMismatch, len(exprRow), len(positions))
+		}
+		full := make(Row, len(schema.Cols))
+		for i := range full {
+			full[i] = Null
+		}
+		for i, ex := range exprRow {
+			v, err := evalExpr(ex, ctx)
+			if err != nil {
+				return nil, err
+			}
+			full[positions[i]] = v
+		}
+		if err := schema.CheckRow(full); err != nil {
+			return nil, err
+		}
+		if schema.PKIdx >= 0 {
+			key := keyString(full[schema.PKIdx])
+			if err := t.lockRow(tbl, key, LockX); err != nil {
+				return nil, err
+			}
+			if _, dup := tbl.lookupPK(full[schema.PKIdx]); dup {
+				return nil, fmt.Errorf("%w: %s=%s in %s", ErrDuplicateKey, schema.Cols[schema.PKIdx].Name, full[schema.PKIdx], s.Table)
+			}
+			e.record(t, true, tbl.qname+":"+key)
+		} else {
+			e.record(t, true, tbl.qname)
+		}
+		for i, c := range schema.Cols {
+			if c.Unique && !c.PrimaryKey {
+				if dup := tbl.uniqueViolation(i, full[i]); dup {
+					return nil, fmt.Errorf("%w: %s=%s in %s", ErrDuplicateKey, c.Name, full[i], s.Table)
+				}
+			}
+		}
+		rowID := tbl.allocRowID()
+		tbl.insertRowPhysical(rowID, full)
+		t.logUndo(undoRec{table: tbl, kind: undoInsert, rowID: rowID})
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// --- UPDATE / DELETE --------------------------------------------------------
+
+func (e *Engine) execUpdate(t *Txn, s *UpdateStmt, params []Value) (*Result, error) {
+	tbl, err := e.Table(t.db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.schema
+
+	setIdx := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		idx := schema.ColIndex(a.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, a.Col)
+		}
+		setIdx[i] = idx
+	}
+
+	bindings := bindingsFor(schema, s.Table)
+	targets, err := e.writeTargets(t, tbl, s.Where, params, bindings)
+	if err != nil {
+		return nil, err
+	}
+
+	affected := 0
+	for _, target := range targets {
+		ctx := &evalCtx{bindings: bindings, row: target.row, params: params}
+		newRow := target.row.Clone()
+		for i, a := range s.Set {
+			v, err := evalExpr(a.Expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setIdx[i]] = v
+		}
+		if err := schema.CheckRow(newRow); err != nil {
+			return nil, err
+		}
+		if schema.PKIdx >= 0 {
+			oldKey := keyString(target.row[schema.PKIdx])
+			newKey := keyString(newRow[schema.PKIdx])
+			if oldKey != newKey {
+				if err := t.lockRow(tbl, newKey, LockX); err != nil {
+					return nil, err
+				}
+				if _, dup := tbl.lookupPK(newRow[schema.PKIdx]); dup {
+					return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, newRow[schema.PKIdx])
+				}
+				e.record(t, true, tbl.qname+":"+newKey)
+			}
+		}
+		tbl.updateRowPhysical(target.rowID, newRow)
+		t.logUndo(undoRec{table: tbl, kind: undoUpdate, rowID: target.rowID, before: target.row})
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (e *Engine) execDelete(t *Txn, s *DeleteStmt, params []Value) (*Result, error) {
+	tbl, err := e.Table(t.db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	bindings := bindingsFor(tbl.schema, s.Table)
+	targets, err := e.writeTargets(t, tbl, s.Where, params, bindings)
+	if err != nil {
+		return nil, err
+	}
+	for _, target := range targets {
+		tbl.deleteRowPhysical(target.rowID)
+		t.logUndo(undoRec{table: tbl, kind: undoDelete, rowID: target.rowID, before: target.row})
+	}
+	return &Result{Affected: len(targets)}, nil
+}
+
+// writeTarget is one row selected for modification, captured after its X
+// lock was acquired.
+type writeTarget struct {
+	rowID uint64
+	row   Row
+}
+
+// writeTargets locks and returns the rows matched by where. Point accesses
+// (primary-key equality) lock just the one key; otherwise candidates are
+// found by scan or secondary index, X-locked, re-fetched and re-checked.
+func (e *Engine) writeTargets(t *Txn, tbl *Table, where Expr, params []Value, bindings []colBinding) ([]writeTarget, error) {
+	schema := tbl.schema
+	if schema.PKIdx < 0 {
+		// No row identity: whole-table X lock, then scan.
+		if err := t.lockTable(tbl, LockX); err != nil {
+			return nil, err
+		}
+		e.record(t, true, tbl.qname)
+		return e.collectByScan(t, tbl, where, params, bindings, false)
+	}
+	if err := t.lockTable(tbl, LockIX); err != nil {
+		return nil, err
+	}
+	// Point write?
+	if pkVal, residual, ok := pkEquality(where, schema, params); ok {
+		key := keyString(pkVal)
+		if err := t.lockRow(tbl, key, LockX); err != nil {
+			return nil, err
+		}
+		e.record(t, true, tbl.qname+":"+key)
+		rowID, found := tbl.lookupPK(pkVal)
+		if !found {
+			return nil, nil
+		}
+		row, found := tbl.getRow(rowID)
+		if !found {
+			return nil, nil
+		}
+		if residual != nil {
+			match, err := predTrue(residual, &evalCtx{bindings: bindings, row: row, params: params})
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				return nil, nil
+			}
+		}
+		return []writeTarget{{rowID: rowID, row: row}}, nil
+	}
+	return e.collectByScan(t, tbl, where, params, bindings, true)
+}
+
+// collectByScan finds matching rows via full scan, then (if lockRows) locks
+// each one exclusively and re-validates the predicate after the lock.
+func (e *Engine) collectByScan(t *Txn, tbl *Table, where Expr, params []Value, bindings []colBinding, lockRows bool) ([]writeTarget, error) {
+	type candidate struct {
+		rowID uint64
+		key   string
+	}
+	var cands []candidate
+	var scanErr error
+	tbl.scan(func(rowID uint64, r Row) bool {
+		if where != nil {
+			match, err := predTrue(where, &evalCtx{bindings: bindings, row: r, params: params})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !match {
+				return true
+			}
+		}
+		key := ""
+		if tbl.schema.PKIdx >= 0 {
+			key = keyString(r[tbl.schema.PKIdx])
+		}
+		cands = append(cands, candidate{rowID: rowID, key: key})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	var out []writeTarget
+	for _, c := range cands {
+		if lockRows {
+			if err := t.lockRow(tbl, c.key, LockX); err != nil {
+				return nil, err
+			}
+			e.record(t, true, tbl.qname+":"+c.key)
+		}
+		row, found := tbl.getRow(c.rowID)
+		if !found {
+			continue
+		}
+		if where != nil {
+			match, err := predTrue(where, &evalCtx{bindings: bindings, row: row, params: params})
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				continue
+			}
+		}
+		out = append(out, writeTarget{rowID: c.rowID, row: row})
+	}
+	return out, nil
+}
+
+// --- SELECT -----------------------------------------------------------------
+
+func (e *Engine) execSelect(t *Txn, s *SelectStmt, params []Value) (*Result, error) {
+	if s.From == nil {
+		// SELECT without FROM: evaluate items once against an empty row.
+		ctx := &evalCtx{params: params}
+		res := &Result{}
+		var row Row
+		for _, item := range s.Items {
+			if item.Star {
+				return nil, fmt.Errorf("sqldb: SELECT * requires a FROM clause")
+			}
+			v, err := evalExpr(item.Expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			res.Cols = append(res.Cols, itemName(item))
+		}
+		res.Rows = []Row{row}
+		return res, nil
+	}
+
+	rows, bindings, err := e.selectSource(t, s, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSelect(s, bindings); err != nil {
+		return nil, err
+	}
+	return project(s, rows, bindings, params)
+}
+
+// validateSelect resolves every column reference in the statement against
+// the source bindings, so references to unknown or ambiguous columns fail
+// even when the source produced no rows.
+func validateSelect(s *SelectStmt, bindings []colBinding) error {
+	aliases := make(map[string]bool)
+	for _, item := range s.Items {
+		if item.Alias != "" {
+			aliases[lower(item.Alias)] = true
+		}
+	}
+	var check func(e Expr) error
+	check = func(e Expr) error {
+		switch ex := e.(type) {
+		case nil:
+			return nil
+		case *ColumnExpr:
+			switch resolveBinding(bindings, ex) {
+			case -1:
+				return fmt.Errorf("%w: %s", ErrNoColumn, ex.Col)
+			case -2:
+				return errAmbiguous(ex.Col)
+			}
+			return nil
+		case *BinaryExpr:
+			if err := check(ex.L); err != nil {
+				return err
+			}
+			return check(ex.R)
+		case *UnaryExpr:
+			return check(ex.E)
+		case *InExpr:
+			if err := check(ex.E); err != nil {
+				return err
+			}
+			for _, l := range ex.List {
+				if err := check(l); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *BetweenExpr:
+			if err := check(ex.E); err != nil {
+				return err
+			}
+			if err := check(ex.Lo); err != nil {
+				return err
+			}
+			return check(ex.Hi)
+		case *LikeExpr:
+			if err := check(ex.E); err != nil {
+				return err
+			}
+			return check(ex.Pattern)
+		case *IsNullExpr:
+			return check(ex.E)
+		case *AggExpr:
+			if ex.E != nil {
+				return check(ex.E)
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	for _, item := range s.Items {
+		if item.Star {
+			continue
+		}
+		if err := check(item.Expr); err != nil {
+			return err
+		}
+	}
+	if err := check(s.Where); err != nil {
+		return err
+	}
+	for _, g := range s.GroupBy {
+		if err := check(g); err != nil {
+			return err
+		}
+	}
+	if err := check(s.Having); err != nil {
+		return err
+	}
+	for _, o := range s.OrderBy {
+		// An unqualified ORDER BY name may refer to a projected alias.
+		if ce, ok := o.Expr.(*ColumnExpr); ok && ce.Table == "" && aliases[lower(ce.Col)] {
+			continue
+		}
+		if err := check(o.Expr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectSource produces the filtered, joined source rows and their column
+// bindings, acquiring read locks along the way.
+func (e *Engine) selectSource(t *Txn, s *SelectStmt, params []Value) ([]Row, []colBinding, error) {
+	baseTbl, err := e.Table(t.db, s.From.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseBind := bindingsFor(baseTbl.schema, s.From.Name())
+
+	if len(s.Joins) == 0 {
+		rows, err := e.readTableRows(t, baseTbl, s.From.Name(), s.Where, params, baseBind)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, baseBind, nil
+	}
+
+	// Joined query: read each table under a shared table lock and combine.
+	if err := t.lockTable(baseTbl, LockS); err != nil {
+		return nil, nil, err
+	}
+	e.record(t, false, baseTbl.qname)
+	current := scanAll(baseTbl)
+	bindings := baseBind
+
+	for _, j := range s.Joins {
+		jt, err := e.Table(t.db, j.Table.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := t.lockTable(jt, LockS); err != nil {
+			return nil, nil, err
+		}
+		e.record(t, false, jt.qname)
+		right := scanAll(jt)
+		rightBind := bindingsFor(jt.schema, j.Table.Name())
+		current, err = joinRows(current, bindings, right, rightBind, j, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		bindings = append(append([]colBinding{}, bindings...), rightBind...)
+	}
+
+	if s.Where != nil {
+		filtered := current[:0]
+		for _, r := range current {
+			match, err := predTrue(s.Where, &evalCtx{bindings: bindings, row: r, params: params})
+			if err != nil {
+				return nil, nil, err
+			}
+			if match {
+				filtered = append(filtered, r)
+			}
+		}
+		current = filtered
+	}
+	return current, bindings, nil
+}
+
+// readTableRows reads the rows of one table matching where, choosing among
+// point access (PK equality: IS + row S lock), secondary-index equality
+// (IS + row S locks on matches), and full scan (table S lock).
+func (e *Engine) readTableRows(t *Txn, tbl *Table, alias string, where Expr, params []Value, bindings []colBinding) ([]Row, error) {
+	schema := tbl.schema
+
+	if schema.PKIdx >= 0 {
+		if pkVal, residual, ok := pkEquality(where, schema, params); ok {
+			if err := t.lockTable(tbl, LockIS); err != nil {
+				return nil, err
+			}
+			key := keyString(pkVal)
+			if err := t.lockRow(tbl, key, LockS); err != nil {
+				return nil, err
+			}
+			e.record(t, false, tbl.qname+":"+key)
+			rowID, found := tbl.lookupPK(pkVal)
+			if !found {
+				return nil, nil
+			}
+			row, found := tbl.getRow(rowID)
+			if !found {
+				return nil, nil
+			}
+			if residual != nil {
+				match, err := predTrue(residual, &evalCtx{bindings: bindings, row: row, params: params})
+				if err != nil {
+					return nil, err
+				}
+				if !match {
+					return nil, nil
+				}
+			}
+			return []Row{row}, nil
+		}
+		if col, val, residual, ok := indexEquality(where, tbl, params); ok {
+			if err := t.lockTable(tbl, LockIS); err != nil {
+				return nil, err
+			}
+			ids, _ := tbl.lookupIndex(col, val)
+			var out []Row
+			for _, id := range ids {
+				row, found := tbl.getRow(id)
+				if !found {
+					continue
+				}
+				key := keyString(row[schema.PKIdx])
+				if err := t.lockRow(tbl, key, LockS); err != nil {
+					return nil, err
+				}
+				e.record(t, false, tbl.qname+":"+key)
+				// Re-fetch after locking; the row may have changed.
+				row, found = tbl.getRow(id)
+				if !found {
+					continue
+				}
+				if !Equal(row[tbl.schema.ColIndex(col)], val) && !(row[tbl.schema.ColIndex(col)].numeric() && val.numeric() && Compare(row[tbl.schema.ColIndex(col)], val) == 0) {
+					continue
+				}
+				if residual != nil {
+					match, err := predTrue(residual, &evalCtx{bindings: bindings, row: row, params: params})
+					if err != nil {
+						return nil, err
+					}
+					if !match {
+						continue
+					}
+				}
+				out = append(out, row)
+			}
+			return out, nil
+		}
+	}
+
+	// Full scan under a shared table lock.
+	if err := t.lockTable(tbl, LockS); err != nil {
+		return nil, err
+	}
+	e.record(t, false, tbl.qname)
+	var out []Row
+	var scanErr error
+	tbl.scan(func(_ uint64, r Row) bool {
+		if where != nil {
+			match, err := predTrue(where, &evalCtx{bindings: bindings, row: r, params: params})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !match {
+				return true
+			}
+		}
+		out = append(out, r)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// scanAll returns every live row of a table (caller holds a table S lock).
+func scanAll(tbl *Table) []Row {
+	var out []Row
+	tbl.scan(func(_ uint64, r Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// joinRows combines left rows with right rows under the join clause. When
+// the ON predicate is a simple column equality it builds a hash table on the
+// right side; otherwise it falls back to a nested loop.
+func joinRows(left []Row, leftBind []colBinding, right []Row, rightBind []colBinding, j JoinClause, params []Value) ([]Row, error) {
+	combined := append(append([]colBinding{}, leftBind...), rightBind...)
+
+	// Try hash join: ON l.col = r.col with one side in each input.
+	if eq, ok := j.On.(*BinaryExpr); ok && eq.Op == OpEq {
+		lc, lok := eq.L.(*ColumnExpr)
+		rc, rok := eq.R.(*ColumnExpr)
+		if lok && rok {
+			li := resolveBinding(leftBind, lc)
+			ri := resolveBinding(rightBind, rc)
+			if li < 0 || ri < 0 {
+				// Maybe written in the other order.
+				li = resolveBinding(leftBind, rc)
+				ri = resolveBinding(rightBind, lc)
+			}
+			if li >= 0 && ri >= 0 {
+				ht := make(map[string][]Row, len(right))
+				for _, rr := range right {
+					if rr[ri].IsNull() {
+						continue
+					}
+					k := keyString(rr[ri])
+					ht[k] = append(ht[k], rr)
+				}
+				var out []Row
+				for _, lr := range left {
+					matched := false
+					if !lr[li].IsNull() {
+						for _, rr := range ht[keyString(lr[li])] {
+							out = append(out, concatRows(lr, rr))
+							matched = true
+						}
+					}
+					if !matched && j.Left {
+						out = append(out, concatRows(lr, nullRow(len(rightBind))))
+					}
+				}
+				return out, nil
+			}
+		}
+	}
+
+	// Nested loop with full predicate evaluation.
+	var out []Row
+	for _, lr := range left {
+		matched := false
+		for _, rr := range right {
+			joined := concatRows(lr, rr)
+			match, err := predTrue(j.On, &evalCtx{bindings: combined, row: joined, params: params})
+			if err != nil {
+				return nil, err
+			}
+			if match {
+				out = append(out, joined)
+				matched = true
+			}
+		}
+		if !matched && j.Left {
+			out = append(out, concatRows(lr, nullRow(len(rightBind))))
+		}
+	}
+	return out, nil
+}
+
+func concatRows(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+func nullRow(n int) Row {
+	r := make(Row, n)
+	for i := range r {
+		r[i] = Null
+	}
+	return r
+}
+
+// project applies grouping, aggregation, projection, DISTINCT, ORDER BY and
+// LIMIT to the source rows.
+func project(s *SelectStmt, rows []Row, bindings []colBinding, params []Value) (*Result, error) {
+	items, cols, err := expandStars(s.Items, bindings)
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := len(s.GroupBy) > 0 || anyAggregate(items) || s.Having != nil
+
+	type outRow struct {
+		row  Row
+		keys Row // ORDER BY sort keys
+	}
+	var outs []outRow
+
+	if grouped {
+		groups := make(map[string][]Row)
+		var order []string
+		if len(s.GroupBy) == 0 {
+			groups[""] = rows
+			order = []string{""}
+		} else {
+			for _, r := range rows {
+				ctx := &evalCtx{bindings: bindings, row: r, params: params}
+				var kb strings.Builder
+				for _, g := range s.GroupBy {
+					v, err := evalExpr(g, ctx)
+					if err != nil {
+						return nil, err
+					}
+					kb.WriteString(keyString(v))
+					kb.WriteByte('\x00')
+				}
+				k := kb.String()
+				if _, seen := groups[k]; !seen {
+					order = append(order, k)
+				}
+				groups[k] = append(groups[k], r)
+			}
+		}
+		for _, k := range order {
+			g := groups[k]
+			if len(g) == 0 && len(s.GroupBy) > 0 {
+				continue
+			}
+			var rep Row
+			if len(g) > 0 {
+				rep = g[0]
+			} else {
+				rep = nullRow(len(bindings))
+			}
+			ctx := &evalCtx{bindings: bindings, row: rep, params: params, groupRows: g, grouped: true}
+			if s.Having != nil {
+				match, err := predTrue(s.Having, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !match {
+					continue
+				}
+			}
+			var pr Row
+			for _, item := range items {
+				v, err := evalExpr(item.Expr, ctx)
+				if err != nil {
+					return nil, err
+				}
+				pr = append(pr, v)
+			}
+			keys, err := orderKeys(s.OrderBy, ctx, items, pr)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, outRow{row: pr, keys: keys})
+		}
+	} else {
+		for _, r := range rows {
+			ctx := &evalCtx{bindings: bindings, row: r, params: params}
+			var pr Row
+			for _, item := range items {
+				v, err := evalExpr(item.Expr, ctx)
+				if err != nil {
+					return nil, err
+				}
+				pr = append(pr, v)
+			}
+			keys, err := orderKeys(s.OrderBy, ctx, items, pr)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, outRow{row: pr, keys: keys})
+		}
+	}
+
+	if s.Distinct {
+		seen := make(map[string]bool, len(outs))
+		dedup := outs[:0]
+		for _, o := range outs {
+			var kb strings.Builder
+			for _, v := range o.row {
+				kb.WriteString(keyString(v))
+				kb.WriteByte('\x00')
+			}
+			if !seen[kb.String()] {
+				seen[kb.String()] = true
+				dedup = append(dedup, o)
+			}
+		}
+		outs = dedup
+	}
+
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(outs, func(i, j int) bool {
+			for k, item := range s.OrderBy {
+				c := Compare(outs[i].keys[k], outs[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if item.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	if s.Offset > 0 {
+		if s.Offset >= len(outs) {
+			outs = nil
+		} else {
+			outs = outs[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(outs) {
+		outs = outs[:s.Limit]
+	}
+
+	res := &Result{Cols: cols, Rows: make([]Row, len(outs))}
+	for i, o := range outs {
+		res.Rows[i] = o.row
+	}
+	return res, nil
+}
+
+// orderKeys evaluates the ORDER BY expressions for one output row. An ORDER
+// BY expression that names a projected alias uses the projected value.
+func orderKeys(order []OrderItem, ctx *evalCtx, items []SelectItem, projected Row) (Row, error) {
+	if len(order) == 0 {
+		return nil, nil
+	}
+	keys := make(Row, len(order))
+	for i, o := range order {
+		if ce, ok := o.Expr.(*ColumnExpr); ok && ce.Table == "" {
+			found := false
+			for j, item := range items {
+				if strings.EqualFold(item.Alias, ce.Col) {
+					keys[i] = projected[j]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		v, err := evalExpr(o.Expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// expandStars replaces * and alias.* items with explicit column references
+// and computes the output column names.
+func expandStars(items []SelectItem, bindings []colBinding) ([]SelectItem, []string, error) {
+	var out []SelectItem
+	var cols []string
+	for _, item := range items {
+		if !item.Star {
+			out = append(out, item)
+			cols = append(cols, itemName(item))
+			continue
+		}
+		matched := false
+		for _, b := range bindings {
+			if item.StarTable != "" && !strings.EqualFold(item.StarTable, b.table) {
+				continue
+			}
+			out = append(out, SelectItem{Expr: &ColumnExpr{Table: b.table, Col: b.col}})
+			cols = append(cols, b.col)
+			matched = true
+		}
+		if !matched {
+			return nil, nil, fmt.Errorf("%w: no columns for %s.*", ErrNoColumn, item.StarTable)
+		}
+	}
+	return out, cols, nil
+}
+
+func itemName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if ce, ok := item.Expr.(*ColumnExpr); ok {
+		return ce.Col
+	}
+	if ag, ok := item.Expr.(*AggExpr); ok {
+		return strings.ToLower(ag.Fn.String())
+	}
+	return "expr"
+}
+
+func anyAggregate(items []SelectItem) bool {
+	for _, item := range items {
+		if item.Expr != nil && exprHasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch ex := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return exprHasAggregate(ex.L) || exprHasAggregate(ex.R)
+	case *UnaryExpr:
+		return exprHasAggregate(ex.E)
+	case *InExpr:
+		if exprHasAggregate(ex.E) {
+			return true
+		}
+		for _, l := range ex.List {
+			if exprHasAggregate(l) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return exprHasAggregate(ex.E) || exprHasAggregate(ex.Lo) || exprHasAggregate(ex.Hi)
+	case *LikeExpr:
+		return exprHasAggregate(ex.E) || exprHasAggregate(ex.Pattern)
+	case *IsNullExpr:
+		return exprHasAggregate(ex.E)
+	}
+	return false
+}
+
+// --- access-path analysis ---------------------------------------------------
+
+// pkEquality detects a top-level "pk = constant" conjunct in where. It
+// returns the constant, the residual predicate (other conjuncts, nil if
+// none), and whether the pattern matched.
+func pkEquality(where Expr, schema *Schema, params []Value) (Value, Expr, bool) {
+	if where == nil || schema.PKIdx < 0 {
+		return Null, nil, false
+	}
+	pkName := schema.Cols[schema.PKIdx].Name
+	conjuncts := splitAnd(where)
+	for i, c := range conjuncts {
+		if v, ok := colEqConst(c, pkName, params); ok {
+			rest := joinAnd(append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...))
+			return v, rest, true
+		}
+	}
+	return Null, nil, false
+}
+
+// indexEquality detects a top-level "col = constant" conjunct where col has
+// a secondary index.
+func indexEquality(where Expr, tbl *Table, params []Value) (string, Value, Expr, bool) {
+	if where == nil {
+		return "", Null, nil, false
+	}
+	conjuncts := splitAnd(where)
+	for i, c := range conjuncts {
+		be, ok := c.(*BinaryExpr)
+		if !ok || be.Op != OpEq {
+			continue
+		}
+		ce, val, ok := eqSides(be, params)
+		if !ok {
+			continue
+		}
+		if tbl.hasIndex(lower(ce.Col)) {
+			rest := joinAnd(append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...))
+			return lower(ce.Col), val, rest, true
+		}
+	}
+	return "", Null, nil, false
+}
+
+// colEqConst matches "col = const" (or reversed) for the named column.
+func colEqConst(e Expr, col string, params []Value) (Value, bool) {
+	be, ok := e.(*BinaryExpr)
+	if !ok || be.Op != OpEq {
+		return Null, false
+	}
+	ce, val, ok := eqSides(be, params)
+	if !ok {
+		return Null, false
+	}
+	if strings.EqualFold(ce.Col, col) {
+		return val, true
+	}
+	return Null, false
+}
+
+// eqSides extracts (column, constant) from an equality in either order.
+func eqSides(be *BinaryExpr, params []Value) (*ColumnExpr, Value, bool) {
+	if ce, ok := be.L.(*ColumnExpr); ok {
+		if v, ok := constVal(be.R, params); ok {
+			return ce, v, true
+		}
+	}
+	if ce, ok := be.R.(*ColumnExpr); ok {
+		if v, ok := constVal(be.L, params); ok {
+			return ce, v, true
+		}
+	}
+	return nil, Null, false
+}
+
+func constVal(e Expr, params []Value) (Value, bool) {
+	switch ex := e.(type) {
+	case *LiteralExpr:
+		return ex.Val, true
+	case *ParamExpr:
+		if ex.Index < len(params) {
+			return params[ex.Index], true
+		}
+		return Null, false
+	case *UnaryExpr:
+		if ex.Op == OpNeg {
+			if v, ok := constVal(ex.E, params); ok && v.numeric() {
+				if v.Typ == TypeInt {
+					return NewInt(-v.Int), true
+				}
+				return NewFloat(-v.Float), true
+			}
+		}
+	}
+	return Null, false
+}
+
+func splitAnd(e Expr) []Expr {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == OpAnd {
+		return append(splitAnd(be.L), splitAnd(be.R)...)
+	}
+	return []Expr{e}
+}
+
+func joinAnd(es []Expr) Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &BinaryExpr{Op: OpAnd, L: out, R: e}
+	}
+	return out
+}
+
+// bindingsFor builds the column bindings of one table under an alias.
+func bindingsFor(schema *Schema, alias string) []colBinding {
+	out := make([]colBinding, len(schema.Cols))
+	for i, c := range schema.Cols {
+		out[i] = colBinding{table: lower(alias), col: lower(c.Name)}
+	}
+	return out
+}
+
+func resolveBinding(bindings []colBinding, ce *ColumnExpr) int {
+	match := -1
+	for i, b := range bindings {
+		if !strings.EqualFold(b.col, ce.Col) {
+			continue
+		}
+		if ce.Table != "" && !strings.EqualFold(b.table, ce.Table) {
+			continue
+		}
+		if match >= 0 {
+			return -2 // ambiguous
+		}
+		match = i
+	}
+	return match
+}
+
+// uniqueViolation reports whether value v already exists in column col.
+func (t *Table) uniqueViolation(col int, v Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	found := false
+	t.scan(func(_ uint64, r Row) bool {
+		if Equal(r[col], v) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// errAmbiguous wraps an ambiguous column reference.
+func errAmbiguous(col string) error {
+	return fmt.Errorf("%w: ambiguous column %s", ErrNoColumn, col)
+}

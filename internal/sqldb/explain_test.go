@@ -1,0 +1,82 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainAccessPaths(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (id INT PRIMARY KEY, cat TEXT, n INT)")
+	mustExec(t, e, "CREATE INDEX idx_cat ON t (cat)")
+	mustExec(t, e, "INSERT INTO t VALUES (1, 'a', 1), (2, 'b', 2)")
+
+	cases := []struct {
+		sql    string
+		access string
+	}{
+		{"EXPLAIN SELECT * FROM t WHERE id = 1", "point"},
+		{"EXPLAIN SELECT * FROM t WHERE cat = 'a'", "index"},
+		{"EXPLAIN SELECT * FROM t WHERE n > 1", "scan"},
+		{"EXPLAIN SELECT * FROM t", "scan"},
+		{"EXPLAIN UPDATE t SET n = 0 WHERE id = 2", "point"},
+		{"EXPLAIN DELETE FROM t WHERE n < 0", "scan"},
+		{"EXPLAIN INSERT INTO t VALUES (3, 'c', 3)", "insert"},
+	}
+	for _, c := range cases {
+		res := mustExec(t, e, c.sql)
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s: no plan rows", c.sql)
+		}
+		if got := res.Rows[0][1].Str; got != c.access {
+			t.Errorf("%s: access = %q, want %q", c.sql, got, c.access)
+		}
+	}
+}
+
+func TestExplainJoinStrategies(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE a (id INT PRIMARY KEY, v INT)")
+	mustExec(t, e, "CREATE TABLE b (id INT PRIMARY KEY, aid INT)")
+
+	res := mustExec(t, e, "EXPLAIN SELECT * FROM a JOIN b ON b.aid = a.id")
+	if len(res.Rows) != 2 {
+		t.Fatalf("plan rows = %d", len(res.Rows))
+	}
+	if res.Rows[1][1].Str != "hash-join" {
+		t.Errorf("equality join strategy = %q", res.Rows[1][1].Str)
+	}
+	res = mustExec(t, e, "EXPLAIN SELECT * FROM a JOIN b ON b.aid < a.id")
+	if res.Rows[1][1].Str != "nested-loop" {
+		t.Errorf("inequality join strategy = %q", res.Rows[1][1].Str)
+	}
+	if out := ExplainString(res); !strings.Contains(out, "nested-loop") {
+		t.Errorf("ExplainString output: %q", out)
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (id INT PRIMARY KEY)")
+	mustExec(t, e, "EXPLAIN INSERT INTO t VALUES (1)")
+	res := mustExec(t, e, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("EXPLAIN INSERT inserted rows: %v", res.Rows[0][0])
+	}
+	mustExec(t, e, "INSERT INTO t VALUES (1)")
+	mustExec(t, e, "EXPLAIN DELETE FROM t WHERE id = 1")
+	res = mustExec(t, e, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("EXPLAIN DELETE deleted rows: %v", res.Rows[0][0])
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := newTestDB(t)
+	if _, err := e.Exec("app", "EXPLAIN SELECT * FROM missing"); err == nil {
+		t.Error("EXPLAIN over missing table succeeded")
+	}
+	if _, err := e.Exec("app", "EXPLAIN BEGIN"); err == nil {
+		t.Error("EXPLAIN BEGIN succeeded")
+	}
+}

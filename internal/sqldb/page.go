@@ -1,0 +1,133 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Rows are stored on disk-format pages: a compact binary encoding of up to
+// pageCapacity (rowID, row) pairs. The buffer pool caches *decoded* pages;
+// serving a read from an encoded page pays a real decode cost (plus an
+// optional simulated disk latency), which is what makes buffer-pool locality
+// — and therefore the paper's read-routing options — performance-visible.
+
+// pageCapacity is the number of row slots per page.
+const pageCapacity = 64
+
+// encodeRow appends the binary encoding of a row to buf.
+func encodeRow(buf []byte, r Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, v := range r {
+		buf = append(buf, byte(v.Typ))
+		switch v.Typ {
+		case TypeNull:
+		case TypeInt:
+			buf = binary.AppendVarint(buf, v.Int)
+		case TypeFloat:
+			buf = binary.AppendUvarint(buf, math.Float64bits(v.Float))
+		case TypeText:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+			buf = append(buf, v.Str...)
+		case TypeBool:
+			if v.Bool {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+// decodeRow decodes one row from buf, returning the row and remaining bytes.
+func decodeRow(buf []byte) (Row, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("sqldb: corrupt page: bad row arity")
+	}
+	buf = buf[sz:]
+	r := make(Row, n)
+	for i := range r {
+		if len(buf) == 0 {
+			return nil, nil, fmt.Errorf("sqldb: corrupt page: truncated row")
+		}
+		typ := Type(buf[0])
+		buf = buf[1:]
+		switch typ {
+		case TypeNull:
+			r[i] = Null
+		case TypeInt:
+			v, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, nil, fmt.Errorf("sqldb: corrupt page: bad int")
+			}
+			buf = buf[sz:]
+			r[i] = NewInt(v)
+		case TypeFloat:
+			bits, sz := binary.Uvarint(buf)
+			if sz <= 0 {
+				return nil, nil, fmt.Errorf("sqldb: corrupt page: bad float")
+			}
+			buf = buf[sz:]
+			r[i] = NewFloat(math.Float64frombits(bits))
+		case TypeText:
+			l, sz := binary.Uvarint(buf)
+			if sz <= 0 || uint64(len(buf)-sz) < l {
+				return nil, nil, fmt.Errorf("sqldb: corrupt page: bad string")
+			}
+			buf = buf[sz:]
+			r[i] = NewText(string(buf[:l]))
+			buf = buf[l:]
+		case TypeBool:
+			if len(buf) == 0 {
+				return nil, nil, fmt.Errorf("sqldb: corrupt page: bad bool")
+			}
+			r[i] = NewBool(buf[0] != 0)
+			buf = buf[1:]
+		default:
+			return nil, nil, fmt.Errorf("sqldb: corrupt page: unknown type %d", typ)
+		}
+	}
+	return r, buf, nil
+}
+
+// pageSlot is one occupied slot on a decoded page.
+type pageSlot struct {
+	rowID uint64
+	row   Row
+}
+
+// encodePage serialises the occupied slots of a page.
+func encodePage(slots []pageSlot) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(slots)))
+	for _, s := range slots {
+		buf = binary.AppendUvarint(buf, s.rowID)
+		buf = encodeRow(buf, s.row)
+	}
+	return buf
+}
+
+// decodePage parses a page encoding back into slots.
+func decodePage(buf []byte) ([]pageSlot, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("sqldb: corrupt page: bad slot count")
+	}
+	buf = buf[sz:]
+	slots := make([]pageSlot, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("sqldb: corrupt page: bad row id")
+		}
+		buf = buf[sz:]
+		row, rest, err := decodeRow(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = rest
+		slots = append(slots, pageSlot{rowID: id, row: row})
+	}
+	return slots, nil
+}

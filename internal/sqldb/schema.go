@@ -1,0 +1,143 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name       string
+	Typ        Type
+	PrimaryKey bool
+	NotNull    bool
+	Unique     bool
+}
+
+// Schema is the immutable description of a table: its name, columns, and
+// primary-key column position.
+type Schema struct {
+	Table  string
+	Cols   []Column
+	PKIdx  int // index into Cols of the primary key; -1 when the table has none
+	colIdx map[string]int
+}
+
+// NewSchema builds a schema from column definitions, validating names and
+// locating the primary key.
+func NewSchema(table string, cols []Column) (*Schema, error) {
+	if table == "" {
+		return nil, fmt.Errorf("sqldb: empty table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sqldb: table %s has no columns", table)
+	}
+	s := &Schema{Table: table, Cols: cols, PKIdx: -1, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := s.colIdx[lc]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate column %s in table %s", c.Name, table)
+		}
+		s.colIdx[lc] = i
+		if c.PrimaryKey {
+			if s.PKIdx >= 0 {
+				return nil, fmt.Errorf("sqldb: table %s has multiple primary keys", table)
+			}
+			s.PKIdx = i
+		}
+	}
+	return s, nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColNames returns the column names in declaration order.
+func (s *Schema) ColNames() []string {
+	names := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// CheckRow validates a full-width row against the schema: arity, NOT NULL,
+// and type compatibility (INT values are accepted into FLOAT columns and are
+// widened in place).
+func (s *Schema) CheckRow(r Row) error {
+	if len(r) != len(s.Cols) {
+		return fmt.Errorf("%w: table %s expects %d values, got %d", ErrTypeMismatch, s.Table, len(s.Cols), len(r))
+	}
+	for i, v := range r {
+		c := s.Cols[i]
+		if v.IsNull() {
+			if c.NotNull {
+				return fmt.Errorf("%w: column %s.%s is NOT NULL", ErrTypeMismatch, s.Table, c.Name)
+			}
+			continue
+		}
+		switch c.Typ {
+		case TypeInt:
+			if v.Typ != TypeInt {
+				return fmt.Errorf("%w: column %s.%s wants INT, got %s", ErrTypeMismatch, s.Table, c.Name, v.Typ)
+			}
+		case TypeFloat:
+			if v.Typ == TypeInt {
+				r[i] = NewFloat(float64(v.Int))
+			} else if v.Typ != TypeFloat {
+				return fmt.Errorf("%w: column %s.%s wants FLOAT, got %s", ErrTypeMismatch, s.Table, c.Name, v.Typ)
+			}
+		case TypeText:
+			if v.Typ != TypeText {
+				return fmt.Errorf("%w: column %s.%s wants TEXT, got %s", ErrTypeMismatch, s.Table, c.Name, v.Typ)
+			}
+		case TypeBool:
+			if v.Typ != TypeBool {
+				return fmt.Errorf("%w: column %s.%s wants BOOL, got %s", ErrTypeMismatch, s.Table, c.Name, v.Typ)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := make([]Column, len(s.Cols))
+	copy(cols, s.Cols)
+	out, _ := NewSchema(s.Table, cols)
+	return out
+}
+
+// DDL renders the schema as a CREATE TABLE statement, usable to recreate the
+// table on another engine (the dump tool uses this).
+func (s *Schema) DDL() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(s.Table)
+	sb.WriteString(" (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Typ.String())
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		} else {
+			if c.NotNull {
+				sb.WriteString(" NOT NULL")
+			}
+			if c.Unique {
+				sb.WriteString(" UNIQUE")
+			}
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

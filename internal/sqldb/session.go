@@ -1,0 +1,89 @@
+package sqldb
+
+import "fmt"
+
+// Session is a stateful connection to one database of an engine, handling
+// SQL-level transaction control: BEGIN opens a transaction, COMMIT/ROLLBACK
+// close it, and any other statement executes inside the open transaction or
+// autocommits. This mirrors how a driver connection to the paper's MySQL
+// instances behaves. A Session must be used from one goroutine.
+type Session struct {
+	engine *Engine
+	db     string
+	txn    *Txn
+}
+
+// Session opens a session on the named database.
+func (e *Engine) Session(db string) *Session {
+	return &Session{engine: e, db: db}
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.txn != nil }
+
+// Exec executes one statement with session transaction semantics.
+func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *BeginStmt:
+		if s.txn != nil {
+			return nil, fmt.Errorf("sqldb: transaction already open")
+		}
+		txn, err := s.engine.Begin(s.db)
+		if err != nil {
+			return nil, err
+		}
+		s.txn = txn
+		return &Result{}, nil
+	case *CommitStmt:
+		if s.txn == nil {
+			return nil, fmt.Errorf("sqldb: no open transaction")
+		}
+		err := s.txn.Commit()
+		s.txn = nil
+		return &Result{}, err
+	case *RollbackStmt:
+		if s.txn == nil {
+			return nil, fmt.Errorf("sqldb: no open transaction")
+		}
+		err := s.txn.Rollback()
+		s.txn = nil
+		return &Result{}, err
+	}
+
+	if s.txn != nil {
+		res, err := s.txn.ExecStmt(stmt, params...)
+		if err != nil && isAbortError(err) {
+			// The engine rolled the transaction back (deadlock victim or
+			// timeout); the session's transaction is gone.
+			s.txn = nil
+		}
+		return res, err
+	}
+
+	// Autocommit.
+	txn, err := s.engine.Begin(s.db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := txn.ExecStmt(stmt, params...)
+	if err != nil {
+		_ = txn.Rollback()
+		return nil, err
+	}
+	if err := txn.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	if s.txn != nil {
+		_ = s.txn.Rollback()
+		s.txn = nil
+	}
+}

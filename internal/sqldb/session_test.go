@@ -1,0 +1,118 @@
+package sqldb
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSessionAutocommit(t *testing.T) {
+	e := newTestDB(t)
+	s := e.Session("app")
+	if _, err := s.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO t VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec("SELECT v FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 10 {
+		t.Errorf("v = %v", res.Rows[0][0])
+	}
+	if s.InTransaction() {
+		t.Error("autocommit left a transaction open")
+	}
+}
+
+func TestSessionExplicitTransaction(t *testing.T) {
+	e := newTestDB(t)
+	s := e.Session("app")
+	mustSess := func(sql string) {
+		t.Helper()
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustSess("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustSess("BEGIN")
+	if !s.InTransaction() {
+		t.Fatal("BEGIN did not open a transaction")
+	}
+	mustSess("INSERT INTO t VALUES (1, 1)")
+	mustSess("INSERT INTO t VALUES (2, 2)")
+	mustSess("COMMIT")
+	if s.InTransaction() {
+		t.Fatal("COMMIT left the transaction open")
+	}
+	res, _ := s.Exec("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+
+	mustSess("BEGIN")
+	mustSess("DELETE FROM t WHERE id = 1")
+	mustSess("ROLLBACK")
+	res, _ = s.Exec("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("count after rollback = %v", res.Rows[0][0])
+	}
+}
+
+func TestSessionTransactionControlErrors(t *testing.T) {
+	e := newTestDB(t)
+	s := e.Session("app")
+	if _, err := s.Exec("COMMIT"); err == nil {
+		t.Error("COMMIT without BEGIN succeeded")
+	}
+	if _, err := s.Exec("ROLLBACK"); err == nil {
+		t.Error("ROLLBACK without BEGIN succeeded")
+	}
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("BEGIN"); err == nil {
+		t.Error("nested BEGIN succeeded")
+	}
+	s.Close()
+	if s.InTransaction() {
+		t.Error("Close left the transaction open")
+	}
+}
+
+func TestSessionDeadlockClearsTransaction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LockTimeout = 50 * time.Millisecond
+	e := NewEngine(cfg)
+	if err := e.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := e.Session("app"), e.Session("app")
+	if _, err := s1.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec("INSERT INTO t VALUES (1, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec("UPDATE t SET v = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s2.Exec("UPDATE t SET v = 2 WHERE id = 1")
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if s2.InTransaction() {
+		t.Error("aborted transaction still open in session")
+	}
+	if _, err := s1.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+}

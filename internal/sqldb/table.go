@@ -1,0 +1,463 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// rowLoc locates a row: either a sealed page slot or the open tail page.
+type rowLoc struct {
+	page int // -1 means the tail page
+	slot int
+}
+
+// index is a secondary (or unique) hash index on one column.
+type index struct {
+	name   string
+	col    int // column position
+	unique bool
+	m      map[string][]uint64 // key -> rowIDs
+}
+
+// Table holds the physical storage of one table: sealed encoded pages (the
+// "disk"), an open tail page of decoded rows, a primary-key index, and any
+// secondary indexes. Reads of sealed pages go through the engine's buffer
+// pool. The per-table mutex is a short-duration latch protecting physical
+// structures; transactional isolation is provided by the lock manager, not
+// by this mutex.
+type Table struct {
+	schema *Schema
+	engine *Engine
+	qname  string // qualified "db/table" name used for locks and pool keys
+
+	mu        sync.Mutex
+	pages     [][]byte // sealed, encoded
+	pageLive  []int    // live (non-deleted) slot count per sealed page
+	tail      []pageSlot
+	loc       map[uint64]rowLoc
+	pk        map[string]uint64 // pk key -> rowID; nil when no primary key
+	indexes   map[string]*index // by lower-cased column name
+	nextRowID uint64
+	liveRows  int
+	byteSize  int64
+	version   uint64 // bumped on every page rewrite, for pool coherence
+}
+
+func newTable(e *Engine, qname string, schema *Schema) *Table {
+	t := &Table{
+		schema:  schema,
+		engine:  e,
+		qname:   qname,
+		loc:     make(map[uint64]rowLoc),
+		indexes: make(map[string]*index),
+	}
+	if schema.PKIdx >= 0 {
+		t.pk = make(map[string]uint64)
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Table }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.liveRows
+}
+
+// ByteSize returns the approximate encoded size of the table in bytes.
+func (t *Table) ByteSize() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byteSize
+}
+
+// PageCount returns the number of sealed pages plus the open tail page.
+func (t *Table) PageCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.pages)
+	if len(t.tail) > 0 {
+		n++
+	}
+	return n
+}
+
+// keyString canonicalises a value for index keys: INT and FLOAT values that
+// compare equal must map to the same key.
+func keyString(v Value) string {
+	if v.Typ == TypeInt {
+		return NewFloat(float64(v.Int)).String()
+	}
+	return v.String()
+}
+
+// pkKey returns the primary-key index key of a row, or "" when the table has
+// no primary key.
+func (t *Table) pkKey(r Row) string {
+	if t.schema.PKIdx < 0 {
+		return ""
+	}
+	return keyString(r[t.schema.PKIdx])
+}
+
+// --- physical operations -------------------------------------------------
+//
+// The insert/delete/update *Physical methods mutate storage without any
+// transactional bookkeeping; they are used both by the executor (which has
+// already acquired locks and written undo records) and by the undo path
+// itself.
+
+// allocRowID reserves a fresh row ID.
+func (t *Table) allocRowID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextRowID++
+	return t.nextRowID
+}
+
+// insertRowPhysical places a row (with a pre-assigned ID) into storage and
+// maintains all indexes. The caller guarantees uniqueness was checked.
+func (t *Table) insertRowPhysical(rowID uint64, r Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tail = append(t.tail, pageSlot{rowID: rowID, row: r.Clone()})
+	t.loc[rowID] = rowLoc{page: -1, slot: len(t.tail) - 1}
+	if t.pk != nil {
+		t.pk[t.pkKey(r)] = rowID
+	}
+	for _, idx := range t.indexes {
+		k := keyString(r[idx.col])
+		idx.m[k] = append(idx.m[k], rowID)
+	}
+	t.liveRows++
+	t.byteSize += int64(len(encodeRow(nil, r)))
+	if len(t.tail) >= pageCapacity {
+		t.sealTail()
+	}
+}
+
+// sealTail encodes the tail page and appends it to the sealed pages. Called
+// with t.mu held.
+func (t *Table) sealTail() {
+	page := len(t.pages)
+	enc := encodePage(t.tail)
+	t.pages = append(t.pages, enc)
+	t.pageLive = append(t.pageLive, len(t.tail))
+	for i, s := range t.tail {
+		t.loc[s.rowID] = rowLoc{page: page, slot: i}
+	}
+	// Warm the pool with the decoded image we already have.
+	t.engine.pool.Put(t.pageKey(page), t.tail)
+	t.tail = nil
+}
+
+// pageKey builds the buffer-pool key of a sealed page. Called with t.mu held
+// or on an immutable version.
+func (t *Table) pageKey(page int) PageKey {
+	return PageKey{Table: fmt.Sprintf("%s@%d", t.qname, t.version), Page: page}
+}
+
+// deleteRowPhysical removes a row from storage and indexes. Missing rows are
+// ignored (undo after partial failure).
+func (t *Table) deleteRowPhysical(rowID uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.loc[rowID]
+	if !ok {
+		return
+	}
+	var old Row
+	if l.page == -1 {
+		old = t.tail[l.slot].row
+		t.tail = append(t.tail[:l.slot], t.tail[l.slot+1:]...)
+		for i := l.slot; i < len(t.tail); i++ {
+			t.loc[t.tail[i].rowID] = rowLoc{page: -1, slot: i}
+		}
+	} else {
+		slots := t.decodePageLocked(l.page)
+		old = slots[l.slot].row
+		newSlots := make([]pageSlot, 0, len(slots)-1)
+		newSlots = append(newSlots, slots[:l.slot]...)
+		newSlots = append(newSlots, slots[l.slot+1:]...)
+		t.rewritePageLocked(l.page, newSlots)
+	}
+	delete(t.loc, rowID)
+	if t.pk != nil {
+		delete(t.pk, t.pkKey(old))
+	}
+	for _, idx := range t.indexes {
+		idx.remove(keyString(old[idx.col]), rowID)
+	}
+	t.liveRows--
+	t.byteSize -= int64(len(encodeRow(nil, old)))
+}
+
+// updateRowPhysical replaces the image of a row in place, maintaining
+// indexes.
+func (t *Table) updateRowPhysical(rowID uint64, newRow Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.loc[rowID]
+	if !ok {
+		return
+	}
+	var old Row
+	if l.page == -1 {
+		old = t.tail[l.slot].row
+		t.tail[l.slot].row = newRow.Clone()
+	} else {
+		slots := t.decodePageLocked(l.page)
+		old = slots[l.slot].row
+		newSlots := make([]pageSlot, len(slots))
+		copy(newSlots, slots)
+		newSlots[l.slot] = pageSlot{rowID: rowID, row: newRow.Clone()}
+		t.rewritePageLocked(l.page, newSlots)
+	}
+	if t.pk != nil {
+		oldKey, newKey := t.pkKey(old), t.pkKey(newRow)
+		if oldKey != newKey {
+			delete(t.pk, oldKey)
+			t.pk[newKey] = rowID
+		}
+	}
+	for _, idx := range t.indexes {
+		ok, nk := keyString(old[idx.col]), keyString(newRow[idx.col])
+		if ok != nk {
+			idx.remove(ok, rowID)
+			idx.m[nk] = append(idx.m[nk], rowID)
+		}
+	}
+	t.byteSize += int64(len(encodeRow(nil, newRow))) - int64(len(encodeRow(nil, old)))
+}
+
+// decodePageLocked fetches the decoded slots of a sealed page via the buffer
+// pool. Called with t.mu held; the pool load callback reads the encoded page
+// directly since the latch is already held.
+func (t *Table) decodePageLocked(page int) []pageSlot {
+	enc := t.pages[page]
+	slots, err := t.engine.pool.Get(t.pageKey(page), func() []byte { return enc })
+	if err != nil {
+		// Pages are written only by encodePage; corruption indicates a bug.
+		panic(fmt.Sprintf("sqldb: corrupt page %s/%d: %v", t.schema.Table, page, err))
+	}
+	return slots
+}
+
+// rewritePageLocked replaces a sealed page's contents, updating row
+// locations and keeping the pool coherent. Called with t.mu held.
+func (t *Table) rewritePageLocked(page int, slots []pageSlot) {
+	t.pages[page] = encodePage(slots)
+	t.pageLive[page] = len(slots)
+	for i, s := range slots {
+		t.loc[s.rowID] = rowLoc{page: page, slot: i}
+	}
+	t.engine.pool.Put(t.pageKey(page), slots)
+}
+
+// getRow returns a copy of the row with the given ID, or ok=false.
+func (t *Table) getRow(rowID uint64) (Row, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.loc[rowID]
+	if !ok {
+		return nil, false
+	}
+	if l.page == -1 {
+		return t.tail[l.slot].row.Clone(), true
+	}
+	slots := t.decodePageLocked(l.page)
+	return slots[l.slot].row.Clone(), true
+}
+
+// lookupPK returns the rowID for a primary-key value.
+func (t *Table) lookupPK(v Value) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pk == nil {
+		return 0, false
+	}
+	id, ok := t.pk[keyString(v)]
+	return id, ok
+}
+
+// lookupIndex returns the rowIDs matching v in the named column's index, and
+// whether such an index exists.
+func (t *Table) lookupIndex(col string, v Value) ([]uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	ids := idx.m[keyString(v)]
+	out := make([]uint64, len(ids))
+	copy(out, ids)
+	return out, true
+}
+
+// hasIndex reports whether col has a secondary index (col is lower-cased by
+// the caller).
+func (t *Table) hasIndex(col string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// scan invokes fn for every live row (a copy) until fn returns false. It
+// snapshots page identity under the latch but decodes outside of it page by
+// page, so concurrent writers latch in between pages.
+func (t *Table) scan(fn func(rowID uint64, r Row) bool) {
+	t.mu.Lock()
+	numPages := len(t.pages)
+	t.mu.Unlock()
+	for p := 0; p < numPages; p++ {
+		t.mu.Lock()
+		if p >= len(t.pages) {
+			t.mu.Unlock()
+			break
+		}
+		slots := t.decodePageLocked(p)
+		// Copy out under the latch: the pool entry may be rewritten.
+		copied := make([]pageSlot, len(slots))
+		for i, s := range slots {
+			copied[i] = pageSlot{rowID: s.rowID, row: s.row.Clone()}
+		}
+		t.mu.Unlock()
+		for _, s := range copied {
+			// Skip rows that moved or died since the snapshot.
+			t.mu.Lock()
+			l, live := t.loc[s.rowID]
+			t.mu.Unlock()
+			if !live || l.page != p {
+				continue
+			}
+			if !fn(s.rowID, s.row) {
+				return
+			}
+		}
+	}
+	t.mu.Lock()
+	tailCopy := make([]pageSlot, len(t.tail))
+	for i, s := range t.tail {
+		tailCopy[i] = pageSlot{rowID: s.rowID, row: s.row.Clone()}
+	}
+	t.mu.Unlock()
+	for _, s := range tailCopy {
+		if !fn(s.rowID, s.row) {
+			return
+		}
+	}
+}
+
+// scanCold is scan for bulk readers like the dump tool: it reads the sealed
+// pages "from disk" — paying the engine's miss latency per page and
+// bypassing the buffer pool — because a bulk copy neither benefits from nor
+// should pollute the cache. This is what makes replica-creation time
+// proportional to database size, as in the paper (a 200 MB copy took about
+// two minutes on their hardware).
+func (t *Table) scanCold(fn func(rowID uint64, r Row) bool) {
+	t.mu.Lock()
+	numPages := len(t.pages)
+	t.mu.Unlock()
+	lat := t.engine.cfg.MissLatency
+	for p := 0; p < numPages; p++ {
+		t.mu.Lock()
+		if p >= len(t.pages) {
+			t.mu.Unlock()
+			break
+		}
+		enc := t.pages[p]
+		t.mu.Unlock()
+		if lat > 0 {
+			time.Sleep(lat)
+		}
+		slots, err := decodePage(enc)
+		if err != nil {
+			panic(fmt.Sprintf("sqldb: corrupt page %s/%d: %v", t.schema.Table, p, err))
+		}
+		for _, s := range slots {
+			t.mu.Lock()
+			l, live := t.loc[s.rowID]
+			t.mu.Unlock()
+			if !live || l.page != p {
+				continue
+			}
+			if !fn(s.rowID, s.row.Clone()) {
+				return
+			}
+		}
+	}
+	t.mu.Lock()
+	tailCopy := make([]pageSlot, len(t.tail))
+	for i, s := range t.tail {
+		tailCopy[i] = pageSlot{rowID: s.rowID, row: s.row.Clone()}
+	}
+	t.mu.Unlock()
+	if lat > 0 && len(tailCopy) > 0 {
+		time.Sleep(lat)
+	}
+	for _, s := range tailCopy {
+		if !fn(s.rowID, s.row) {
+			return
+		}
+	}
+}
+
+// createIndex builds a secondary index over col (position colIdx).
+func (t *Table) createIndex(name string, colIdx int, unique bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	colName := lower(t.schema.Cols[colIdx].Name)
+	if _, exists := t.indexes[colName]; exists {
+		return fmt.Errorf("sqldb: index on %s.%s already exists", t.schema.Table, colName)
+	}
+	idx := &index{name: name, col: colIdx, unique: unique, m: make(map[string][]uint64)}
+	collect := func(s pageSlot) error {
+		k := keyString(s.row[colIdx])
+		if unique && len(idx.m[k]) > 0 {
+			return fmt.Errorf("%w: duplicate value %s building unique index %s", ErrDuplicateKey, k, name)
+		}
+		idx.m[k] = append(idx.m[k], s.rowID)
+		return nil
+	}
+	for p := range t.pages {
+		for _, s := range t.decodePageLocked(p) {
+			if _, live := t.loc[s.rowID]; !live {
+				continue
+			}
+			if err := collect(s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range t.tail {
+		if err := collect(s); err != nil {
+			return err
+		}
+	}
+	t.indexes[colName] = idx
+	return nil
+}
+
+func (ix *index) remove(key string, rowID uint64) {
+	ids := ix.m[key]
+	for i, id := range ids {
+		if id == rowID {
+			ids = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.m, key)
+	} else {
+		ix.m[key] = ids
+	}
+}

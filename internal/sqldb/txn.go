@@ -1,0 +1,278 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TxnState is the lifecycle state of a transaction.
+type TxnState int
+
+// Transaction states. A transaction moves Active → (Prepared →) Committed,
+// or to Aborted from Active/Prepared.
+const (
+	TxnActive TxnState = iota
+	TxnPrepared
+	TxnCommitted
+	TxnAborted
+)
+
+// String returns the state name.
+func (s TxnState) String() string {
+	switch s {
+	case TxnActive:
+		return "active"
+	case TxnPrepared:
+		return "prepared"
+	case TxnCommitted:
+		return "committed"
+	case TxnAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// undoKind classifies undo records.
+type undoKind int
+
+const (
+	undoInsert undoKind = iota // row was inserted; undo deletes it
+	undoDelete                 // row was deleted; undo reinserts it
+	undoUpdate                 // row was updated; undo restores the image
+)
+
+// undoRec is one entry of a transaction's undo log.
+type undoRec struct {
+	table  *Table
+	kind   undoKind
+	rowID  uint64
+	before Row
+}
+
+// Txn is a transaction on a single engine. It implements strict two-phase
+// locking (locks held until commit/abort) and acts as a 2PC participant via
+// Prepare/CommitPrepared. A Txn must not be used from multiple goroutines
+// concurrently, matching the behaviour of a MySQL connection.
+type Txn struct {
+	// GlobalID is an optional caller-assigned identity. The cluster
+	// controller assigns the same GlobalID to a distributed transaction's
+	// branches on every replica so that history checking can correlate them.
+	GlobalID uint64
+
+	id     uint64
+	engine *Engine
+	db     string // database namespace this transaction operates in
+
+	mu    sync.Mutex
+	state TxnState
+	undo  []undoRec
+
+	// locks is guarded by the engine's lock-manager mutex, not mu: all
+	// mutation happens inside lockManager methods.
+	locks map[lockID]struct{}
+}
+
+// ID returns the engine-local transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the current lifecycle state.
+func (t *Txn) State() TxnState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// noteLock records that the transaction holds id. Called by the lock manager
+// with its mutex held.
+func (t *Txn) noteLock(id lockID) { t.locks[id] = struct{}{} }
+
+// dropLock removes id from the held set. Called by the lock manager with its
+// mutex held.
+func (t *Txn) dropLock(id lockID) { delete(t.locks, id) }
+
+// heldLocks lists the held lock IDs. Called by the lock manager with its
+// mutex held.
+func (t *Txn) heldLocks() []lockID {
+	out := make([]lockID, 0, len(t.locks))
+	for id := range t.locks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// logUndo appends an undo record.
+func (t *Txn) logUndo(rec undoRec) {
+	t.mu.Lock()
+	t.undo = append(t.undo, rec)
+	t.mu.Unlock()
+}
+
+// checkActive returns an error unless the transaction can accept data
+// operations.
+func (t *Txn) checkActive() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.state {
+	case TxnActive:
+		return nil
+	case TxnPrepared:
+		return ErrTxnPrepared
+	case TxnCommitted:
+		return ErrTxnDone
+	default:
+		return ErrTxnAborted
+	}
+}
+
+// Exec parses and executes a statement inside the transaction. Params bind
+// to ? placeholders in order.
+func (t *Txn) Exec(sql string, params ...Value) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return t.ExecStmt(stmt, params...)
+}
+
+// ExecStmt executes a pre-parsed statement inside the transaction.
+func (t *Txn) ExecStmt(stmt Statement, params ...Value) (*Result, error) {
+	if err := t.checkActive(); err != nil {
+		return nil, err
+	}
+	res, err := t.engine.execute(t, stmt, params)
+	if err != nil && isAbortError(err) {
+		// Deadlock victims and lock-wait timeouts roll the whole
+		// transaction back, as InnoDB does for deadlocks.
+		t.rollbackLocked()
+	}
+	return res, err
+}
+
+// isAbortError reports whether the error forces a transaction rollback.
+func isAbortError(err error) bool {
+	return err == ErrDeadlock || err == ErrLockTimeout || err == ErrTxnAborted
+}
+
+// Prepare enters the PREPARED state of two-phase commit: the transaction can
+// no longer execute operations, its effects are stable, and — when the
+// engine's ReleaseReadLocksAtPrepare optimisation is on, as in most real
+// systems — its read locks are released while write locks are retained until
+// CommitPrepared. Prepare on a read-only transaction is permitted.
+func (t *Txn) Prepare() error {
+	t.mu.Lock()
+	if t.state != TxnActive {
+		st := t.state
+		t.mu.Unlock()
+		switch st {
+		case TxnPrepared:
+			return nil
+		case TxnCommitted:
+			return ErrTxnDone
+		default:
+			return ErrTxnAborted
+		}
+	}
+	t.state = TxnPrepared
+	t.mu.Unlock()
+	if t.engine.cfg.ReleaseReadLocksAtPrepare {
+		t.engine.locks.releaseShared(t)
+	}
+	return nil
+}
+
+// CommitPrepared completes the second phase of 2PC, making the transaction's
+// effects permanent and releasing all remaining locks.
+func (t *Txn) CommitPrepared() error {
+	t.mu.Lock()
+	if t.state != TxnPrepared {
+		st := t.state
+		t.mu.Unlock()
+		switch st {
+		case TxnCommitted:
+			return ErrTxnDone
+		case TxnAborted:
+			return ErrTxnAborted
+		default:
+			return ErrNotPrepared
+		}
+	}
+	t.state = TxnCommitted
+	t.undo = nil
+	t.mu.Unlock()
+	t.engine.locks.releaseAll(t)
+	t.engine.finishTxn(t, true)
+	return nil
+}
+
+// Commit performs a one-phase commit (prepare + commit). It is what a plain
+// COMMIT on a single machine does.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	switch t.state {
+	case TxnActive, TxnPrepared:
+		t.state = TxnCommitted
+		t.undo = nil
+		t.mu.Unlock()
+		t.engine.locks.releaseAll(t)
+		t.engine.finishTxn(t, true)
+		return nil
+	case TxnCommitted:
+		t.mu.Unlock()
+		return ErrTxnDone
+	default:
+		t.mu.Unlock()
+		return ErrTxnAborted
+	}
+}
+
+// Rollback aborts the transaction, undoing all of its effects and releasing
+// its locks. Rolling back an already-finished transaction is an error except
+// for the already-aborted case, which is a no-op (deadlock victims arrive
+// here pre-aborted).
+func (t *Txn) Rollback() error {
+	t.mu.Lock()
+	if t.state == TxnCommitted {
+		t.mu.Unlock()
+		return ErrTxnDone
+	}
+	if t.state == TxnAborted {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	t.rollbackLocked()
+	return nil
+}
+
+// rollbackLocked applies the undo log in reverse and releases locks.
+func (t *Txn) rollbackLocked() {
+	t.mu.Lock()
+	if t.state == TxnAborted || t.state == TxnCommitted {
+		t.mu.Unlock()
+		return
+	}
+	t.state = TxnAborted
+	undo := t.undo
+	t.undo = nil
+	t.mu.Unlock()
+
+	for i := len(undo) - 1; i >= 0; i-- {
+		rec := undo[i]
+		switch rec.kind {
+		case undoInsert:
+			rec.table.deleteRowPhysical(rec.rowID)
+		case undoDelete:
+			rec.table.insertRowPhysical(rec.rowID, rec.before)
+		case undoUpdate:
+			rec.table.updateRowPhysical(rec.rowID, rec.before)
+		}
+	}
+	t.engine.locks.releaseAll(t)
+	t.engine.finishTxn(t, false)
+}
+
+// String identifies the transaction for diagnostics.
+func (t *Txn) String() string {
+	return fmt.Sprintf("txn(%d)", t.id)
+}

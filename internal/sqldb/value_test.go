@@ -1,0 +1,126 @@
+package sqldb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(42), "42"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewText("abc"), "'abc'"},
+		{NewText("o'neil"), "'o''neil'"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.0), 0},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewText("a"), NewText("b"), -1},
+		{NewText("b"), NewText("b"), 0},
+		{Null, NewInt(1), -1},
+		{NewInt(1), Null, 1},
+		{Null, Null, 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewBool(true), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(5) {
+		case 0:
+			return Null
+		case 1:
+			return NewInt(int64(r.Intn(20) - 10))
+		case 2:
+			return NewFloat(float64(r.Intn(20))/2 - 5)
+		case 3:
+			return NewText(string(rune('a' + r.Intn(5))))
+		default:
+			return NewBool(r.Intn(2) == 0)
+		}
+	}
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(gen(r))
+			vals[1] = reflect.ValueOf(gen(r))
+		},
+	}
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	if err := quick.Check(func(a, b Value) bool {
+		return Compare(a, b) == -Compare(b, a)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	vals := []Value{
+		Null, NewInt(-3), NewInt(0), NewInt(5), NewFloat(-1.5), NewFloat(0),
+		NewFloat(4.5), NewText(""), NewText("a"), NewText("z"),
+		NewBool(false), NewBool(true),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated: %v <= %v <= %v but Compare(%v,%v)=%d",
+						a, b, c, a, c, Compare(a, c))
+				}
+			}
+		}
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewText("x")}
+	c := r.Clone()
+	c[0] = NewInt(99)
+	if r[0].Int != 1 {
+		t.Fatalf("Clone aliases the original row")
+	}
+	if got := r.String(); got != "(1, 'x')" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if got := NewInt(3).AsFloat(); got != 3 {
+		t.Errorf("NewInt(3).AsFloat() = %v", got)
+	}
+	if got := NewFloat(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("NewFloat(2.5).AsFloat() = %v", got)
+	}
+	if got := NewText("x").AsFloat(); got != 0 {
+		t.Errorf("text AsFloat() = %v, want 0", got)
+	}
+}

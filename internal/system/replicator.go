@@ -1,0 +1,124 @@
+package system
+
+import (
+	"sync"
+)
+
+// replicator ships committed write batches to the DR colos of each
+// database, asynchronously but in commit order per database (one worker per
+// database drains a FIFO). A batch that fails to apply at a DR colo is
+// dropped after recording the error; cross-colo replication is best-effort
+// by design.
+type replicator struct {
+	sys *Controller
+
+	mu      sync.Mutex
+	queues  map[string][]([]capturedWrite)
+	running map[string]bool
+	pending map[string]int
+	cond    *sync.Cond
+	errs    []error
+}
+
+func newReplicator(s *Controller) *replicator {
+	r := &replicator{
+		sys:     s,
+		queues:  make(map[string][]([]capturedWrite)),
+		running: make(map[string]bool),
+		pending: make(map[string]int),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// enqueue adds a committed batch for db and ensures its worker runs.
+func (r *replicator) enqueue(db string, batch []capturedWrite) {
+	r.mu.Lock()
+	r.queues[db] = append(r.queues[db], batch)
+	r.pending[db]++
+	if !r.running[db] {
+		r.running[db] = true
+		go r.drain(db)
+	}
+	r.mu.Unlock()
+}
+
+// drain applies queued batches for db until the queue empties.
+func (r *replicator) drain(db string) {
+	for {
+		r.mu.Lock()
+		q := r.queues[db]
+		if len(q) == 0 {
+			r.running[db] = false
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			return
+		}
+		batch := q[0]
+		r.queues[db] = q[1:]
+		r.mu.Unlock()
+
+		r.apply(db, batch)
+
+		r.mu.Lock()
+		r.pending[db]--
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// apply replays one batch at every DR colo, transactionally per colo.
+func (r *replicator) apply(db string, batch []capturedWrite) {
+	for _, co := range r.sys.drTargets(db) {
+		tx, err := co.Begin(db)
+		if err != nil {
+			r.recordErr(err)
+			continue
+		}
+		failed := false
+		for _, w := range batch {
+			if _, err := tx.Exec(w.sql, w.params...); err != nil {
+				r.recordErr(err)
+				_ = tx.Rollback()
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			if err := tx.Commit(); err != nil {
+				r.recordErr(err)
+			}
+		}
+	}
+}
+
+func (r *replicator) recordErr(err error) {
+	r.mu.Lock()
+	if len(r.errs) < 100 {
+		r.errs = append(r.errs, err)
+	}
+	r.mu.Unlock()
+}
+
+// flush blocks until db's queue is fully applied.
+func (r *replicator) flush(db string) {
+	r.mu.Lock()
+	for r.pending[db] > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// lag returns the number of unapplied batches for db.
+func (r *replicator) lag(db string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending[db]
+}
+
+// errors returns the recorded replication errors.
+func (r *replicator) errors() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error{}, r.errs...)
+}

@@ -1,0 +1,303 @@
+// Package system implements the paper's top-level system controller: it
+// coordinates geographically distributed colos, routes client database
+// connection requests to an appropriate colo (replication configuration,
+// load, proximity), and asynchronously replicates each client database to
+// one or more disaster-recovery colos. Within a colo the platform gives
+// strong ACID guarantees via synchronous replication; across colos it
+// deliberately weakens to asynchronous replication for latency, exactly as
+// the paper prescribes for disaster recovery.
+package system
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdp/internal/colo"
+	"sdp/internal/core"
+	"sdp/internal/sla"
+	"sdp/internal/sqldb"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoColo is returned for operations naming an unknown colo.
+	ErrNoColo = errors.New("system: no such colo")
+	// ErrNoDatabase is returned when routing an unknown database.
+	ErrNoDatabase = errors.New("system: no such database")
+	// ErrColoDown is returned when the primary colo of a database has
+	// failed and no disaster-recovery replica was configured.
+	ErrColoDown = errors.New("system: primary colo down")
+)
+
+// Controller is the fault-tolerant system controller. Like the colo
+// controller it keeps no per-connection state (clients connect through it
+// only at setup), so hot-standby pairing suffices for its own fault
+// tolerance.
+type Controller struct {
+	mu    sync.Mutex
+	colos map[string]*coloEntry
+	dbs   map[string]*dbEntry
+	repl  *replicator
+}
+
+type coloEntry struct {
+	ctrl   *colo.Controller
+	region string
+	down   bool
+}
+
+type dbEntry struct {
+	name    string
+	primary string   // colo name
+	dr      []string // disaster-recovery colo names
+	req     sla.Resources
+}
+
+// New creates an empty system controller.
+func New() *Controller {
+	s := &Controller{
+		colos: make(map[string]*coloEntry),
+		dbs:   make(map[string]*dbEntry),
+	}
+	s.repl = newReplicator(s)
+	return s
+}
+
+// AddColo registers a colo controller under a region label used for
+// proximity routing.
+func (s *Controller) AddColo(c *colo.Controller, region string) {
+	s.mu.Lock()
+	s.colos[c.Name()] = &coloEntry{ctrl: c, region: region}
+	s.mu.Unlock()
+}
+
+// Colo returns the named colo controller.
+func (s *Controller) Colo(name string) (*colo.Controller, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.colos[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoColo, name)
+	}
+	return e.ctrl, nil
+}
+
+// CreateDatabase creates a database with its primary in primaryColo and
+// asynchronously replicated copies in each drColo.
+func (s *Controller) CreateDatabase(db string, req sla.Resources, replicas int, primaryColo string, drColos ...string) error {
+	s.mu.Lock()
+	if _, dup := s.dbs[db]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("system: database %s already exists", db)
+	}
+	pe, ok := s.colos[primaryColo]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoColo, primaryColo)
+	}
+	var drs []*coloEntry
+	for _, name := range drColos {
+		e, ok := s.colos[name]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrNoColo, name)
+		}
+		drs = append(drs, e)
+	}
+	s.mu.Unlock()
+
+	if err := pe.ctrl.CreateDatabase(db, req, replicas); err != nil {
+		return err
+	}
+	for _, e := range drs {
+		if err := e.ctrl.CreateDatabase(db, req, replicas); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.dbs[db] = &dbEntry{name: db, primary: primaryColo, dr: append([]string{}, drColos...), req: req}
+	s.mu.Unlock()
+	return nil
+}
+
+// Route returns the colo a new connection for db should go to, preferring
+// the primary and falling back to a promoted DR colo.
+func (s *Controller) Route(db string) (*colo.Controller, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.dbs[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	pe := s.colos[e.primary]
+	if pe == nil || pe.down {
+		return nil, ErrColoDown
+	}
+	return pe.ctrl, nil
+}
+
+// RouteRead returns a colo suitable for a read-only connection from the
+// given client region: a DR colo in the same region when one exists (the
+// paper's geographic-proximity routing), otherwise the primary.
+func (s *Controller) RouteRead(db, clientRegion string) (*colo.Controller, error) {
+	s.mu.Lock()
+	e, ok := s.dbs[db]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	for _, name := range e.dr {
+		if ce := s.colos[name]; ce != nil && !ce.down && ce.region == clientRegion {
+			s.mu.Unlock()
+			return ce.ctrl, nil
+		}
+	}
+	s.mu.Unlock()
+	return s.Route(db)
+}
+
+// Begin opens a read-write transaction on db, routed to the primary colo.
+// Writes are captured and, after a successful commit, shipped
+// asynchronously to the DR colos.
+func (s *Controller) Begin(db string) (*Txn, error) {
+	co, err := s.Route(db)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := co.Begin(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{sys: s, db: db, inner: inner}, nil
+}
+
+// Exec runs one autocommitted statement on db.
+func (s *Controller) Exec(db, sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	t, err := s.Begin(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.Exec(sql, params...)
+	if err != nil {
+		_ = t.Rollback()
+		return nil, err
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FailColo marks a colo as down (a disaster), returning the databases whose
+// primary was there.
+func (s *Controller) FailColo(name string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.colos[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoColo, name)
+	}
+	e.down = true
+	var affected []string
+	for db, de := range s.dbs {
+		if de.primary == name {
+			affected = append(affected, db)
+		}
+	}
+	return affected, nil
+}
+
+// PromoteDR makes the named DR colo the new primary for db after a
+// disaster. Transactions committed at the old primary but not yet shipped
+// are lost — the weaker cross-colo guarantee the paper accepts for
+// disaster recovery.
+func (s *Controller) PromoteDR(db, coloName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.dbs[db]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	for i, name := range e.dr {
+		if name == coloName {
+			e.dr = append(e.dr[:i], e.dr[i+1:]...)
+			if old := s.colos[e.primary]; old != nil && !old.down {
+				// Old primary still alive: demote it to DR.
+				e.dr = append(e.dr, e.primary)
+			}
+			e.primary = coloName
+			return nil
+		}
+	}
+	return fmt.Errorf("system: colo %s is not a DR replica of %s", coloName, db)
+}
+
+// Flush blocks until all pending asynchronous replication for db has been
+// applied (used by tests and controlled failovers).
+func (s *Controller) Flush(db string) { s.repl.flush(db) }
+
+// ReplicationLag returns the number of write batches queued for db.
+func (s *Controller) ReplicationLag(db string) int { return s.repl.lag(db) }
+
+// drTargets returns the DR colo controllers of db.
+func (s *Controller) drTargets(db string) []*colo.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.dbs[db]
+	if !ok {
+		return nil
+	}
+	var out []*colo.Controller
+	for _, name := range e.dr {
+		if ce := s.colos[name]; ce != nil && !ce.down {
+			out = append(out, ce.ctrl)
+		}
+	}
+	return out
+}
+
+// Txn is a client transaction routed through the system controller.
+type Txn struct {
+	sys    *Controller
+	db     string
+	inner  *core.Txn
+	writes []capturedWrite
+}
+
+type capturedWrite struct {
+	sql    string
+	params []sqldb.Value
+}
+
+// Exec executes a statement at the primary, capturing writes for
+// asynchronous DR shipping.
+func (t *Txn) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	stmt, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.inner.ExecStmt(stmt, params...)
+	if err != nil {
+		return nil, err
+	}
+	if _, isSelect := stmt.(*sqldb.SelectStmt); !isSelect {
+		t.writes = append(t.writes, capturedWrite{sql: sql, params: params})
+	}
+	return res, nil
+}
+
+// Commit commits at the primary colo and, on success, enqueues the
+// captured writes for asynchronous replay at the DR colos.
+func (t *Txn) Commit() error {
+	if err := t.inner.Commit(); err != nil {
+		return err
+	}
+	if len(t.writes) > 0 {
+		t.sys.repl.enqueue(t.db, t.writes)
+	}
+	return nil
+}
+
+// Rollback aborts the transaction at the primary.
+func (t *Txn) Rollback() error { return t.inner.Rollback() }

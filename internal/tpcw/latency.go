@@ -1,0 +1,84 @@
+package tpcw
+
+import (
+	"fmt"
+	"time"
+)
+
+// latencyBuckets are exponential bucket upper bounds for the transaction
+// latency histogram, from 100µs to ~51s.
+const (
+	latencyBase    = 100 * time.Microsecond
+	latencyBuckets = 20
+)
+
+// Histogram is a fixed exponential-bucket latency histogram. The zero value
+// is ready to use. It is not safe for concurrent use; each session owns one
+// and they are merged at the end.
+type Histogram struct {
+	counts [latencyBuckets]uint64
+	total  uint64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	b := 0
+	bound := latencyBase
+	for b < latencyBuckets-1 && d > bound {
+		bound *= 2
+		b++
+	}
+	return b
+}
+
+// boundOf returns the upper bound of bucket i.
+func boundOf(i int) time.Duration {
+	bound := latencyBase
+	for ; i > 0; i-- {
+		bound *= 2
+	}
+	return bound
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)]++
+	h.total++
+}
+
+// Merge adds o's samples into h.
+func (h *Histogram) Merge(o Histogram) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// Count returns the number of samples.
+func (h Histogram) Count() uint64 { return h.total }
+
+// Quantile returns an upper bound on the q-quantile latency (0 < q <= 1),
+// or 0 when the histogram is empty.
+func (h Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			return boundOf(i)
+		}
+	}
+	return boundOf(latencyBuckets - 1)
+}
+
+// String summarises the histogram as p50/p95/p99 bounds.
+func (h Histogram) String() string {
+	return fmt.Sprintf("p50<=%v p95<=%v p99<=%v (n=%d)",
+		h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.total)
+}

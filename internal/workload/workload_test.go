@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestZipfRanksInRange(t *testing.T) {
+	z := NewZipf(1, 100, 1.2)
+	for i := 0; i < 10000; i++ {
+		k := z.Rank()
+		if k < 1 || k > 100 {
+			t.Fatalf("rank %d out of range", k)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	countRank1 := func(s float64) int {
+		z := NewZipf(42, 50, s)
+		n := 0
+		for i := 0; i < 20000; i++ {
+			if z.Rank() == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	uniform := countRank1(0)
+	skewed := countRank1(2)
+	if skewed <= uniform*3 {
+		t.Errorf("skew 2 rank-1 count %d not ≫ uniform %d", skewed, uniform)
+	}
+	// Uniform should put roughly 1/50 of mass on rank 1.
+	if uniform < 200 || uniform > 600 {
+		t.Errorf("uniform rank-1 count = %d, want ~400", uniform)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(7, 30, 1.0), NewZipf(7, 30, 1.0)
+	for i := 0; i < 100; i++ {
+		if a.Rank() != b.Rank() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestInRangeBounds(t *testing.T) {
+	z := NewZipf(3, 64, 0.8)
+	for i := 0; i < 5000; i++ {
+		v := z.InRange(200, 1000)
+		if v < 200 || v > 1000 {
+			t.Fatalf("value %v out of [200,1000]", v)
+		}
+	}
+	one := NewZipf(3, 1, 0.8)
+	if v := one.InRange(5, 9); v != 5 {
+		t.Errorf("single-rank InRange = %v, want lo", v)
+	}
+}
+
+func TestSLAWorkloadAverageFallsWithSkew(t *testing.T) {
+	// Reproduces Table 2's qualitative trend: average database size and
+	// throughput fall as the skew factor rises.
+	var prevSize, prevTPS float64
+	for i, skew := range []float64{0.4, 1.2, 2.0} {
+		w := NewSLAWorkload(11, 400, skew)
+		size, tps := w.AvgSizeMB(), w.AvgTPS()
+		if size < 200 || size > 1000 || tps < 0.1 || tps > 10 {
+			t.Fatalf("skew %v: avg size %v tps %v out of range", skew, size, tps)
+		}
+		if i > 0 {
+			if size >= prevSize {
+				t.Errorf("avg size did not fall with skew: %v -> %v", prevSize, size)
+			}
+			if tps >= prevTPS {
+				t.Errorf("avg tps did not fall with skew: %v -> %v", prevTPS, tps)
+			}
+		}
+		prevSize, prevTPS = size, tps
+	}
+}

@@ -1,0 +1,107 @@
+package sdp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlatformDisasterRecovery exercises the full public-API DR flow: a
+// database with a cross-colo replica, asynchronous shipping, colo failure,
+// DR promotion, and continued service.
+func TestPlatformDisasterRecovery(t *testing.T) {
+	p := New(Config{ClusterSize: 2})
+	p.AddColo("west", "us-west", 2)
+	p.AddColo("east", "us-east", 2)
+
+	if err := p.CreateDatabase("app", SLA{SizeMB: 250, MinTPS: 1}, "west", "east"); err != nil {
+		t.Fatal(err)
+	}
+	conn := p.Open("app")
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := conn.Exec("INSERT INTO t VALUES (?, ?)", Int(int64(i)), Int(int64(i*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.System().Flush("app")
+
+	affected, err := p.System().FailColo("west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != "app" {
+		t.Fatalf("affected = %v", affected)
+	}
+	if _, err := conn.Exec("SELECT 1"); err == nil {
+		t.Fatal("query succeeded with primary colo down and no promotion")
+	}
+	if err := p.System().PromoteDR("app", "east"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("SELECT COUNT(*), SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 20 {
+		t.Errorf("count after failover = %v", res.Rows[0][0])
+	}
+	// Writes continue at the new primary.
+	if _, err := conn.Exec("INSERT INTO t VALUES (100, 0)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlatformConfigKnobs verifies the facade threads its configuration
+// down to the machines.
+func TestPlatformConfigKnobs(t *testing.T) {
+	p := New(Config{
+		ReadOption:      ReadOption3,
+		AckMode:         Aggressive,
+		Replicas:        2,
+		CopyGranularity: CopyByDatabase,
+		ClusterSize:     2,
+		PoolPages:       7,
+		DiskLatency:     time.Microsecond,
+		LockTimeout:     123 * time.Millisecond,
+	})
+	p.AddColo("west", "us-west", 2)
+	if err := p.CreateDatabase("app", SLA{SizeMB: 100, MinTPS: 1}, "west"); err != nil {
+		t.Fatal(err)
+	}
+	co, err := p.System().Colo("west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := co.Route("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cl.Options()
+	if opts.ReadOption != ReadOption3 || opts.AckMode != Aggressive {
+		t.Errorf("cluster options = %+v", opts)
+	}
+	if opts.CopyGranularity != CopyByDatabase {
+		t.Errorf("granularity = %v", opts.CopyGranularity)
+	}
+	eng := opts.EngineConfig
+	if eng.PoolPages != 7 || eng.MissLatency != time.Microsecond || eng.LockTimeout != 123*time.Millisecond {
+		t.Errorf("engine config = %+v", eng)
+	}
+	// The cluster actually works under these knobs.
+	conn := p.Open("app")
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,181 @@
+// Package sdp is a scalable data platform for a large number of small
+// applications — a from-scratch reproduction of Yang, Shanmugasundaram and
+// Yerneni (CIDR 2009). It gives each application the illusion of a
+// centralized, fault-tolerant SQL database with full transactions, while
+// hosting tens of thousands of such databases on shared commodity machines:
+//
+//   - every machine runs an embedded single-node SQL DBMS (internal/sqldb),
+//   - a cluster controller replicates each database over two or more
+//     machines with read-one-write-all + two-phase commit, recovers from
+//     machine failures by online re-replication, and enforces SLAs by
+//     First-Fit placement (internal/core, internal/sla),
+//   - colo and system controllers route connections and asynchronously
+//     replicate databases across colos for disaster recovery
+//     (internal/colo, internal/system).
+//
+// The two operations of the paper's API are CreateDatabase (with an SLA)
+// and Open (connect and run SQL with ACID transactions); everything else —
+// replication, fail-over, placement, migration — is automatic.
+package sdp
+
+import (
+	"time"
+
+	"sdp/internal/colo"
+	"sdp/internal/core"
+	"sdp/internal/sla"
+	"sdp/internal/sqldb"
+	"sdp/internal/system"
+)
+
+// Re-exported configuration enums (see the paper's Section 3.1).
+type (
+	// ReadOption selects the replica read-routing policy.
+	ReadOption = core.ReadOption
+	// AckMode selects conservative or aggressive write acknowledgement.
+	AckMode = core.AckMode
+	// CopyGranularity selects table- or database-level copy locking.
+	CopyGranularity = sqldb.DumpGranularity
+)
+
+// Re-exported enum values.
+const (
+	ReadOption1 = core.ReadOption1
+	ReadOption2 = core.ReadOption2
+	ReadOption3 = core.ReadOption3
+
+	Conservative = core.Conservative
+	Aggressive   = core.Aggressive
+
+	CopyByTable    = sqldb.GranularityTable
+	CopyByDatabase = sqldb.GranularityDatabase
+)
+
+// Value and result types of the SQL API.
+type (
+	// Value is one SQL value.
+	Value = sqldb.Value
+	// Row is one result tuple.
+	Row = sqldb.Row
+	// Result is the outcome of a statement.
+	Result = sqldb.Result
+)
+
+// Value constructors.
+var (
+	// Int builds an INT value.
+	Int = sqldb.NewInt
+	// Float builds a FLOAT value.
+	Float = sqldb.NewFloat
+	// Text builds a TEXT value.
+	Text = sqldb.NewText
+	// Bool builds a BOOL value.
+	Bool = sqldb.NewBool
+)
+
+// Config tunes the platform. The zero value gives the paper's defaults:
+// Option 1 reads, a conservative controller, 2 replicas per database,
+// table-granularity copying.
+type Config struct {
+	// ReadOption is the read-routing policy (default Option 1).
+	ReadOption ReadOption
+	// AckMode is the write-acknowledgement policy (default conservative).
+	AckMode AckMode
+	// Replicas per database within a cluster (default 2).
+	Replicas int
+	// CopyGranularity for replica creation (default table-level).
+	CopyGranularity CopyGranularity
+	// ClusterSize is the number of machines per cluster (default 4).
+	ClusterSize int
+	// RecoveryThreads is the number of concurrent copy processes during
+	// failure recovery (default 2).
+	RecoveryThreads int
+	// PoolPages is each machine's buffer-pool capacity in pages (default
+	// 256).
+	PoolPages int
+	// DiskLatency is the simulated per-page-miss disk latency (default 0).
+	DiskLatency time.Duration
+	// LockTimeout bounds lock waits on each machine (default 2s).
+	LockTimeout time.Duration
+}
+
+func (c Config) coloOptions() colo.Options {
+	eng := sqldb.DefaultConfig()
+	if c.PoolPages != 0 {
+		eng.PoolPages = c.PoolPages
+	}
+	if c.DiskLatency != 0 {
+		eng.MissLatency = c.DiskLatency
+	}
+	if c.LockTimeout != 0 {
+		eng.LockTimeout = c.LockTimeout
+	}
+	return colo.Options{
+		ClusterSize:     c.ClusterSize,
+		RecoveryThreads: c.RecoveryThreads,
+		Cluster: core.Options{
+			ReadOption:      c.ReadOption,
+			AckMode:         c.AckMode,
+			Replicas:        c.Replicas,
+			CopyGranularity: c.CopyGranularity,
+			EngineConfig:    eng,
+		},
+	}
+}
+
+// SLA is a database's service level agreement.
+type SLA struct {
+	// SizeMB is the expected database size in MB; with MinTPS it
+	// determines the per-replica resource requirement via profiling.
+	SizeMB float64
+	// MinTPS is the minimum throughput in transactions per second.
+	MinTPS float64
+	// MaxRejectFraction bounds proactively rejected transactions.
+	MaxRejectFraction float64
+	// Period is the SLA measurement window (default 24h).
+	Period time.Duration
+}
+
+// Platform is the top-level handle: the system controller plus its colos.
+type Platform struct {
+	cfg Config
+	sys *system.Controller
+}
+
+// New creates an empty platform with the given configuration.
+func New(cfg Config) *Platform {
+	return &Platform{cfg: cfg, sys: system.New()}
+}
+
+// AddColo creates a colo in a region with the given number of free
+// machines and registers it with the system controller.
+func (p *Platform) AddColo(name, region string, freeMachines int) *colo.Controller {
+	co := colo.New(name, p.cfg.coloOptions())
+	co.AddFreeMachines(freeMachines)
+	p.sys.AddColo(co, region)
+	return co
+}
+
+// CreateDatabase provisions a database with the given SLA, primary colo,
+// and optional disaster-recovery colos.
+func (p *Platform) CreateDatabase(name string, s SLA, primaryColo string, drColos ...string) error {
+	if s.Period == 0 {
+		s.Period = 24 * time.Hour
+	}
+	req := sla.Profile(s.SizeMB, s.MinTPS)
+	replicas := p.cfg.Replicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	return p.sys.CreateDatabase(name, req, replicas, primaryColo, drColos...)
+}
+
+// Open returns a connection handle for a database; the system controller
+// routes it to the primary colo's hosting cluster.
+func (p *Platform) Open(name string) *Conn {
+	return &Conn{p: p, db: name}
+}
+
+// System exposes the underlying system controller for advanced operations
+// (fail-over drills, DR promotion).
+func (p *Platform) System() *system.Controller { return p.sys }

@@ -1,0 +1,123 @@
+package sdp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := New(Config{ClusterSize: 3})
+	p.AddColo("west", "us-west", 6)
+	if err := p.CreateDatabase("app", SLA{SizeMB: 300, MinTPS: 2, MaxRejectFraction: 0.01}, "west"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformQuickstartFlow(t *testing.T) {
+	p := newPlatform(t)
+	conn := p.Open("app")
+	if conn.Database() != "app" {
+		t.Errorf("db = %s", conn.Database())
+	}
+	if _, err := conn.Exec("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := conn.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO notes VALUES (?, ?)", Int(1), Text("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO notes VALUES (?, ?)", Int(2), Text("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("SELECT body FROM notes ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "hello" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestPlatformRollback(t *testing.T) {
+	p := newPlatform(t)
+	conn := p.Open("app")
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := conn.Begin()
+	if _, err := tx.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := conn.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestPlatformManySmallApps(t *testing.T) {
+	p := New(Config{ClusterSize: 4})
+	p.AddColo("west", "us-west", 12)
+	// Many small application databases share the machines.
+	names := []string{"blog", "shop", "wiki", "forum", "gallery", "todo"}
+	for _, n := range names {
+		if err := p.CreateDatabase(n, SLA{SizeMB: 250, MinTPS: 1}, "west"); err != nil {
+			t.Fatalf("create %s: %v", n, err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(names))
+	for _, n := range names {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			conn := p.Open(n)
+			if _, err := conn.Exec("CREATE TABLE d (id INT PRIMARY KEY, v TEXT)"); err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if _, err := conn.Exec("INSERT INTO d VALUES (?, ?)", Int(int64(i)), Text(n)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			res, err := conn.Query("SELECT COUNT(*) FROM d")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if res.Rows[0][0].Int != 20 {
+				errCh <- errors.New(n + ": wrong count")
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestPlatformUnknownDatabase(t *testing.T) {
+	p := New(Config{})
+	p.AddColo("west", "us-west", 4)
+	conn := p.Open("missing")
+	if _, err := conn.Exec("SELECT 1"); err == nil {
+		t.Error("exec on missing database succeeded")
+	}
+	if _, err := conn.Begin(); err == nil {
+		t.Error("begin on missing database succeeded")
+	}
+}
