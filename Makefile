@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-sqldb experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with lock-sensitive hot paths: the
+# query engine (plan cache, striped buffer pool, lock manager) and the
+# cluster controller (2PC, replica management).
+race:
+	$(GO) test -race ./internal/sqldb/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Regenerate BENCH_sqldb.json (hot-path query-engine latencies).
+bench-sqldb:
+	$(GO) run ./cmd/experiments -bench-sqldb
+
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@ package sdp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -264,8 +265,11 @@ func BenchmarkClusterReplicatedWrite(b *testing.B) {
 	}
 }
 
-// BenchmarkTPCWMixSingleEngine measures raw TPC-W throughput on one engine
-// (the no-replication upper bound of Figures 2–4).
+// BenchmarkTPCWMixSingleEngine measures raw TPC-W transaction latency on one
+// engine (the no-replication upper bound of Figures 2–4). Each benchmark
+// iteration is one mix-weighted transaction, so ns/op is the mean committed
+// transaction latency and the derived tps metric the single-session
+// throughput.
 func BenchmarkTPCWMixSingleEngine(b *testing.B) {
 	e := sqldb.NewEngine(sqldb.DefaultConfig())
 	if err := e.CreateDatabase("tpcw"); err != nil {
@@ -278,21 +282,107 @@ func BenchmarkTPCWMixSingleEngine(b *testing.B) {
 	}
 	w := tpcw.NewWorkload(sc)
 	client := &tpcw.Client{DB: db, Mix: tpcw.ShoppingMix, Workload: w}
-	_ = client
-	rngSeed := int64(0)
+	// Warm the buffer pool and plan caches before timing.
+	_ = client.RunN(1, 200)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		stop := make(chan struct{})
-		go func() {
-			time.Sleep(50 * time.Millisecond)
-			close(stop)
-		}()
-		st := client.RunSession(rngSeed, stop)
-		if st.Fatal > 0 {
-			b.Fatal("fatal errors in TPC-W session")
+	st := client.RunN(42, b.N)
+	b.StopTimer()
+	if st.Fatal > 0 {
+		b.Fatal("fatal errors in TPC-W session")
+	}
+	b.ReportMetric(st.TPS(), "tps")
+}
+
+// BenchmarkPlanCache contrasts repeated Session.Exec statement text with the
+// plan cache on (default) and off: the cached path skips the lexer, parser
+// and planner on every iteration after the first.
+func BenchmarkPlanCache(b *testing.B) {
+	setup := func(b *testing.B, cacheSize int) *sqldb.Session {
+		cfg := sqldb.DefaultConfig()
+		cfg.PlanCacheSize = cacheSize
+		e := sqldb.NewEngine(cfg)
+		if err := e.CreateDatabase("app"); err != nil {
+			b.Fatal(err)
 		}
-		b.ReportMetric(st.TPS(), "tps")
-		rngSeed++
+		if _, err := e.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := e.Exec("app", fmt.Sprintf("INSERT INTO t VALUES (%d, 'val%d')", i, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return e.Session("app")
+	}
+	b.Run("hit", func(b *testing.B) {
+		s := setup(b, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec("SELECT v FROM t WHERE id = ?", sqldb.NewInt(int64(i%1000))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("off", func(b *testing.B) {
+		s := setup(b, -1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec("SELECT v FROM t WHERE id = ?", sqldb.NewInt(int64(i%1000))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBufferPoolParallel hammers point reads from parallel goroutines
+// over a table an order of magnitude larger than one page, exercising the
+// buffer pool's lock striping (a 4096-page pool spreads across 16 stripes).
+func BenchmarkBufferPoolParallel(b *testing.B) {
+	cfg := sqldb.DefaultConfig()
+	cfg.PoolPages = 4096
+	e := sqldb.NewEngine(cfg)
+	if err := e.CreateDatabase("app"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	const rows = 8192
+	for i := 0; i < rows; i += 64 {
+		stmt := "INSERT INTO t VALUES "
+		for j := 0; j < 64; j++ {
+			if j > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, 'val%d')", i+j, i+j)
+		}
+		if _, err := e.Exec("app", stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stmt, err := sqldb.Parse("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := seq.Add(1) * 977
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			tx, err := e.Begin("app")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.ExecStmt(stmt, sqldb.NewInt(int64((base+i*31)%rows))); err != nil {
+				b.Fatal(err)
+			}
+			_ = tx.Commit()
+		}
+	})
+	if got := e.Pool().Stripes(); got != 16 {
+		b.Fatalf("expected 16 pool stripes for 4096 pages, got %d", got)
 	}
 }
 

@@ -12,9 +12,14 @@
 //	experiments -exp table2      # SLA placement vs optimal
 //
 // -quick shrinks the data sizes and durations for a fast pass.
+//
+// -bench-sqldb runs the hot-path query-engine microbenchmarks (point read,
+// replicated write, TPC-W mix) and writes the results to BENCH_sqldb.json
+// (or the path given by -bench-out) instead of running the figure suite.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +34,32 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sizes and durations")
 	seed := flag.Int64("seed", 42, "workload seed")
 	format := flag.String("format", "text", "output format: text or csv")
+	benchSQL := flag.Bool("bench-sqldb", false, "run query-engine microbenchmarks and write JSON results")
+	benchOut := flag.String("bench-out", "BENCH_sqldb.json", "output path for -bench-sqldb results")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	if *benchSQL {
+		res, err := experiments.RunSQLBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-sqldb: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-sqldb: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-sqldb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: point read %.0f ns/op, replicated write %.0f ns/op, TPC-W mix %.0f ns/op (%.0f tps)\n",
+			*benchOut, res.PointReadNsPerOp, res.ReplicatedWriteNsPerOp, res.TPCWMixNsPerOp, res.TPCWMixTPS)
+		return
+	}
 	out := os.Stdout
 	render := func(t *experiments.Table) {
 		if *format == "csv" {

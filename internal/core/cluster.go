@@ -33,6 +33,11 @@ type Cluster struct {
 	// process pair (see pair.go).
 	pair pairMirror
 
+	// stmts caches parsed statements by SQL text so the controller parses
+	// each distinct statement once, no matter how many replicas (or
+	// transactions) execute it.
+	stmts *sqldb.StmtCache
+
 	committed atomic.Uint64
 	aborted   atomic.Uint64
 	rejected  atomic.Uint64
@@ -125,6 +130,7 @@ func NewCluster(name string, opts Options) *Cluster {
 		opts:     opts.withDefaults(),
 		machines: make(map[string]*Machine),
 		dbs:      make(map[string]*dbState),
+		stmts:    sqldb.NewStmtCache(0),
 	}
 }
 

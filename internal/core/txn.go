@@ -50,11 +50,12 @@ func (t *Txn) session(id string) (*replicaSession, error) {
 	return s, nil
 }
 
-// Exec parses and executes one statement. SELECT statements are routed to a
-// single replica; all other statements execute on every replica of the
+// Exec parses and executes one statement, serving repeated statement text
+// from the controller's shared statement cache. SELECT statements are routed
+// to a single replica; all other statements execute on every replica of the
 // database (read-one-write-all).
 func (t *Txn) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
-	stmt, err := sqldb.Parse(sql)
+	stmt, err := t.c.stmts.Parse(sql)
 	if err != nil {
 		return nil, err
 	}

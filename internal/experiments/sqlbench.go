@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sdp/internal/core"
+	"sdp/internal/sqldb"
+	"sdp/internal/tpcw"
+)
+
+// SQLBench holds the hot-path microbenchmark results tracked across
+// revisions of the query engine (see DESIGN.md, "Performance architecture").
+// The three ns/op numbers correspond to BenchmarkSQLPointRead,
+// BenchmarkClusterReplicatedWrite and BenchmarkTPCWMixSingleEngine; the JSON
+// form is what cmd/experiments -bench-sqldb writes to BENCH_sqldb.json.
+type SQLBench struct {
+	PointReadNsPerOp       float64 `json:"point_read_ns_per_op"`
+	ReplicatedWriteNsPerOp float64 `json:"replicated_write_ns_per_op"`
+	TPCWMixNsPerOp         float64 `json:"tpcw_mix_ns_per_op"`
+	TPCWMixTPS             float64 `json:"tpcw_mix_tps"`
+	PlanCacheHitRate       float64 `json:"plan_cache_hit_rate"`
+	Iterations             int     `json:"iterations"`
+}
+
+// benchEngineDB adapts one database of a single engine to tpcw.DB.
+type benchEngineDB struct {
+	e  *sqldb.Engine
+	db string
+}
+
+func (d benchEngineDB) Begin() (tpcw.Txn, error) { return d.e.Begin(d.db) }
+
+// sqlBenchIters picks the per-benchmark iteration count.
+func (c Config) sqlBenchIters() int {
+	if c.Quick {
+		return 2000
+	}
+	return 50000
+}
+
+// RunSQLBench measures the three headline hot-path latencies: a single-engine
+// primary-key point read, a replicated single-row update through the cluster
+// controller (2 replicas, 2PC), and one mix-weighted TPC-W transaction on a
+// single engine. Each is reported as mean ns/op over the configured number of
+// iterations, after a warmup that fills the buffer pool and the plan caches.
+func RunSQLBench(cfg Config) (SQLBench, error) {
+	iters := cfg.sqlBenchIters()
+	res := SQLBench{Iterations: iters}
+
+	// Point read: the same loop as BenchmarkSQLPointRead.
+	e := sqldb.NewEngine(sqldb.DefaultConfig())
+	if err := e.CreateDatabase("app"); err != nil {
+		return res, err
+	}
+	if _, err := e.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		return res, err
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := e.Exec("app", fmt.Sprintf("INSERT INTO t VALUES (%d, 'val%d')", i, i)); err != nil {
+			return res, err
+		}
+	}
+	point := func(i int) error {
+		tx, err := e.Begin("app")
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Exec("SELECT v FROM t WHERE id = ?", sqldb.NewInt(int64(i%1000))); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	for i := 0; i < 200; i++ { // warmup
+		if err := point(i); err != nil {
+			return res, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := point(i); err != nil {
+			return res, err
+		}
+	}
+	res.PointReadNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	st := e.Stats().PlanCache
+	res.PlanCacheHitRate = st.HitRate()
+
+	// Replicated write: the same loop as BenchmarkClusterReplicatedWrite.
+	c := core.NewCluster("bench", core.Options{Replicas: 2})
+	if _, err := c.AddMachines(2); err != nil {
+		return res, err
+	}
+	if err := c.CreateDatabase("app"); err != nil {
+		return res, err
+	}
+	if _, err := c.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		return res, err
+	}
+	if _, err := c.Exec("app", "INSERT INTO t VALUES (1, 0)"); err != nil {
+		return res, err
+	}
+	wIters := iters / 5
+	for i := 0; i < 100; i++ { // warmup
+		if _, err := c.Exec("app", "UPDATE t SET v = v + 1 WHERE id = 1"); err != nil {
+			return res, err
+		}
+	}
+	start = time.Now()
+	for i := 0; i < wIters; i++ {
+		if _, err := c.Exec("app", "UPDATE t SET v = v + 1 WHERE id = 1"); err != nil {
+			return res, err
+		}
+	}
+	res.ReplicatedWriteNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(wIters)
+
+	// TPC-W mix: the same loop as BenchmarkTPCWMixSingleEngine.
+	te := sqldb.NewEngine(sqldb.DefaultConfig())
+	if err := te.CreateDatabase("tpcw"); err != nil {
+		return res, err
+	}
+	db := benchEngineDB{e: te, db: "tpcw"}
+	sc := tpcw.SmallScale(1)
+	if err := tpcw.Load(db, sc); err != nil {
+		return res, err
+	}
+	client := &tpcw.Client{DB: db, Mix: tpcw.ShoppingMix, Workload: tpcw.NewWorkload(sc)}
+	_ = client.RunN(1, 200) // warmup
+	mixIters := iters / 2
+	stats := client.RunN(cfg.Seed, mixIters)
+	if stats.Fatal > 0 {
+		return res, fmt.Errorf("experiments: fatal errors in TPC-W bench run")
+	}
+	res.TPCWMixNsPerOp = float64(stats.Elapsed.Nanoseconds()) / float64(mixIters)
+	res.TPCWMixTPS = stats.TPS()
+	return res, nil
+}

@@ -29,18 +29,30 @@ func (s PoolStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// poolStripeTarget is the minimum capacity (in pages) per stripe: pools
+// smaller than two stripes' worth keep a single stripe and therefore exact
+// global LRU order. maxPoolStripes bounds the stripe count for huge pools.
+const (
+	poolStripeTarget = 32
+	maxPoolStripes   = 16
+)
+
 // BufferPool is a fixed-capacity LRU cache of decoded pages, one per engine.
 // It models the DBMS buffer pool of the paper's MySQL instances: a hit serves
 // already-decoded rows, a miss pays the decode cost of the page's disk format
 // plus an optional simulated disk latency. The pool is the mechanism that
 // makes the paper's read-routing options (1/2/3) perform differently — routing
 // all of a database's reads to one replica keeps that replica's pool warm.
+//
+// The pool is sharded into lock stripes keyed by PageKey hash so concurrent
+// clients do not serialise on a single mutex. Capacity is partitioned across
+// stripes (each stripe runs its own LRU over its share), and the stripe count
+// scales with capacity: small pools — like the ones the pool-size ablation
+// experiments use — keep one stripe and exact global LRU semantics. The
+// hit/miss/eviction counters are pool-global atomics and stay exact
+// regardless of striping.
 type BufferPool struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[PageKey]*list.Element
-	lru      *list.List // front = most recently used
-
+	stripes     []poolStripe
 	missLatency time.Duration
 
 	hits      atomic.Uint64
@@ -48,38 +60,102 @@ type BufferPool struct {
 	evictions atomic.Uint64
 }
 
+// poolStripe is one lock-striped LRU segment of the pool.
+type poolStripe struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[PageKey]*list.Element
+	lru      *list.List // front = most recently used
+
+	_ [32]byte // pad to keep neighbouring stripe mutexes off one cache line
+}
+
 type poolEntry struct {
 	key   PageKey
 	slots []pageSlot
+}
+
+// poolStripeCount picks the stripe count for a capacity.
+func poolStripeCount(capacity int) int {
+	n := capacity / poolStripeTarget
+	if n > maxPoolStripes {
+		n = maxPoolStripes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // NewBufferPool creates a pool holding at most capacity decoded pages.
 // A capacity of 0 or less disables caching entirely (every access is a miss).
 // missLatency is added to every miss to simulate disk I/O; zero disables it.
 func NewBufferPool(capacity int, missLatency time.Duration) *BufferPool {
-	return &BufferPool{
-		capacity:    capacity,
-		entries:     make(map[PageKey]*list.Element),
-		lru:         list.New(),
+	n := 1
+	if capacity > 0 {
+		n = poolStripeCount(capacity)
+	}
+	p := &BufferPool{
+		stripes:     make([]poolStripe, n),
 		missLatency: missLatency,
 	}
+	base, extra := 0, 0
+	if capacity > 0 {
+		base, extra = capacity/n, capacity%n
+	}
+	for i := range p.stripes {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		p.stripes[i] = poolStripe{
+			capacity: cap,
+			entries:  make(map[PageKey]*list.Element),
+			lru:      list.New(),
+		}
+	}
+	return p
+}
+
+// Stripes returns the number of lock stripes (for tests and diagnostics).
+func (p *BufferPool) Stripes() int { return len(p.stripes) }
+
+// stripe maps a key to its owning stripe by FNV-1a hash.
+func (p *BufferPool) stripe(key PageKey) *poolStripe {
+	if len(p.stripes) == 1 {
+		return &p.stripes[0]
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key.Table); i++ {
+		h ^= uint64(key.Table[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(uint32(key.Page))
+	h *= 1099511628211
+	return &p.stripes[h%uint64(len(p.stripes))]
+}
+
+// disabled reports whether the pool caches at all.
+func (p *BufferPool) disabled() bool {
+	return len(p.stripes) == 1 && p.stripes[0].capacity <= 0
 }
 
 // Get returns the decoded slots for key, loading and decoding via load on a
 // miss. The returned slice is shared with the pool; callers must not mutate
 // it (the table layer copies rows before handing them to transactions).
 func (p *BufferPool) Get(key PageKey, load func() []byte) ([]pageSlot, error) {
-	p.mu.Lock()
-	if el, ok := p.entries[key]; ok {
-		p.lru.MoveToFront(el)
+	s := p.stripe(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
 		slots := el.Value.(*poolEntry).slots
-		p.mu.Unlock()
+		s.mu.Unlock()
 		p.hits.Add(1)
 		return slots, nil
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 
-	// Miss: decode outside the pool mutex so concurrent misses overlap,
+	// Miss: decode outside the stripe mutex so concurrent misses overlap,
 	// exactly as concurrent disk reads would.
 	p.misses.Add(1)
 	if p.missLatency > 0 {
@@ -91,77 +167,87 @@ func (p *BufferPool) Get(key PageKey, load func() []byte) ([]pageSlot, error) {
 		return nil, err
 	}
 
-	if p.capacity <= 0 {
+	if s.capacity <= 0 {
 		return slots, nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.entries[key]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
 		// Raced with another loader; keep the resident copy.
-		p.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 		return el.Value.(*poolEntry).slots, nil
 	}
-	el := p.lru.PushFront(&poolEntry{key: key, slots: slots})
-	p.entries[key] = el
-	for p.lru.Len() > p.capacity {
-		oldest := p.lru.Back()
-		p.lru.Remove(oldest)
-		delete(p.entries, oldest.Value.(*poolEntry).key)
+	el := s.lru.PushFront(&poolEntry{key: key, slots: slots})
+	s.entries[key] = el
+	p.evictOverflow(s)
+	return slots, nil
+}
+
+// evictOverflow trims a stripe to its capacity. Called with s.mu held.
+func (p *BufferPool) evictOverflow(s *poolStripe) {
+	for s.lru.Len() > s.capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*poolEntry).key)
 		p.evictions.Add(1)
 	}
-	return slots, nil
 }
 
 // Put installs (or replaces) the decoded image of a page, used by the write
 // path so that writes keep the cache coherent (write-through).
 func (p *BufferPool) Put(key PageKey, slots []pageSlot) {
-	if p.capacity <= 0 {
+	s := p.stripe(key)
+	if s.capacity <= 0 {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.entries[key]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
 		el.Value.(*poolEntry).slots = slots
-		p.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 		return
 	}
-	el := p.lru.PushFront(&poolEntry{key: key, slots: slots})
-	p.entries[key] = el
-	for p.lru.Len() > p.capacity {
-		oldest := p.lru.Back()
-		p.lru.Remove(oldest)
-		delete(p.entries, oldest.Value.(*poolEntry).key)
-		p.evictions.Add(1)
-	}
+	el := s.lru.PushFront(&poolEntry{key: key, slots: slots})
+	s.entries[key] = el
+	p.evictOverflow(s)
 }
 
 // Invalidate drops a page from the pool.
 func (p *BufferPool) Invalidate(key PageKey) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.entries[key]; ok {
-		p.lru.Remove(el)
-		delete(p.entries, key)
+	s := p.stripe(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.Remove(el)
+		delete(s.entries, key)
 	}
 }
 
 // InvalidateTable drops every cached page of a table (used by DROP TABLE).
 func (p *BufferPool) InvalidateTable(table string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for key, el := range p.entries {
-		if key.Table == table {
-			p.lru.Remove(el)
-			delete(p.entries, key)
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		for key, el := range s.entries {
+			if key.Table == table {
+				s.lru.Remove(el)
+				delete(s.entries, key)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
 // Len returns the number of resident pages.
 func (p *BufferPool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.lru.Len()
+	n := 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns a snapshot of the pool counters.

@@ -204,6 +204,9 @@ func (e *Engine) RestoreTable(db string, d TableDump) error {
 	tbl := newTable(e, qualified(db, d.Schema.Table), d.Schema.Clone())
 	tables[key] = tbl
 	e.mu.Unlock()
+	// Cached "no such table" knowledge (e.g. non-cacheable plans that were
+	// derived before the restore) must not outlive the table's appearance.
+	e.plans.invalidateTables(db, key)
 
 	for _, r := range d.Rows {
 		rowID := tbl.allocRowID()

@@ -31,6 +31,11 @@ type Config struct {
 	// shows it breaks global serializability under read-routing Options 2
 	// and 3 with an aggressive cluster controller.
 	ReleaseReadLocksAtPrepare bool
+
+	// PlanCacheSize is the number of SQL-text plan-cache entries kept per
+	// engine. Zero selects the default (512); a negative value disables the
+	// cache (every Exec re-parses and re-plans).
+	PlanCacheSize int
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation:
@@ -68,6 +73,7 @@ type Stats struct {
 	Aborts    uint64
 	Deadlocks uint64
 	Pool      PoolStats
+	PlanCache PlanCacheStats
 }
 
 // Engine is a single-node DBMS instance: the unit the cluster controller
@@ -78,6 +84,7 @@ type Engine struct {
 	cfg   Config
 	pool  *BufferPool
 	locks *lockManager
+	plans *planCache
 
 	mu     sync.RWMutex // guards catalog
 	dbs    map[string]map[string]*Table
@@ -100,6 +107,7 @@ func NewEngine(cfg Config) *Engine {
 		cfg:   cfg,
 		pool:  NewBufferPool(cfg.PoolPages, cfg.MissLatency),
 		locks: newLockManager(cfg.LockTimeout),
+		plans: newPlanCache(cfg.PlanCacheSize),
 		dbs:   make(map[string]map[string]*Table),
 	}
 }
@@ -152,6 +160,7 @@ func (e *Engine) Stats() Stats {
 		Aborts:    e.aborts.Load(),
 		Deadlocks: e.locks.deadlockCount(),
 		Pool:      e.pool.Stats(),
+		PlanCache: e.plans.stats(),
 	}
 }
 
@@ -174,6 +183,9 @@ func (e *Engine) CreateDatabase(name string) error {
 		return fmt.Errorf("sqldb: database %s already exists", name)
 	}
 	e.dbs[name] = make(map[string]*Table)
+	// A name can be reused after a drop; retire plans derived against any
+	// earlier incarnation of this namespace.
+	e.plans.bumpGen()
 	return nil
 }
 
@@ -189,9 +201,10 @@ func (e *Engine) DropDatabase(name string) error {
 		return fmt.Errorf("sqldb: database %s does not exist", name)
 	}
 	for _, t := range tables {
-		e.pool.InvalidateTable(fmt.Sprintf("%s@%d", t.qname, t.version))
+		e.pool.InvalidateTable(t.poolName)
 	}
 	delete(e.dbs, name)
+	e.plans.invalidateDB(name)
 	return nil
 }
 
@@ -282,8 +295,8 @@ func (e *Engine) BeginWithID(db string, globalID uint64) (*Txn, error) {
 		GlobalID: globalID,
 		id:       e.nextTxn.Add(1),
 		engine:   e,
-		locks:    make(map[lockID]struct{}),
 	}
+	t.locks = t.locksBuf[:0]
 	t.db = db
 	return t, nil
 }
@@ -303,6 +316,67 @@ func (e *Engine) Exec(db, sql string, params ...Value) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// cachedStatement returns the parsed statement and access-path plan for
+// (db, sql), consulting the engine's plan cache. A hit whose plan generation
+// is current skips both the parser and the planner; a hit whose plan was made
+// stale by DDL keeps the parse (the AST cannot change) and re-derives just
+// the plan.
+func (e *Engine) cachedStatement(db, sql string) (Statement, *stmtPlan, error) {
+	pc := e.plans
+	if pc.disabled() {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan, _ := planStatement(e, db, stmt)
+		return stmt, plan, nil
+	}
+	if stmt, plan, ok := pc.get(db, sql); ok {
+		if plan != nil && plan.gen == pc.gen.Load() {
+			pc.hits.Add(1)
+			return stmt, plan, nil
+		}
+		pc.misses.Add(1)
+		plan, cacheable := planStatement(e, db, stmt)
+		if cacheable {
+			pc.put(db, sql, stmt, plan)
+		}
+		return stmt, plan, nil
+	}
+	pc.misses.Add(1)
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, cacheable := planStatement(e, db, stmt)
+	if cacheable {
+		pc.put(db, sql, stmt, plan)
+	}
+	return stmt, plan, nil
+}
+
+// plannedStmt returns the memoised access-path plan for a pre-parsed
+// statement, keyed by AST identity. This is the fast path for the cluster
+// controller, which parses a statement once and executes the same AST against
+// every replica engine.
+func (e *Engine) plannedStmt(db string, stmt Statement) *stmtPlan {
+	pc := e.plans
+	if pc.disabled() {
+		plan, _ := planStatement(e, db, stmt)
+		return plan
+	}
+	if plan, ok := pc.memoLoad(db, stmt); ok {
+		pc.hits.Add(1)
+		return plan
+	}
+	pc.misses.Add(1)
+	plan, cacheable := planStatement(e, db, stmt)
+	if cacheable && plan != nil {
+		pc.memoStore(db, stmt, plan)
+	}
+	return plan
 }
 
 // qualified returns the lock/pool namespace name of a table.

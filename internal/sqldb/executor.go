@@ -25,8 +25,14 @@ func (t *Txn) lockRow(tbl *Table, key string, mode LockMode) error {
 }
 
 // execute dispatches a parsed statement. The transaction's state has already
-// been validated by the caller.
-func (e *Engine) execute(t *Txn, stmt Statement, params []Value) (*Result, error) {
+// been validated by the caller. plan, when non-nil, carries the cached
+// access-path plan for the statement; executors re-validate it against the
+// resolved table and re-plan ad hoc if it is stale.
+func (e *Engine) execute(t *Txn, stmt Statement, plan *stmtPlan, params []Value) (*Result, error) {
+	var access *accessPath
+	if plan != nil {
+		access = plan.access
+	}
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return e.execCreateTable(t, s)
@@ -37,11 +43,15 @@ func (e *Engine) execute(t *Txn, stmt Statement, params []Value) (*Result, error
 	case *InsertStmt:
 		return e.execInsert(t, s, params)
 	case *UpdateStmt:
-		return e.execUpdate(t, s, params)
+		return e.execUpdate(t, s, access, params)
 	case *DeleteStmt:
-		return e.execDelete(t, s, params)
+		return e.execDelete(t, s, access, params)
 	case *SelectStmt:
-		return e.execSelect(t, s, params)
+		var sel *selPlan
+		if plan != nil {
+			sel = plan.sel
+		}
+		return e.execSelect(t, s, access, sel, params)
 	case *ExplainStmt:
 		return e.execExplain(t, s, params)
 	case *BeginStmt, *CommitStmt, *RollbackStmt:
@@ -82,6 +92,7 @@ func (e *Engine) execCreateTable(t *Txn, s *CreateTableStmt) (*Result, error) {
 		return nil, fmt.Errorf("%w: %s", ErrTableExists, s.Table)
 	}
 	tables[key] = newTable(e, qualified(t.db, s.Table), schema)
+	e.plans.invalidateTables(t.db, key)
 	return &Result{}, nil
 }
 
@@ -101,6 +112,9 @@ func (e *Engine) execCreateIndex(t *Txn, s *CreateIndexStmt) (*Result, error) {
 	if err := tbl.createIndex(s.Name, colIdx, s.Unique); err != nil {
 		return nil, err
 	}
+	// Cached plans for this table may be full scans that should now use the
+	// index; force re-derivation.
+	e.plans.invalidateTables(t.db, lower(s.Table))
 	return &Result{}, nil
 }
 
@@ -123,7 +137,8 @@ func (e *Engine) execDropTable(t *Txn, s *DropTableStmt) (*Result, error) {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoTable, t.db, s.Table)
 	}
 	delete(tables, key)
-	e.pool.InvalidateTable(fmt.Sprintf("%s@%d", tbl.qname, tbl.version))
+	e.pool.InvalidateTable(tbl.poolName)
+	e.plans.invalidateTables(t.db, key)
 	return &Result{}, nil
 }
 
@@ -219,7 +234,7 @@ func (e *Engine) execInsert(t *Txn, s *InsertStmt, params []Value) (*Result, err
 
 // --- UPDATE / DELETE --------------------------------------------------------
 
-func (e *Engine) execUpdate(t *Txn, s *UpdateStmt, params []Value) (*Result, error) {
+func (e *Engine) execUpdate(t *Txn, s *UpdateStmt, access *accessPath, params []Value) (*Result, error) {
 	tbl, err := e.Table(t.db, s.Table)
 	if err != nil {
 		return nil, err
@@ -236,7 +251,7 @@ func (e *Engine) execUpdate(t *Txn, s *UpdateStmt, params []Value) (*Result, err
 	}
 
 	bindings := bindingsFor(schema, s.Table)
-	targets, err := e.writeTargets(t, tbl, s.Where, params, bindings)
+	targets, err := e.writeTargets(t, tbl, s.Where, params, bindings, access)
 	if err != nil {
 		return nil, err
 	}
@@ -275,13 +290,13 @@ func (e *Engine) execUpdate(t *Txn, s *UpdateStmt, params []Value) (*Result, err
 	return &Result{Affected: affected}, nil
 }
 
-func (e *Engine) execDelete(t *Txn, s *DeleteStmt, params []Value) (*Result, error) {
+func (e *Engine) execDelete(t *Txn, s *DeleteStmt, access *accessPath, params []Value) (*Result, error) {
 	tbl, err := e.Table(t.db, s.Table)
 	if err != nil {
 		return nil, err
 	}
 	bindings := bindingsFor(tbl.schema, s.Table)
-	targets, err := e.writeTargets(t, tbl, s.Where, params, bindings)
+	targets, err := e.writeTargets(t, tbl, s.Where, params, bindings, access)
 	if err != nil {
 		return nil, err
 	}
@@ -299,10 +314,12 @@ type writeTarget struct {
 	row   Row
 }
 
-// writeTargets locks and returns the rows matched by where. Point accesses
-// (primary-key equality) lock just the one key; otherwise candidates are
-// found by scan or secondary index, X-locked, re-fetched and re-checked.
-func (e *Engine) writeTargets(t *Txn, tbl *Table, where Expr, params []Value, bindings []colBinding) ([]writeTarget, error) {
+// writeTargets locks and returns the rows matched by where, following the
+// access path. Point accesses (primary-key equality) lock just the one key;
+// index equality and index range find candidates through the index; anything
+// else scans. Non-point candidates are X-locked, re-fetched and re-checked
+// against the full predicate after the lock.
+func (e *Engine) writeTargets(t *Txn, tbl *Table, where Expr, params []Value, bindings []colBinding, path *accessPath) ([]writeTarget, error) {
 	schema := tbl.schema
 	if schema.PKIdx < 0 {
 		// No row identity: whole-table X lock, then scan.
@@ -312,11 +329,18 @@ func (e *Engine) writeTargets(t *Txn, tbl *Table, where Expr, params []Value, bi
 		e.record(t, true, tbl.qname)
 		return e.collectByScan(t, tbl, where, params, bindings, false)
 	}
+	if path == nil || !path.validFor(tbl) {
+		path = planWhere(tbl, where)
+	}
 	if err := t.lockTable(tbl, LockIX); err != nil {
 		return nil, err
 	}
-	// Point write?
-	if pkVal, residual, ok := pkEquality(where, schema, params); ok {
+	switch path.kind {
+	case pathPoint:
+		pkVal, err := evalConst(path.eq, params)
+		if err != nil {
+			return nil, err
+		}
 		key := keyString(pkVal)
 		if err := t.lockRow(tbl, key, LockX); err != nil {
 			return nil, err
@@ -330,8 +354,8 @@ func (e *Engine) writeTargets(t *Txn, tbl *Table, where Expr, params []Value, bi
 		if !found {
 			return nil, nil
 		}
-		if residual != nil {
-			match, err := predTrue(residual, &evalCtx{bindings: bindings, row: row, params: params})
+		if path.residual != nil {
+			match, err := predTrue(path.residual, &evalCtx{bindings: bindings, row: row, params: params})
 			if err != nil {
 				return nil, err
 			}
@@ -340,40 +364,97 @@ func (e *Engine) writeTargets(t *Txn, tbl *Table, where Expr, params []Value, bi
 			}
 		}
 		return []writeTarget{{rowID: rowID, row: row}}, nil
+	case pathIndexEq:
+		if tbl.hasIndex(path.col) {
+			val, err := evalConst(path.eq, params)
+			if err != nil {
+				return nil, err
+			}
+			ids, _ := tbl.lookupIndex(path.col, val)
+			return e.lockWriteCandidates(t, tbl, ids, where, params, bindings)
+		}
+	case pathIndexRange:
+		b, fallback, err := path.rangeExec(tbl, params)
+		if err != nil {
+			return nil, err
+		}
+		if !fallback && (path.onPK || tbl.hasIndex(path.col)) {
+			var ids []uint64
+			if path.onPK {
+				ids = tbl.lookupPKRange(b)
+			} else {
+				ids, _ = tbl.lookupIndexRange(path.col, b)
+			}
+			return e.lockWriteCandidates(t, tbl, ids, where, params, bindings)
+		}
 	}
 	return e.collectByScan(t, tbl, where, params, bindings, true)
 }
 
-// collectByScan finds matching rows via full scan, then (if lockRows) locks
-// each one exclusively and re-validates the predicate after the lock.
+// lockWriteCandidates X-locks each candidate row and keeps those that still
+// match the full predicate after the lock (index candidates are pre-lock
+// guesses; the row may have changed or vanished in between).
+func (e *Engine) lockWriteCandidates(t *Txn, tbl *Table, ids []uint64, where Expr, params []Value, bindings []colBinding) ([]writeTarget, error) {
+	pkIdx := tbl.schema.PKIdx
+	ctx := &evalCtx{bindings: bindings, params: params}
+	var out []writeTarget
+	for _, id := range ids {
+		row, found := tbl.getRow(id)
+		if !found {
+			continue
+		}
+		key := keyString(row[pkIdx])
+		if err := t.lockRow(tbl, key, LockX); err != nil {
+			return nil, err
+		}
+		e.record(t, true, tbl.qname+":"+key)
+		row, found = tbl.getRow(id)
+		if !found {
+			continue
+		}
+		if where != nil {
+			ctx.row = row
+			match, err := predTrue(where, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				continue
+			}
+		}
+		out = append(out, writeTarget{rowID: id, row: row})
+	}
+	return out, nil
+}
+
+// collectByScan finds matching rows via a filtered scan, then (if lockRows)
+// locks each one exclusively and re-validates the predicate after the lock.
 func (e *Engine) collectByScan(t *Txn, tbl *Table, where Expr, params []Value, bindings []colBinding, lockRows bool) ([]writeTarget, error) {
 	type candidate struct {
 		rowID uint64
 		key   string
 	}
 	var cands []candidate
-	var scanErr error
-	tbl.scan(func(rowID uint64, r Row) bool {
-		if where != nil {
-			match, err := predTrue(where, &evalCtx{bindings: bindings, row: r, params: params})
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			if !match {
-				return true
-			}
+	var match func(Row) (bool, error)
+	if where != nil {
+		ctx := &evalCtx{bindings: bindings, params: params}
+		match = func(r Row) (bool, error) {
+			ctx.row = r
+			return predTrue(where, ctx)
 		}
+	}
+	pkIdx := tbl.schema.PKIdx
+	if err := tbl.scanWhere(match, func(rowID uint64, r Row) bool {
 		key := ""
-		if tbl.schema.PKIdx >= 0 {
-			key = keyString(r[tbl.schema.PKIdx])
+		if pkIdx >= 0 {
+			key = keyString(r[pkIdx])
 		}
 		cands = append(cands, candidate{rowID: rowID, key: key})
 		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
+	}); err != nil {
+		return nil, err
 	}
+	recheck := &evalCtx{bindings: bindings, params: params}
 	var out []writeTarget
 	for _, c := range cands {
 		if lockRows {
@@ -387,11 +468,12 @@ func (e *Engine) collectByScan(t *Txn, tbl *Table, where Expr, params []Value, b
 			continue
 		}
 		if where != nil {
-			match, err := predTrue(where, &evalCtx{bindings: bindings, row: row, params: params})
+			recheck.row = row
+			matched, err := predTrue(where, recheck)
 			if err != nil {
 				return nil, err
 			}
-			if !match {
+			if !matched {
 				continue
 			}
 		}
@@ -402,7 +484,7 @@ func (e *Engine) collectByScan(t *Txn, tbl *Table, where Expr, params []Value, b
 
 // --- SELECT -----------------------------------------------------------------
 
-func (e *Engine) execSelect(t *Txn, s *SelectStmt, params []Value) (*Result, error) {
+func (e *Engine) execSelect(t *Txn, s *SelectStmt, access *accessPath, sel *selPlan, params []Value) (*Result, error) {
 	if s.From == nil {
 		// SELECT without FROM: evaluate items once against an empty row.
 		ctx := &evalCtx{params: params}
@@ -423,14 +505,18 @@ func (e *Engine) execSelect(t *Txn, s *SelectStmt, params []Value) (*Result, err
 		return res, nil
 	}
 
-	rows, bindings, err := e.selectSource(t, s, params)
+	rows, bindings, err := e.selectSource(t, s, access, params)
 	if err != nil {
 		return nil, err
 	}
-	if err := validateSelect(s, bindings); err != nil {
-		return nil, err
+	// A cached selPlan was validated and star-expanded at plan time against
+	// the same generation; skip both per-execution passes.
+	if sel == nil {
+		if err := validateSelect(s, bindings); err != nil {
+			return nil, err
+		}
 	}
-	return project(s, rows, bindings, params)
+	return project(s, rows, bindings, params, sel)
 }
 
 // validateSelect resolves every column reference in the statement against
@@ -530,7 +616,7 @@ func validateSelect(s *SelectStmt, bindings []colBinding) error {
 
 // selectSource produces the filtered, joined source rows and their column
 // bindings, acquiring read locks along the way.
-func (e *Engine) selectSource(t *Txn, s *SelectStmt, params []Value) ([]Row, []colBinding, error) {
+func (e *Engine) selectSource(t *Txn, s *SelectStmt, access *accessPath, params []Value) ([]Row, []colBinding, error) {
 	baseTbl, err := e.Table(t.db, s.From.Table)
 	if err != nil {
 		return nil, nil, err
@@ -538,7 +624,7 @@ func (e *Engine) selectSource(t *Txn, s *SelectStmt, params []Value) ([]Row, []c
 	baseBind := bindingsFor(baseTbl.schema, s.From.Name())
 
 	if len(s.Joins) == 0 {
-		rows, err := e.readTableRows(t, baseTbl, s.From.Name(), s.Where, params, baseBind)
+		rows, err := e.readTableRows(t, baseTbl, s.Where, params, baseBind, access)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -546,11 +632,20 @@ func (e *Engine) selectSource(t *Txn, s *SelectStmt, params []Value) ([]Row, []c
 	}
 
 	// Joined query: read each table under a shared table lock and combine.
-	if err := t.lockTable(baseTbl, LockS); err != nil {
+	// WHERE conjuncts that reference only one table are pushed down to that
+	// table's scan, so the join works on pre-filtered inputs. Pushing into
+	// the right side of a LEFT JOIN would change which left rows null-extend,
+	// so only inner-join sides (and the base table) receive pushed filters.
+	var conjuncts []Expr
+	if s.Where != nil {
+		conjuncts = splitAnd(s.Where)
+	}
+	consumed := make([]bool, len(conjuncts))
+
+	current, err := e.readScan(t, baseTbl, pushdownFilter(conjuncts, consumed, baseBind), params, baseBind)
+	if err != nil {
 		return nil, nil, err
 	}
-	e.record(t, false, baseTbl.qname)
-	current := scanAll(baseTbl)
 	bindings := baseBind
 
 	for _, j := range s.Joins {
@@ -558,12 +653,15 @@ func (e *Engine) selectSource(t *Txn, s *SelectStmt, params []Value) ([]Row, []c
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := t.lockTable(jt, LockS); err != nil {
+		rightBind := bindingsFor(jt.schema, j.Table.Name())
+		var rightFilter Expr
+		if !j.Left {
+			rightFilter = pushdownFilter(conjuncts, consumed, rightBind)
+		}
+		right, err := e.readScan(t, jt, rightFilter, params, rightBind)
+		if err != nil {
 			return nil, nil, err
 		}
-		e.record(t, false, jt.qname)
-		right := scanAll(jt)
-		rightBind := bindingsFor(jt.schema, j.Table.Name())
 		current, err = joinRows(current, bindings, right, rightBind, j, params)
 		if err != nil {
 			return nil, nil, err
@@ -571,10 +669,18 @@ func (e *Engine) selectSource(t *Txn, s *SelectStmt, params []Value) ([]Row, []c
 		bindings = append(append([]colBinding{}, bindings...), rightBind...)
 	}
 
-	if s.Where != nil {
+	var rest []Expr
+	for i, c := range conjuncts {
+		if !consumed[i] {
+			rest = append(rest, c)
+		}
+	}
+	if residual := joinAnd(rest); residual != nil {
+		ctx := &evalCtx{bindings: bindings, params: params}
 		filtered := current[:0]
 		for _, r := range current {
-			match, err := predTrue(s.Where, &evalCtx{bindings: bindings, row: r, params: params})
+			ctx.row = r
+			match, err := predTrue(residual, ctx)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -587,115 +693,241 @@ func (e *Engine) selectSource(t *Txn, s *SelectStmt, params []Value) ([]Row, []c
 	return current, bindings, nil
 }
 
-// readTableRows reads the rows of one table matching where, choosing among
-// point access (PK equality: IS + row S lock), secondary-index equality
-// (IS + row S locks on matches), and full scan (table S lock).
-func (e *Engine) readTableRows(t *Txn, tbl *Table, alias string, where Expr, params []Value, bindings []colBinding) ([]Row, error) {
-	schema := tbl.schema
-
-	if schema.PKIdx >= 0 {
-		if pkVal, residual, ok := pkEquality(where, schema, params); ok {
-			if err := t.lockTable(tbl, LockIS); err != nil {
-				return nil, err
-			}
-			key := keyString(pkVal)
-			if err := t.lockRow(tbl, key, LockS); err != nil {
-				return nil, err
-			}
-			e.record(t, false, tbl.qname+":"+key)
-			rowID, found := tbl.lookupPK(pkVal)
-			if !found {
-				return nil, nil
-			}
-			row, found := tbl.getRow(rowID)
-			if !found {
-				return nil, nil
-			}
-			if residual != nil {
-				match, err := predTrue(residual, &evalCtx{bindings: bindings, row: row, params: params})
-				if err != nil {
-					return nil, err
-				}
-				if !match {
-					return nil, nil
-				}
-			}
-			return []Row{row}, nil
+// pushdownFilter selects the not-yet-consumed conjuncts that resolve
+// entirely within one table's bindings, marks them consumed, and joins them
+// into a filter for that table's scan.
+func pushdownFilter(conjuncts []Expr, consumed []bool, bind []colBinding) Expr {
+	var picked []Expr
+	for i, c := range conjuncts {
+		if consumed[i] || !exprResolvesIn(c, bind) {
+			continue
 		}
-		if col, val, residual, ok := indexEquality(where, tbl, params); ok {
-			if err := t.lockTable(tbl, LockIS); err != nil {
-				return nil, err
-			}
-			ids, _ := tbl.lookupIndex(col, val)
-			var out []Row
-			for _, id := range ids {
-				row, found := tbl.getRow(id)
-				if !found {
-					continue
-				}
-				key := keyString(row[schema.PKIdx])
-				if err := t.lockRow(tbl, key, LockS); err != nil {
-					return nil, err
-				}
-				e.record(t, false, tbl.qname+":"+key)
-				// Re-fetch after locking; the row may have changed.
-				row, found = tbl.getRow(id)
-				if !found {
-					continue
-				}
-				if !Equal(row[tbl.schema.ColIndex(col)], val) && !(row[tbl.schema.ColIndex(col)].numeric() && val.numeric() && Compare(row[tbl.schema.ColIndex(col)], val) == 0) {
-					continue
-				}
-				if residual != nil {
-					match, err := predTrue(residual, &evalCtx{bindings: bindings, row: row, params: params})
-					if err != nil {
-						return nil, err
-					}
-					if !match {
-						continue
-					}
-				}
-				out = append(out, row)
-			}
-			return out, nil
-		}
+		consumed[i] = true
+		picked = append(picked, c)
 	}
+	return joinAnd(picked)
+}
 
-	// Full scan under a shared table lock.
-	if err := t.lockTable(tbl, LockS); err != nil {
-		return nil, err
-	}
-	e.record(t, false, tbl.qname)
-	var out []Row
-	var scanErr error
-	tbl.scan(func(_ uint64, r Row) bool {
-		if where != nil {
-			match, err := predTrue(where, &evalCtx{bindings: bindings, row: r, params: params})
-			if err != nil {
-				scanErr = err
+// exprResolvesIn reports whether every column reference in e resolves
+// unambiguously within bind and e contains no aggregates.
+func exprResolvesIn(e Expr, bind []colBinding) bool {
+	switch ex := e.(type) {
+	case nil:
+		return true
+	case *LiteralExpr:
+		return true
+	case *ParamExpr:
+		return true
+	case *ColumnExpr:
+		return resolveBinding(bind, ex) >= 0
+	case *BinaryExpr:
+		return exprResolvesIn(ex.L, bind) && exprResolvesIn(ex.R, bind)
+	case *UnaryExpr:
+		return exprResolvesIn(ex.E, bind)
+	case *InExpr:
+		if !exprResolvesIn(ex.E, bind) {
+			return false
+		}
+		for _, l := range ex.List {
+			if !exprResolvesIn(l, bind) {
 				return false
 			}
+		}
+		return true
+	case *BetweenExpr:
+		return exprResolvesIn(ex.E, bind) && exprResolvesIn(ex.Lo, bind) && exprResolvesIn(ex.Hi, bind)
+	case *LikeExpr:
+		return exprResolvesIn(ex.E, bind) && exprResolvesIn(ex.Pattern, bind)
+	case *IsNullExpr:
+		return exprResolvesIn(ex.E, bind)
+	default:
+		return false
+	}
+}
+
+// readTableRows reads the rows of one table matching where, following the
+// access path: point (IS + one row S lock), index equality (IS + row S locks
+// on matches), index range (IS + row S locks in key order), or full scan
+// (table S lock). Paths that cannot execute — missing index, stale plan,
+// NULL or non-comparable bound — fall back to the scan.
+func (e *Engine) readTableRows(t *Txn, tbl *Table, where Expr, params []Value, bindings []colBinding, path *accessPath) ([]Row, error) {
+	if path == nil || !path.validFor(tbl) {
+		path = planWhere(tbl, where)
+	}
+	switch path.kind {
+	case pathPoint:
+		return e.readPoint(t, tbl, params, bindings, path)
+	case pathIndexEq:
+		if tbl.hasIndex(path.col) {
+			return e.readIndexEq(t, tbl, params, bindings, path)
+		}
+	case pathIndexRange:
+		b, fallback, err := path.rangeExec(tbl, params)
+		if err != nil {
+			return nil, err
+		}
+		if !fallback && (path.onPK || tbl.hasIndex(path.col)) {
+			return e.readIndexRange(t, tbl, b, params, bindings, path)
+		}
+	}
+	return e.readScan(t, tbl, where, params, bindings)
+}
+
+// readPoint serves a primary-key equality read: IS table lock plus one row
+// S lock.
+func (e *Engine) readPoint(t *Txn, tbl *Table, params []Value, bindings []colBinding, path *accessPath) ([]Row, error) {
+	pkVal, err := evalConst(path.eq, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lockTable(tbl, LockIS); err != nil {
+		return nil, err
+	}
+	key := keyString(pkVal)
+	if err := t.lockRow(tbl, key, LockS); err != nil {
+		return nil, err
+	}
+	e.record(t, false, tbl.qname+":"+key)
+	rowID, found := tbl.lookupPK(pkVal)
+	if !found {
+		return nil, nil
+	}
+	row, found := tbl.getRow(rowID)
+	if !found {
+		return nil, nil
+	}
+	if path.residual != nil {
+		match, err := predTrue(path.residual, &evalCtx{bindings: bindings, row: row, params: params})
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			return nil, nil
+		}
+	}
+	return []Row{row}, nil
+}
+
+// readIndexEq serves a secondary-index equality read: IS table lock plus a
+// row S lock per candidate, re-fetching and re-checking after each lock.
+func (e *Engine) readIndexEq(t *Txn, tbl *Table, params []Value, bindings []colBinding, path *accessPath) ([]Row, error) {
+	val, err := evalConst(path.eq, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lockTable(tbl, LockIS); err != nil {
+		return nil, err
+	}
+	ids, _ := tbl.lookupIndex(path.col, val)
+	pkIdx := tbl.schema.PKIdx
+	ctx := &evalCtx{bindings: bindings, params: params}
+	var out []Row
+	for _, id := range ids {
+		row, found := tbl.getRow(id)
+		if !found {
+			continue
+		}
+		key := keyString(row[pkIdx])
+		if err := t.lockRow(tbl, key, LockS); err != nil {
+			return nil, err
+		}
+		e.record(t, false, tbl.qname+":"+key)
+		// Re-fetch after locking; the row may have changed.
+		row, found = tbl.getRow(id)
+		if !found {
+			continue
+		}
+		if !Equal(row[path.colIdx], val) {
+			continue
+		}
+		if path.residual != nil {
+			ctx.row = row
+			match, err := predTrue(path.residual, ctx)
+			if err != nil {
+				return nil, err
+			}
 			if !match {
-				return true
+				continue
 			}
 		}
-		out = append(out, r)
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
+		out = append(out, row)
 	}
 	return out, nil
 }
 
-// scanAll returns every live row of a table (caller holds a table S lock).
-func scanAll(tbl *Table) []Row {
+// readIndexRange serves a range read over the primary key or a secondary
+// index: IS table lock plus a row S lock per candidate in ascending key
+// order, re-checking the bounds and residual after each lock.
+func (e *Engine) readIndexRange(t *Txn, tbl *Table, b rangeBounds, params []Value, bindings []colBinding, path *accessPath) ([]Row, error) {
+	if err := t.lockTable(tbl, LockIS); err != nil {
+		return nil, err
+	}
+	var ids []uint64
+	if path.onPK {
+		ids = tbl.lookupPKRange(b)
+	} else {
+		ids, _ = tbl.lookupIndexRange(path.col, b)
+	}
+	pkIdx := tbl.schema.PKIdx
+	ctx := &evalCtx{bindings: bindings, params: params}
 	var out []Row
-	tbl.scan(func(_ uint64, r Row) bool {
+	for _, id := range ids {
+		row, found := tbl.getRow(id)
+		if !found {
+			continue
+		}
+		key := keyString(row[pkIdx])
+		if err := t.lockRow(tbl, key, LockS); err != nil {
+			return nil, err
+		}
+		e.record(t, false, tbl.qname+":"+key)
+		row, found = tbl.getRow(id)
+		if !found {
+			continue
+		}
+		if !b.match(row[path.colIdx]) {
+			continue
+		}
+		if path.residual != nil {
+			ctx.row = row
+			match, err := predTrue(path.residual, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				continue
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// readScan reads every row matching where under a shared table lock, with
+// the predicate evaluated under the page latch so non-matching rows are
+// never cloned.
+func (e *Engine) readScan(t *Txn, tbl *Table, where Expr, params []Value, bindings []colBinding) ([]Row, error) {
+	if err := t.lockTable(tbl, LockS); err != nil {
+		return nil, err
+	}
+	e.record(t, false, tbl.qname)
+	var match func(Row) (bool, error)
+	if where != nil {
+		ctx := &evalCtx{bindings: bindings, params: params}
+		match = func(r Row) (bool, error) {
+			ctx.row = r
+			return predTrue(where, ctx)
+		}
+	}
+	var out []Row
+	err := tbl.scanWhere(match, func(_ uint64, r Row) bool {
 		out = append(out, r)
 		return true
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // joinRows combines left rows with right rows under the join clause. When
@@ -782,10 +1014,17 @@ func nullRow(n int) Row {
 
 // project applies grouping, aggregation, projection, DISTINCT, ORDER BY and
 // LIMIT to the source rows.
-func project(s *SelectStmt, rows []Row, bindings []colBinding, params []Value) (*Result, error) {
-	items, cols, err := expandStars(s.Items, bindings)
-	if err != nil {
-		return nil, err
+func project(s *SelectStmt, rows []Row, bindings []colBinding, params []Value, pre *selPlan) (*Result, error) {
+	var items []SelectItem
+	var cols []string
+	if pre != nil {
+		items, cols = pre.items, pre.cols
+	} else {
+		var err error
+		items, cols, err = expandStars(s.Items, bindings)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	grouped := len(s.GroupBy) > 0 || anyAggregate(items) || s.Having != nil
@@ -1032,102 +1271,7 @@ func exprHasAggregate(e Expr) bool {
 	return false
 }
 
-// --- access-path analysis ---------------------------------------------------
-
-// pkEquality detects a top-level "pk = constant" conjunct in where. It
-// returns the constant, the residual predicate (other conjuncts, nil if
-// none), and whether the pattern matched.
-func pkEquality(where Expr, schema *Schema, params []Value) (Value, Expr, bool) {
-	if where == nil || schema.PKIdx < 0 {
-		return Null, nil, false
-	}
-	pkName := schema.Cols[schema.PKIdx].Name
-	conjuncts := splitAnd(where)
-	for i, c := range conjuncts {
-		if v, ok := colEqConst(c, pkName, params); ok {
-			rest := joinAnd(append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...))
-			return v, rest, true
-		}
-	}
-	return Null, nil, false
-}
-
-// indexEquality detects a top-level "col = constant" conjunct where col has
-// a secondary index.
-func indexEquality(where Expr, tbl *Table, params []Value) (string, Value, Expr, bool) {
-	if where == nil {
-		return "", Null, nil, false
-	}
-	conjuncts := splitAnd(where)
-	for i, c := range conjuncts {
-		be, ok := c.(*BinaryExpr)
-		if !ok || be.Op != OpEq {
-			continue
-		}
-		ce, val, ok := eqSides(be, params)
-		if !ok {
-			continue
-		}
-		if tbl.hasIndex(lower(ce.Col)) {
-			rest := joinAnd(append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...))
-			return lower(ce.Col), val, rest, true
-		}
-	}
-	return "", Null, nil, false
-}
-
-// colEqConst matches "col = const" (or reversed) for the named column.
-func colEqConst(e Expr, col string, params []Value) (Value, bool) {
-	be, ok := e.(*BinaryExpr)
-	if !ok || be.Op != OpEq {
-		return Null, false
-	}
-	ce, val, ok := eqSides(be, params)
-	if !ok {
-		return Null, false
-	}
-	if strings.EqualFold(ce.Col, col) {
-		return val, true
-	}
-	return Null, false
-}
-
-// eqSides extracts (column, constant) from an equality in either order.
-func eqSides(be *BinaryExpr, params []Value) (*ColumnExpr, Value, bool) {
-	if ce, ok := be.L.(*ColumnExpr); ok {
-		if v, ok := constVal(be.R, params); ok {
-			return ce, v, true
-		}
-	}
-	if ce, ok := be.R.(*ColumnExpr); ok {
-		if v, ok := constVal(be.L, params); ok {
-			return ce, v, true
-		}
-	}
-	return nil, Null, false
-}
-
-func constVal(e Expr, params []Value) (Value, bool) {
-	switch ex := e.(type) {
-	case *LiteralExpr:
-		return ex.Val, true
-	case *ParamExpr:
-		if ex.Index < len(params) {
-			return params[ex.Index], true
-		}
-		return Null, false
-	case *UnaryExpr:
-		if ex.Op == OpNeg {
-			if v, ok := constVal(ex.E, params); ok && v.numeric() {
-				if v.Typ == TypeInt {
-					return NewInt(-v.Int), true
-				}
-				return NewFloat(-v.Float), true
-			}
-		}
-	}
-	return Null, false
-}
+// --- predicate decomposition ------------------------------------------------
 
 func splitAnd(e Expr) []Expr {
 	if be, ok := e.(*BinaryExpr); ok && be.Op == OpAnd {

@@ -8,7 +8,8 @@ import (
 // execExplain describes the access paths the executor would choose for the
 // inner statement, without executing it. The result has columns
 // (table, access, detail): access is one of "point" (primary-key lookup),
-// "index" (secondary-index equality), "scan" (full table scan), "insert",
+// "index" (secondary-index equality), "range" (ordered index or primary-key
+// traversal for <, <=, >, >=, BETWEEN), "scan" (full table scan), "insert",
 // or the join strategy "hash-join"/"nested-loop" for joined tables.
 func (e *Engine) execExplain(t *Txn, s *ExplainStmt, params []Value) (*Result, error) {
 	res := &Result{Cols: []string{"table", "access", "detail"}}
@@ -88,21 +89,52 @@ func (e *Engine) execExplain(t *Txn, s *ExplainStmt, params []Value) (*Result, e
 	}
 }
 
-// explainAccess mirrors the executor's access-path choice for one table.
+// explainAccess mirrors the executor's access-path choice for one table by
+// running the same planner the execution path caches.
 func (e *Engine) explainAccess(tbl *Table, where Expr, params []Value) (access, detail string) {
-	schema := tbl.schema
-	if schema.PKIdx >= 0 {
-		if v, _, ok := pkEquality(where, schema, params); ok {
-			return "point", fmt.Sprintf("%s = %s", schema.Cols[schema.PKIdx].Name, v)
-		}
-		if col, v, _, ok := indexEquality(where, tbl, params); ok {
-			return "index", fmt.Sprintf("%s = %s", col, v)
-		}
+	path := planWhere(tbl, where)
+	switch path.kind {
+	case pathPoint:
+		return "point", fmt.Sprintf("%s = %s", tbl.schema.Cols[tbl.schema.PKIdx].Name, constString(path.eq, params))
+	case pathIndexEq:
+		return "index", fmt.Sprintf("%s = %s", path.col, constString(path.eq, params))
+	case pathIndexRange:
+		return "range", rangeDetail(path, params)
 	}
 	if where == nil {
 		return "scan", fmt.Sprintf("all %d rows", tbl.RowCount())
 	}
 	return "scan", fmt.Sprintf("filter over %d rows", tbl.RowCount())
+}
+
+// constString renders a constant bound expression for EXPLAIN output,
+// resolving parameters when bindings were supplied.
+func constString(e Expr, params []Value) string {
+	if v, err := evalConst(e, params); err == nil {
+		return v.String()
+	}
+	return "?"
+}
+
+// rangeDetail renders the bounds of a range path, e.g. "price >= 10 AND
+// price < 20".
+func rangeDetail(p *accessPath, params []Value) string {
+	var parts []string
+	if p.lo != nil {
+		op := ">"
+		if p.loIncl {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", p.col, op, constString(p.lo, params)))
+	}
+	if p.hi != nil {
+		op := "<"
+		if p.hiIncl {
+			op = "<="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", p.col, op, constString(p.hi, params)))
+	}
+	return strings.Join(parts, " AND ")
 }
 
 func exprName(ce *ColumnExpr) string {

@@ -19,8 +19,13 @@ func TestExplainAccessPaths(t *testing.T) {
 		{"EXPLAIN SELECT * FROM t WHERE cat = 'a'", "index"},
 		{"EXPLAIN SELECT * FROM t WHERE n > 1", "scan"},
 		{"EXPLAIN SELECT * FROM t", "scan"},
+		{"EXPLAIN SELECT * FROM t WHERE id > 1", "range"},
+		{"EXPLAIN SELECT * FROM t WHERE id BETWEEN 1 AND 2", "range"},
+		{"EXPLAIN SELECT * FROM t WHERE cat > 'a' AND cat <= 'm'", "range"},
 		{"EXPLAIN UPDATE t SET n = 0 WHERE id = 2", "point"},
+		{"EXPLAIN UPDATE t SET n = 0 WHERE id >= 2", "range"},
 		{"EXPLAIN DELETE FROM t WHERE n < 0", "scan"},
+		{"EXPLAIN DELETE FROM t WHERE id < 2", "range"},
 		{"EXPLAIN INSERT INTO t VALUES (3, 'c', 3)", "insert"},
 	}
 	for _, c := range cases {
@@ -31,6 +36,27 @@ func TestExplainAccessPaths(t *testing.T) {
 		if got := res.Rows[0][1].Str; got != c.access {
 			t.Errorf("%s: access = %q, want %q", c.sql, got, c.access)
 		}
+	}
+}
+
+func TestExplainRangeDetail(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+
+	res := mustExec(t, e, "EXPLAIN SELECT * FROM t WHERE id BETWEEN 3 AND 7")
+	detail := res.Rows[0][2].Str
+	if !strings.Contains(detail, "id >= 3") || !strings.Contains(detail, "id <= 7") {
+		t.Errorf("BETWEEN detail = %q, want inclusive bounds on both sides", detail)
+	}
+	res = mustExec(t, e, "EXPLAIN SELECT * FROM t WHERE id > 3")
+	if detail := res.Rows[0][2].Str; !strings.Contains(detail, "id > 3") {
+		t.Errorf("one-sided detail = %q", detail)
+	}
+	// Parameterised bounds render as placeholders at EXPLAIN time when no
+	// binding is supplied.
+	res = mustExec(t, e, "EXPLAIN SELECT * FROM t WHERE id < ?", NewInt(9))
+	if detail := res.Rows[0][2].Str; !strings.Contains(detail, "id < 9") {
+		t.Errorf("bound param detail = %q", detail)
 	}
 }
 

@@ -80,8 +80,16 @@ type lockManager struct {
 	waitFor map[*Txn]map[*Txn]bool // edges: waiter -> holders blocking it
 	timeout time.Duration
 
+	// free recycles lockEntry values (and their granted maps) so the hot
+	// path of short transactions — a handful of uncontended locks acquired
+	// and released per statement — does not allocate. Guarded by mu.
+	free []*lockEntry
+
 	deadlocks uint64 // guarded by mu
 }
+
+// lockEntryFreeMax bounds the entry freelist.
+const lockEntryFreeMax = 1024
 
 func newLockManager(timeout time.Duration) *lockManager {
 	return &lockManager{
@@ -99,7 +107,12 @@ func (lm *lockManager) acquire(txn *Txn, id lockID, mode LockMode) error {
 
 	e := lm.locks[id]
 	if e == nil {
-		e = &lockEntry{granted: make(map[*Txn]LockMode)}
+		if n := len(lm.free); n > 0 {
+			e = lm.free[n-1]
+			lm.free = lm.free[:n-1]
+		} else {
+			e = &lockEntry{granted: make(map[*Txn]LockMode, 2)}
+		}
 		lm.locks[id] = e
 	}
 
@@ -109,10 +122,10 @@ func (lm *lockManager) acquire(txn *Txn, id lockID, mode LockMode) error {
 			lm.mu.Unlock()
 			return nil
 		}
-		// Upgrade: compatible with every *other* holder?
+		// Upgrade: compatible with every *other* holder? The id is already
+		// in the transaction's held list from the original grant.
 		if lm.compatibleWithHolders(e, txn, target) {
 			e.granted[txn] = target
-			txn.noteLock(id)
 			lm.mu.Unlock()
 			return nil
 		}
@@ -190,14 +203,19 @@ func (lm *lockManager) release(txn *Txn, drop func(LockMode) bool) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	lm.clearEdges(txn)
-	for _, id := range txn.heldLocks() {
+	held := txn.heldLocks()
+	kept := held[:0]
+	for _, id := range held {
 		e := lm.locks[id]
 		if e == nil {
 			continue
 		}
-		if mode, ok := e.granted[txn]; ok && drop(mode) {
-			delete(e.granted, txn)
-			txn.dropLock(id)
+		if mode, ok := e.granted[txn]; ok {
+			if drop(mode) {
+				delete(e.granted, txn)
+			} else {
+				kept = append(kept, id)
+			}
 		}
 		// Cancel any waits by this transaction (abort path).
 		if drop(LockX) {
@@ -212,8 +230,13 @@ func (lm *lockManager) release(txn *Txn, drop func(LockMode) bool) {
 		lm.grantWaiters(id, e)
 		if len(e.granted) == 0 && len(e.queue) == 0 {
 			delete(lm.locks, id)
+			if len(lm.free) < lockEntryFreeMax {
+				e.queue = nil
+				lm.free = append(lm.free, e)
+			}
 		}
 	}
+	txn.locks = kept
 }
 
 // grantWaiters admits queued requests in FIFO order while they are
@@ -229,8 +252,8 @@ func (lm *lockManager) grantWaiters(id lockID, e *lockEntry) {
 			e.granted[req.txn] = upgradeMode(held, req.mode)
 		} else {
 			e.granted[req.txn] = req.mode
+			req.txn.noteLock(id)
 		}
-		req.txn.noteLock(id)
 		lm.clearEdges(req.txn)
 		req.ready <- nil
 	}

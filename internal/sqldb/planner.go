@@ -1,0 +1,409 @@
+package sqldb
+
+import (
+	"strings"
+)
+
+// pathKind enumerates the access paths the planner chooses among, in
+// increasing cost order.
+type pathKind int
+
+const (
+	pathScan       pathKind = iota // full scan under a table S lock
+	pathPoint                      // primary-key equality: IS + one row S/X lock
+	pathIndexEq                    // secondary-index equality: IS + row locks
+	pathIndexRange                 // ordered index/PK traversal for range predicates
+)
+
+func (k pathKind) String() string {
+	switch k {
+	case pathPoint:
+		return "point"
+	case pathIndexEq:
+		return "index"
+	case pathIndexRange:
+		return "range"
+	default:
+		return "scan"
+	}
+}
+
+// accessPath is a parameter-independent access plan for a single-table
+// predicate: one plan serves every execution of a parameterised statement.
+// The bound expressions (eq, lo, hi) are constant with respect to the row —
+// literals, parameters, or negated constants — and are evaluated against the
+// actual bindings at execution time.
+type accessPath struct {
+	kind   pathKind
+	col    string // lower-cased column name driving the access
+	colIdx int    // its schema position
+	onPK   bool   // range over the primary key rather than a secondary index
+
+	eq Expr // point / index-equality constant
+
+	lo, hi         Expr // range bounds; nil side = unbounded
+	loIncl, hiIncl bool
+
+	residual Expr // conjuncts not consumed by the access path, nil if none
+}
+
+// validFor re-validates a cached path against the table actually resolved at
+// execution time. A path derived before a DROP+CREATE of the same table name
+// may reference column positions that no longer exist; in that case the
+// executor re-plans ad hoc.
+func (p *accessPath) validFor(tbl *Table) bool {
+	if p.kind == pathScan {
+		return true
+	}
+	s := tbl.schema
+	if p.colIdx < 0 || p.colIdx >= len(s.Cols) || lower(s.Cols[p.colIdx].Name) != p.col {
+		return false
+	}
+	if p.kind == pathPoint || p.onPK {
+		return s.PKIdx == p.colIdx
+	}
+	return true
+}
+
+// stmtPlan is the cached planning result for one statement against one
+// database: the referenced table names (for targeted invalidation), the
+// access path of the statement's single-table predicate, and — for
+// single-table SELECTs — the pre-validated projection.
+type stmtPlan struct {
+	gen    uint64   // planCache generation this plan was derived under
+	tables []string // lower-cased referenced table names
+	access *accessPath
+	sel    *selPlan
+}
+
+// selPlan is the reusable projection of a single-table SELECT: the statement
+// has been validated against the table's bindings and its * items expanded,
+// so executions with a current plan skip both per-call passes. The items
+// still resolve columns by name at evaluation time, so a plan raced by
+// DDL mid-execution degrades to a resolution error, never a wrong column.
+type selPlan struct {
+	items []SelectItem
+	cols  []string
+}
+
+// planStatement derives the cacheable plan for stmt, or reports that the
+// statement should not be cached (DDL, EXPLAIN, statements whose tables do
+// not resolve). The generation is captured before catalog inspection, so a
+// concurrent DDL makes the plan stale rather than silently wrong.
+func planStatement(e *Engine, db string, stmt Statement) (*stmtPlan, bool) {
+	gen := e.plans.gen.Load()
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		if s.From == nil {
+			return &stmtPlan{gen: gen}, true
+		}
+		tables := []string{lower(s.From.Table)}
+		for _, j := range s.Joins {
+			tables = append(tables, lower(j.Table.Table))
+		}
+		plan := &stmtPlan{gen: gen, tables: tables}
+		if len(s.Joins) == 0 {
+			tbl, err := e.Table(db, s.From.Table)
+			if err != nil {
+				return nil, false
+			}
+			plan.access = planWhere(tbl, s.Where)
+			// Pre-validate the statement and expand * once; statements that
+			// fail (unknown column, bad star) re-run the checks — and fail —
+			// at execution, exactly as an unplanned statement would.
+			bind := bindingsFor(tbl.schema, s.From.Name())
+			if validateSelect(s, bind) == nil {
+				if items, cols, err := expandStars(s.Items, bind); err == nil {
+					plan.sel = &selPlan{items: items, cols: cols}
+				}
+			}
+		}
+		return plan, true
+	case *UpdateStmt:
+		tbl, err := e.Table(db, s.Table)
+		if err != nil {
+			return nil, false
+		}
+		return &stmtPlan{gen: gen, tables: []string{lower(s.Table)}, access: planWhere(tbl, s.Where)}, true
+	case *DeleteStmt:
+		tbl, err := e.Table(db, s.Table)
+		if err != nil {
+			return nil, false
+		}
+		return &stmtPlan{gen: gen, tables: []string{lower(s.Table)}, access: planWhere(tbl, s.Where)}, true
+	case *InsertStmt:
+		if _, err := e.Table(db, s.Table); err != nil {
+			return nil, false
+		}
+		return &stmtPlan{gen: gen, tables: []string{lower(s.Table)}}, true
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		// No table access, but caching still skips the parser.
+		return &stmtPlan{gen: gen}, true
+	default:
+		return nil, false
+	}
+}
+
+// planWhere selects the access path for a single-table predicate:
+// PK equality beats index equality beats an index/PK range beats a scan.
+func planWhere(tbl *Table, where Expr) *accessPath {
+	schema := tbl.schema
+	if where == nil || schema.PKIdx < 0 {
+		return &accessPath{kind: pathScan}
+	}
+	conjuncts := splitAnd(where)
+	pkName := schema.Cols[schema.PKIdx].Name
+
+	for i, c := range conjuncts {
+		if ce, val, ok := eqColConstExpr(c); ok && strings.EqualFold(ce.Col, pkName) {
+			return &accessPath{
+				kind: pathPoint, col: lower(pkName), colIdx: schema.PKIdx, onPK: true,
+				eq: val, residual: residualOf(conjuncts, i),
+			}
+		}
+	}
+	for i, c := range conjuncts {
+		if ce, val, ok := eqColConstExpr(c); ok && tbl.hasIndex(lower(ce.Col)) {
+			return &accessPath{
+				kind: pathIndexEq, col: lower(ce.Col), colIdx: schema.ColIndex(ce.Col),
+				eq: val, residual: residualOf(conjuncts, i),
+			}
+		}
+	}
+	if p := planRange(tbl, conjuncts, pkName); p != nil {
+		return p
+	}
+	return &accessPath{kind: pathScan}
+}
+
+// colRange accumulates the range bounds found for one column.
+type colRange struct {
+	lo, hi         Expr
+	loIncl, hiIncl bool
+	used           []int // conjunct positions consumed by the bounds
+}
+
+// planRange looks for <, <=, >, >=, BETWEEN conjuncts on the primary key or
+// an indexed column and builds a pathIndexRange plan over the column with the
+// tightest bounds (both sides preferred over one).
+func planRange(tbl *Table, conjuncts []Expr, pkName string) *accessPath {
+	ranges := make(map[string]*colRange)
+	var order []string
+	track := func(col string) *colRange {
+		r, ok := ranges[col]
+		if !ok {
+			r = &colRange{}
+			ranges[col] = r
+			order = append(order, col)
+		}
+		return r
+	}
+
+	for i, c := range conjuncts {
+		switch ex := c.(type) {
+		case *BinaryExpr:
+			ce, bound, op, ok := cmpColConstExpr(ex)
+			if !ok {
+				continue
+			}
+			lc := lower(ce.Col)
+			if !strings.EqualFold(ce.Col, pkName) && !tbl.hasIndex(lc) {
+				continue
+			}
+			r := track(lc)
+			switch op {
+			case OpGt:
+				if r.lo == nil {
+					r.lo, r.loIncl = bound, false
+					r.used = append(r.used, i)
+				}
+			case OpGe:
+				if r.lo == nil {
+					r.lo, r.loIncl = bound, true
+					r.used = append(r.used, i)
+				}
+			case OpLt:
+				if r.hi == nil {
+					r.hi, r.hiIncl = bound, false
+					r.used = append(r.used, i)
+				}
+			case OpLe:
+				if r.hi == nil {
+					r.hi, r.hiIncl = bound, true
+					r.used = append(r.used, i)
+				}
+			}
+		case *BetweenExpr:
+			ce, ok := ex.E.(*ColumnExpr)
+			if !ok || ex.Negate || !isConstExpr(ex.Lo) || !isConstExpr(ex.Hi) {
+				continue
+			}
+			lc := lower(ce.Col)
+			if !strings.EqualFold(ce.Col, pkName) && !tbl.hasIndex(lc) {
+				continue
+			}
+			r := track(lc)
+			if r.lo == nil && r.hi == nil {
+				r.lo, r.loIncl = ex.Lo, true
+				r.hi, r.hiIncl = ex.Hi, true
+				r.used = append(r.used, i)
+			}
+		}
+	}
+
+	best := ""
+	for _, col := range order {
+		r := ranges[col]
+		if r.lo == nil && r.hi == nil {
+			continue
+		}
+		if best == "" {
+			best = col
+			continue
+		}
+		b := ranges[best]
+		if (r.lo != nil && r.hi != nil) && (b.lo == nil || b.hi == nil) {
+			best = col
+		}
+	}
+	if best == "" {
+		return nil
+	}
+	r := ranges[best]
+	consumed := make(map[int]bool, len(r.used))
+	for _, i := range r.used {
+		consumed[i] = true
+	}
+	var rest []Expr
+	for i, c := range conjuncts {
+		if !consumed[i] {
+			rest = append(rest, c)
+		}
+	}
+	colIdx := tbl.schema.ColIndex(best)
+	return &accessPath{
+		kind: pathIndexRange, col: best, colIdx: colIdx,
+		onPK: strings.EqualFold(best, pkName),
+		lo:   r.lo, hi: r.hi, loIncl: r.loIncl, hiIncl: r.hiIncl,
+		residual: joinAnd(rest),
+	}
+}
+
+// isConstExpr reports whether e evaluates to a row-independent constant:
+// a literal, a parameter, or a negation of one.
+func isConstExpr(e Expr) bool {
+	switch ex := e.(type) {
+	case *LiteralExpr:
+		return true
+	case *ParamExpr:
+		return true
+	case *UnaryExpr:
+		return ex.Op == OpNeg && isConstExpr(ex.E)
+	}
+	return false
+}
+
+// eqColConstExpr matches "col = const" or "const = col".
+func eqColConstExpr(e Expr) (*ColumnExpr, Expr, bool) {
+	be, ok := e.(*BinaryExpr)
+	if !ok || be.Op != OpEq {
+		return nil, nil, false
+	}
+	if ce, ok := be.L.(*ColumnExpr); ok && isConstExpr(be.R) {
+		return ce, be.R, true
+	}
+	if ce, ok := be.R.(*ColumnExpr); ok && isConstExpr(be.L) {
+		return ce, be.L, true
+	}
+	return nil, nil, false
+}
+
+// cmpColConstExpr matches "col <op> const" or "const <op> col" for the
+// ordering operators, normalising the operator so it reads column-first.
+func cmpColConstExpr(be *BinaryExpr) (*ColumnExpr, Expr, BinOp, bool) {
+	switch be.Op {
+	case OpLt, OpLe, OpGt, OpGe:
+	default:
+		return nil, nil, 0, false
+	}
+	if ce, ok := be.L.(*ColumnExpr); ok && isConstExpr(be.R) {
+		return ce, be.R, be.Op, true
+	}
+	if ce, ok := be.R.(*ColumnExpr); ok && isConstExpr(be.L) {
+		return ce, be.L, flipCmp(be.Op), true
+	}
+	return nil, nil, 0, false
+}
+
+// flipCmp mirrors an ordering operator: "5 < col" means "col > 5".
+func flipCmp(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+// residualOf joins all conjuncts except position i.
+func residualOf(conjuncts []Expr, i int) Expr {
+	if len(conjuncts) == 1 {
+		return nil
+	}
+	rest := make([]Expr, 0, len(conjuncts)-1)
+	rest = append(rest, conjuncts[:i]...)
+	rest = append(rest, conjuncts[i+1:]...)
+	return joinAnd(rest)
+}
+
+// evalConst evaluates a row-independent constant expression against the
+// statement parameters (it reports the same missing-binding error the row
+// evaluator would).
+func evalConst(e Expr, params []Value) (Value, error) {
+	return evalExpr(e, &evalCtx{params: params})
+}
+
+// rangeExec resolves the path's bound expressions into concrete range bounds
+// for this execution. fallback is set when the range cannot run as an index
+// traversal with identical semantics to the scan it replaces — a NULL bound
+// (three-valued logic: no row matches, but the scan path owns the locking
+// behaviour) or a bound that is not comparable with the column type (the
+// scan path owns the type-mismatch error).
+func (p *accessPath) rangeExec(tbl *Table, params []Value) (b rangeBounds, fallback bool, err error) {
+	colTyp := tbl.schema.Cols[p.colIdx].Typ
+	if p.lo != nil {
+		v, err := evalConst(p.lo, params)
+		if err != nil {
+			return b, false, err
+		}
+		if v.IsNull() || !colComparable(colTyp, v) {
+			return b, true, nil
+		}
+		b.lo, b.hasLo, b.loIncl = v, true, p.loIncl
+	}
+	if p.hi != nil {
+		v, err := evalConst(p.hi, params)
+		if err != nil {
+			return b, false, err
+		}
+		if v.IsNull() || !colComparable(colTyp, v) {
+			return b, true, nil
+		}
+		b.hi, b.hasHi, b.hiIncl = v, true, p.hiIncl
+	}
+	return b, false, nil
+}
+
+// colComparable reports whether a non-null constant can be ordered against
+// values of the given column type.
+func colComparable(colTyp Type, v Value) bool {
+	if v.numeric() && (colTyp == TypeInt || colTyp == TypeFloat) {
+		return true
+	}
+	return colTyp == v.Typ
+}

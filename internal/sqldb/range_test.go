@@ -1,0 +1,259 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// rangeFixture loads a table with id 0..29 where both the primary key and an
+// indexed column (k) and an unindexed column (m) carry the same value, so any
+// predicate can be answered by a range plan (on id or k) and cross-checked
+// against the scan plan (on m).
+func rangeFixture(t *testing.T) *Engine {
+	t.Helper()
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE r (id INT PRIMARY KEY, k INT, m INT)")
+	mustExec(t, e, "CREATE INDEX r_k ON r (k)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", i, i, i))
+	}
+	return e
+}
+
+// ids extracts and sorts the first column of a result.
+func ids(res *Result) []int64 {
+	out := make([]int64, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, row[0].Int)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestRangeScanMatchesFullScan(t *testing.T) {
+	e := rangeFixture(t)
+	preds := []string{
+		"%s < 5",
+		"%s <= 5",
+		"%s > 25",
+		"%s >= 25",
+		"%s BETWEEN 10 AND 14",
+		"%s > 7 AND %s < 12",
+		"%s >= 7 AND %s <= 12",
+		"5 < %s AND 10 > %s", // constant-first comparisons flip correctly
+		"%s BETWEEN 12 AND 3", // empty (inverted) range
+		"%s > 100",
+		"%s < 0",
+	}
+	for _, p := range preds {
+		for _, col := range []string{"id", "k"} {
+			ranged := mustExec(t, e, "SELECT id FROM r WHERE "+sprintfPred(p, col))
+			scanned := mustExec(t, e, "SELECT id FROM r WHERE "+sprintfPred(p, "m"))
+			got, want := ids(ranged), ids(scanned)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("pred %q on %s: range result %v, scan result %v", p, col, got, want)
+			}
+		}
+	}
+}
+
+// sprintfPred substitutes every %s in the predicate template with col.
+func sprintfPred(tmpl, col string) string {
+	args := make([]interface{}, 0, 4)
+	for i := 0; i+1 < len(tmpl); i++ {
+		if tmpl[i] == '%' && tmpl[i+1] == 's' {
+			args = append(args, col)
+		}
+	}
+	return fmt.Sprintf(tmpl, args...)
+}
+
+func TestRangeScanBoundsInclusive(t *testing.T) {
+	e := rangeFixture(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"id >= 10 AND id <= 19", 10},
+		{"id > 10 AND id < 19", 8},
+		{"id >= 10 AND id < 19", 9},
+		{"id BETWEEN 0 AND 29", 30},
+		{"k >= 28", 2},
+		{"k <= 1", 2},
+	}
+	for _, c := range cases {
+		res := mustExec(t, e, "SELECT id FROM r WHERE "+c.where)
+		if len(res.Rows) != c.want {
+			t.Errorf("WHERE %s: %d rows, want %d", c.where, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestRangeScanParameterisedBounds(t *testing.T) {
+	e := rangeFixture(t)
+	const q = "SELECT id FROM r WHERE id BETWEEN ? AND ?"
+	for _, c := range []struct {
+		lo, hi int64
+		want   int
+	}{{5, 9, 5}, {0, 0, 1}, {20, 100, 10}, {9, 5, 0}} {
+		res := mustExec(t, e, q, NewInt(c.lo), NewInt(c.hi))
+		if len(res.Rows) != c.want {
+			t.Errorf("BETWEEN %d AND %d: %d rows, want %d", c.lo, c.hi, len(res.Rows), c.want)
+		}
+	}
+	// One cached plan serves every binding.
+	if plan := cachedPlan(t, e, q); plan.access == nil || plan.access.kind != pathIndexRange {
+		t.Errorf("plan kind = %v, want range", plan.access)
+	}
+}
+
+func TestRangeScanNullBound(t *testing.T) {
+	e := rangeFixture(t)
+	// NULL bounds match nothing under three-valued logic; the range path
+	// must agree with the scan path rather than treat NULL as a sort key.
+	for _, q := range []string{
+		"SELECT id FROM r WHERE id < NULL",
+		"SELECT id FROM r WHERE id BETWEEN NULL AND 10",
+		"SELECT id FROM r WHERE k > NULL",
+	} {
+		res := mustExec(t, e, q)
+		if len(res.Rows) != 0 {
+			t.Errorf("%s: %d rows, want 0", q, len(res.Rows))
+		}
+	}
+	res := mustExec(t, e, "SELECT id FROM r WHERE id BETWEEN ? AND ?", Value{Typ: TypeNull}, NewInt(10))
+	if len(res.Rows) != 0 {
+		t.Errorf("param NULL bound: %d rows, want 0", len(res.Rows))
+	}
+}
+
+func TestRangeScanResidualPredicate(t *testing.T) {
+	e := rangeFixture(t)
+	// The range consumes the id bounds; the m predicate must still filter.
+	res := mustExec(t, e, "SELECT id FROM r WHERE id BETWEEN 0 AND 19 AND m >= 10")
+	if got := fmt.Sprint(ids(res)); got != fmt.Sprint([]int64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}) {
+		t.Errorf("residual filter ids = %s", got)
+	}
+}
+
+func TestRangeUpdateDelete(t *testing.T) {
+	e := rangeFixture(t)
+	res := mustExec(t, e, "UPDATE r SET m = -1 WHERE id BETWEEN 5 AND 9")
+	if res.Affected != 5 {
+		t.Fatalf("update affected %d rows, want 5", res.Affected)
+	}
+	check := mustExec(t, e, "SELECT id FROM r WHERE m = -1")
+	if len(check.Rows) != 5 {
+		t.Fatalf("m=-1 rows = %d, want 5", len(check.Rows))
+	}
+	res = mustExec(t, e, "DELETE FROM r WHERE k >= 25")
+	if res.Affected != 5 {
+		t.Fatalf("delete affected %d rows, want 5", res.Affected)
+	}
+	left := mustExec(t, e, "SELECT COUNT(*) FROM r")
+	if left.Rows[0][0].Int != 25 {
+		t.Fatalf("rows left = %d, want 25", left.Rows[0][0].Int)
+	}
+}
+
+// --- buffer-pool striping -------------------------------------------------
+
+func TestPoolStripeScaling(t *testing.T) {
+	cases := []struct {
+		capacity int
+		stripes  int
+	}{
+		{0, 1}, {-4, 1}, {8, 1}, {63, 1}, {64, 2}, {256, 8}, {4096, 16}, {1 << 20, 16},
+	}
+	for _, c := range cases {
+		p := NewBufferPool(c.capacity, 0)
+		if got := p.Stripes(); got != c.stripes {
+			t.Errorf("capacity %d: stripes = %d, want %d", c.capacity, got, c.stripes)
+		}
+		if c.capacity <= 0 {
+			continue
+		}
+		total := 0
+		for i := range p.stripes {
+			total += p.stripes[i].capacity
+		}
+		if total != c.capacity {
+			t.Errorf("capacity %d: stripe capacities sum to %d", c.capacity, total)
+		}
+	}
+}
+
+func TestPoolCountersExactUnderConcurrency(t *testing.T) {
+	const capacity = 256
+	p := NewBufferPool(capacity, 0)
+	encoded := encodePage([]pageSlot{})
+
+	// Phase 1: populate `capacity` distinct pages sequentially — all misses,
+	// no evictions possible at exactly full... stripes partition capacity, so
+	// stay well under any single stripe's share by using half the capacity.
+	const pages = capacity / 2
+	for i := 0; i < pages; i++ {
+		if _, err := p.Get(PageKey{Table: "t", Page: i}, func() []byte { return encoded }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Misses != pages || st.Hits != 0 {
+		t.Fatalf("after load: hits=%d misses=%d, want 0/%d", st.Hits, st.Misses, pages)
+	}
+
+	// Phase 2: concurrent re-reads of resident pages are all hits; the
+	// pool-global counters must account for every single access.
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := PageKey{Table: "t", Page: (w*131 + i) % pages}
+				if _, err := p.Get(key, func() []byte { return encoded }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st = p.Stats()
+	if st.Hits != workers*perWorker {
+		t.Errorf("hits = %d, want %d", st.Hits, workers*perWorker)
+	}
+	if st.Misses != pages {
+		t.Errorf("misses = %d, want %d (no new pages were read)", st.Misses, pages)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", st.Evictions)
+	}
+}
+
+func TestPoolEvictionAccounting(t *testing.T) {
+	const capacity = 64 // 2 stripes
+	p := NewBufferPool(capacity, 0)
+	encoded := encodePage([]pageSlot{})
+	const inserts = 500
+	for i := 0; i < inserts; i++ {
+		if _, err := p.Get(PageKey{Table: "t", Page: i}, func() []byte { return encoded }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	resident := p.Len()
+	if resident > capacity {
+		t.Errorf("resident pages = %d, over capacity %d", resident, capacity)
+	}
+	if got := int(st.Evictions); got != inserts-resident {
+		t.Errorf("evictions = %d, want inserts-resident = %d", got, inserts-resident)
+	}
+	if st.Misses != inserts {
+		t.Errorf("misses = %d, want %d", st.Misses, inserts)
+	}
+}

@@ -21,9 +21,11 @@ func (e *Engine) Session(db string) *Session {
 // InTransaction reports whether an explicit transaction is open.
 func (s *Session) InTransaction() bool { return s.txn != nil }
 
-// Exec executes one statement with session transaction semantics.
+// Exec executes one statement with session transaction semantics. Statement
+// text is parsed and planned through the engine's shared plan cache, so
+// repeated statements (with or without ? parameters) skip the parser.
 func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
-	stmt, err := Parse(sql)
+	stmt, plan, err := s.engine.cachedStatement(s.db, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +57,7 @@ func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
 	}
 
 	if s.txn != nil {
-		res, err := s.txn.ExecStmt(stmt, params...)
+		res, err := s.txn.execPlanned(stmt, plan, params)
 		if err != nil && isAbortError(err) {
 			// The engine rolled the transaction back (deadlock victim or
 			// timeout); the session's transaction is gone.
@@ -69,7 +71,7 @@ func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := txn.ExecStmt(stmt, params...)
+	res, err := txn.execPlanned(stmt, plan, params)
 	if err != nil {
 		_ = txn.Rollback()
 		return nil, err

@@ -2,6 +2,8 @@ package sqldb
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -12,12 +14,24 @@ type rowLoc struct {
 	slot int
 }
 
-// index is a secondary (or unique) hash index on one column.
+// index is a secondary (or unique) hash index on one column, with an
+// ordered view of its keys for range traversal.
 type index struct {
 	name   string
 	col    int // column position
 	unique bool
 	m      map[string][]uint64 // key -> rowIDs
+	ord    *orderedKeys
+}
+
+// add registers a rowID under key (ordering value v), maintaining the
+// ordered key view. Called with the table latch held.
+func (ix *index) add(key string, v Value, rowID uint64) {
+	ids := ix.m[key]
+	ix.m[key] = append(ids, rowID)
+	if len(ids) == 0 {
+		ix.ord.add(key, v)
+	}
 }
 
 // Table holds the physical storage of one table: sealed encoded pages (the
@@ -27,9 +41,10 @@ type index struct {
 // structures; transactional isolation is provided by the lock manager, not
 // by this mutex.
 type Table struct {
-	schema *Schema
-	engine *Engine
-	qname  string // qualified "db/table" name used for locks and pool keys
+	schema   *Schema
+	engine   *Engine
+	qname    string // qualified "db/table" name used for locks and pool keys
+	poolName string // "<qname>@<version>": the pool key prefix, precomputed
 
 	mu        sync.Mutex
 	pages     [][]byte // sealed, encoded
@@ -37,6 +52,7 @@ type Table struct {
 	tail      []pageSlot
 	loc       map[uint64]rowLoc
 	pk        map[string]uint64 // pk key -> rowID; nil when no primary key
+	pkOrd     *orderedKeys      // ordered view of pk keys; nil when no primary key
 	indexes   map[string]*index // by lower-cased column name
 	nextRowID uint64
 	liveRows  int
@@ -52,8 +68,10 @@ func newTable(e *Engine, qname string, schema *Schema) *Table {
 		loc:     make(map[uint64]rowLoc),
 		indexes: make(map[string]*index),
 	}
+	t.poolName = fmt.Sprintf("%s@%d", t.qname, t.version)
 	if schema.PKIdx >= 0 {
 		t.pk = make(map[string]uint64)
+		t.pkOrd = newOrderedKeys()
 	}
 	return t
 }
@@ -89,13 +107,125 @@ func (t *Table) PageCount() int {
 	return n
 }
 
+// maxExactInt is the largest magnitude exactly representable as both int64
+// and float64 (2^53); below it, integer formatting preserves the INT/FLOAT
+// key-equality invariant without paying for float formatting.
+const maxExactInt = int64(1) << 53
+
 // keyString canonicalises a value for index keys: INT and FLOAT values that
-// compare equal must map to the same key.
+// compare equal (Compare is numeric across the two types) must map to the
+// same key. Integers — and floats holding exact integers — take a fast
+// integer-formatting path; everything else falls back to the SQL literal
+// form, matching how values outside the exact range compare (as float64).
 func keyString(v Value) string {
-	if v.Typ == TypeInt {
+	switch v.Typ {
+	case TypeInt:
+		if v.Int >= -maxExactInt && v.Int <= maxExactInt {
+			return strconv.FormatInt(v.Int, 10)
+		}
 		return NewFloat(float64(v.Int)).String()
+	case TypeFloat:
+		if i := int64(v.Float); float64(i) == v.Float && i >= -maxExactInt && i <= maxExactInt {
+			return strconv.FormatInt(i, 10)
+		}
 	}
 	return v.String()
+}
+
+// keyVal pairs an index key with the value it orders by.
+type keyVal struct {
+	v Value
+	k string
+}
+
+// orderedKeys maintains the distinct keys of an index in value order. The
+// sorted view is built lazily: mutations invalidate it and the next range
+// traversal re-sorts, so workloads without range queries never pay for
+// ordering. Guarded by the owning table's latch.
+type orderedKeys struct {
+	vals map[string]Value
+	ord  []keyVal // ascending by value; nil when stale
+}
+
+func newOrderedKeys() *orderedKeys {
+	return &orderedKeys{vals: make(map[string]Value)}
+}
+
+func (o *orderedKeys) add(k string, v Value) {
+	if _, ok := o.vals[k]; ok {
+		return
+	}
+	o.vals[k] = v
+	o.ord = nil
+}
+
+func (o *orderedKeys) drop(k string) {
+	if _, ok := o.vals[k]; !ok {
+		return
+	}
+	delete(o.vals, k)
+	o.ord = nil
+}
+
+// rangeBounds is a concrete one-column range: [lo, hi] with per-side
+// presence and inclusivity.
+type rangeBounds struct {
+	lo, hi         Value
+	hasLo, hasHi   bool
+	loIncl, hiIncl bool
+}
+
+// match reports whether a row value falls inside the bounds. NULL never
+// matches (SQL comparisons with NULL are unknown).
+func (b rangeBounds) match(v Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	if b.hasLo {
+		c := Compare(v, b.lo)
+		if c < 0 || (c == 0 && !b.loIncl) {
+			return false
+		}
+	}
+	if b.hasHi {
+		c := Compare(v, b.hi)
+		if c > 0 || (c == 0 && !b.hiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanRange calls fn for every key whose value lies within bounds, in
+// ascending value order, rebuilding the sorted view if it is stale.
+func (o *orderedKeys) scanRange(b rangeBounds, fn func(k string)) {
+	if o.ord == nil {
+		o.ord = make([]keyVal, 0, len(o.vals))
+		for k, v := range o.vals {
+			o.ord = append(o.ord, keyVal{v: v, k: k})
+		}
+		sort.Slice(o.ord, func(i, j int) bool { return Compare(o.ord[i].v, o.ord[j].v) < 0 })
+	}
+	start := 0
+	if b.hasLo {
+		start = sort.Search(len(o.ord), func(i int) bool {
+			c := Compare(o.ord[i].v, b.lo)
+			return c > 0 || (c == 0 && b.loIncl)
+		})
+	}
+	for i := start; i < len(o.ord); i++ {
+		kv := o.ord[i]
+		if kv.v.IsNull() {
+			continue // NULL sorts first; only reachable without a low bound
+		}
+		if b.hasHi {
+			c := Compare(kv.v, b.hi)
+			if c > 0 || (c == 0 && !b.hiIncl) {
+				break
+			}
+		}
+		fn(kv.k)
+	}
 }
 
 // pkKey returns the primary-key index key of a row, or "" when the table has
@@ -130,11 +260,12 @@ func (t *Table) insertRowPhysical(rowID uint64, r Row) {
 	t.tail = append(t.tail, pageSlot{rowID: rowID, row: r.Clone()})
 	t.loc[rowID] = rowLoc{page: -1, slot: len(t.tail) - 1}
 	if t.pk != nil {
-		t.pk[t.pkKey(r)] = rowID
+		k := t.pkKey(r)
+		t.pk[k] = rowID
+		t.pkOrd.add(k, r[t.schema.PKIdx])
 	}
 	for _, idx := range t.indexes {
-		k := keyString(r[idx.col])
-		idx.m[k] = append(idx.m[k], rowID)
+		idx.add(keyString(r[idx.col]), r[idx.col], rowID)
 	}
 	t.liveRows++
 	t.byteSize += int64(len(encodeRow(nil, r)))
@@ -159,9 +290,10 @@ func (t *Table) sealTail() {
 }
 
 // pageKey builds the buffer-pool key of a sealed page. Called with t.mu held
-// or on an immutable version.
+// or on an immutable version. Anything that bumps t.version must refresh
+// t.poolName.
 func (t *Table) pageKey(page int) PageKey {
-	return PageKey{Table: fmt.Sprintf("%s@%d", t.qname, t.version), Page: page}
+	return PageKey{Table: t.poolName, Page: page}
 }
 
 // deleteRowPhysical removes a row from storage and indexes. Missing rows are
@@ -190,7 +322,9 @@ func (t *Table) deleteRowPhysical(rowID uint64) {
 	}
 	delete(t.loc, rowID)
 	if t.pk != nil {
-		delete(t.pk, t.pkKey(old))
+		k := t.pkKey(old)
+		delete(t.pk, k)
+		t.pkOrd.drop(k)
 	}
 	for _, idx := range t.indexes {
 		idx.remove(keyString(old[idx.col]), rowID)
@@ -224,14 +358,16 @@ func (t *Table) updateRowPhysical(rowID uint64, newRow Row) {
 		oldKey, newKey := t.pkKey(old), t.pkKey(newRow)
 		if oldKey != newKey {
 			delete(t.pk, oldKey)
+			t.pkOrd.drop(oldKey)
 			t.pk[newKey] = rowID
+			t.pkOrd.add(newKey, newRow[t.schema.PKIdx])
 		}
 	}
 	for _, idx := range t.indexes {
 		ok, nk := keyString(old[idx.col]), keyString(newRow[idx.col])
 		if ok != nk {
 			idx.remove(ok, rowID)
-			idx.m[nk] = append(idx.m[nk], rowID)
+			idx.add(nk, newRow[idx.col], rowID)
 		}
 	}
 	t.byteSize += int64(len(encodeRow(nil, newRow))) - int64(len(encodeRow(nil, old)))
@@ -311,6 +447,39 @@ func (t *Table) hasIndex(col string) bool {
 	return ok
 }
 
+// lookupPKRange returns the rowIDs whose primary key lies within bounds, in
+// ascending key order.
+func (t *Table) lookupPKRange(b rangeBounds) []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pk == nil {
+		return nil
+	}
+	var out []uint64
+	t.pkOrd.scanRange(b, func(k string) {
+		if id, ok := t.pk[k]; ok {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// lookupIndexRange returns the rowIDs whose indexed column value lies within
+// bounds (ascending value order), and whether such an index exists.
+func (t *Table) lookupIndexRange(col string, b rangeBounds) ([]uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	var out []uint64
+	idx.ord.scanRange(b, func(k string) {
+		out = append(out, idx.m[k]...)
+	})
+	return out, true
+}
+
 // scan invokes fn for every live row (a copy) until fn returns false. It
 // snapshots page identity under the latch but decodes outside of it page by
 // page, so concurrent writers latch in between pages.
@@ -355,6 +524,76 @@ func (t *Table) scan(fn func(rowID uint64, r Row) bool) {
 			return
 		}
 	}
+}
+
+// scanWhere is scan with a predicate evaluated under the page latch, so
+// non-matching rows are skipped without being cloned. match receives the
+// pool's shared row image and must neither retain nor mutate it (expression
+// evaluation does neither); matching rows are cloned and re-checked for
+// liveness before fn sees them, exactly as in scan. A nil match accepts
+// every row.
+func (t *Table) scanWhere(match func(r Row) (bool, error), fn func(rowID uint64, r Row) bool) error {
+	t.mu.Lock()
+	numPages := len(t.pages)
+	t.mu.Unlock()
+	var matched []pageSlot
+	for p := 0; p < numPages; p++ {
+		t.mu.Lock()
+		if p >= len(t.pages) {
+			t.mu.Unlock()
+			break
+		}
+		slots := t.decodePageLocked(p)
+		matched = matched[:0]
+		for _, s := range slots {
+			if match != nil {
+				ok, err := match(s.row)
+				if err != nil {
+					t.mu.Unlock()
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = append(matched, pageSlot{rowID: s.rowID, row: s.row.Clone()})
+		}
+		t.mu.Unlock()
+		for _, s := range matched {
+			// Skip rows that moved or died since the snapshot.
+			t.mu.Lock()
+			l, live := t.loc[s.rowID]
+			t.mu.Unlock()
+			if !live || l.page != p {
+				continue
+			}
+			if !fn(s.rowID, s.row) {
+				return nil
+			}
+		}
+	}
+	t.mu.Lock()
+	matched = matched[:0]
+	for _, s := range t.tail {
+		if match != nil {
+			ok, err := match(s.row)
+			if err != nil {
+				t.mu.Unlock()
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		matched = append(matched, pageSlot{rowID: s.rowID, row: s.row.Clone()})
+	}
+	t.mu.Unlock()
+	for _, s := range matched {
+		if !fn(s.rowID, s.row) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // scanCold is scan for bulk readers like the dump tool: it reads the sealed
@@ -419,13 +658,13 @@ func (t *Table) createIndex(name string, colIdx int, unique bool) error {
 	if _, exists := t.indexes[colName]; exists {
 		return fmt.Errorf("sqldb: index on %s.%s already exists", t.schema.Table, colName)
 	}
-	idx := &index{name: name, col: colIdx, unique: unique, m: make(map[string][]uint64)}
+	idx := &index{name: name, col: colIdx, unique: unique, m: make(map[string][]uint64), ord: newOrderedKeys()}
 	collect := func(s pageSlot) error {
 		k := keyString(s.row[colIdx])
 		if unique && len(idx.m[k]) > 0 {
 			return fmt.Errorf("%w: duplicate value %s building unique index %s", ErrDuplicateKey, k, name)
 		}
-		idx.m[k] = append(idx.m[k], s.rowID)
+		idx.add(k, s.row[colIdx], s.rowID)
 		return nil
 	}
 	for p := range t.pages {
@@ -457,6 +696,7 @@ func (ix *index) remove(key string, rowID uint64) {
 	}
 	if len(ids) == 0 {
 		delete(ix.m, key)
+		ix.ord.drop(key)
 	} else {
 		ix.m[key] = ids
 	}

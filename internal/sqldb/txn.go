@@ -69,8 +69,12 @@ type Txn struct {
 	undo  []undoRec
 
 	// locks is guarded by the engine's lock-manager mutex, not mu: all
-	// mutation happens inside lockManager methods.
-	locks map[lockID]struct{}
+	// mutation happens inside lockManager methods. The manager appends an
+	// id exactly once per hold (on first grant; upgrades do not re-append),
+	// so the slice stays duplicate-free without a set. locksBuf keeps short
+	// transactions — the common point read/write — allocation-free.
+	locks    []lockID
+	locksBuf [8]lockID
 }
 
 // ID returns the engine-local transaction identifier.
@@ -84,22 +88,13 @@ func (t *Txn) State() TxnState {
 }
 
 // noteLock records that the transaction holds id. Called by the lock manager
-// with its mutex held.
-func (t *Txn) noteLock(id lockID) { t.locks[id] = struct{}{} }
-
-// dropLock removes id from the held set. Called by the lock manager with its
-// mutex held.
-func (t *Txn) dropLock(id lockID) { delete(t.locks, id) }
+// with its mutex held, only when the transaction is newly granted the lock
+// (never on upgrades of an already-held lock).
+func (t *Txn) noteLock(id lockID) { t.locks = append(t.locks, id) }
 
 // heldLocks lists the held lock IDs. Called by the lock manager with its
 // mutex held.
-func (t *Txn) heldLocks() []lockID {
-	out := make([]lockID, 0, len(t.locks))
-	for id := range t.locks {
-		out = append(out, id)
-	}
-	return out
-}
+func (t *Txn) heldLocks() []lockID { return t.locks }
 
 // logUndo appends an undo record.
 func (t *Txn) logUndo(rec undoRec) {
@@ -125,22 +120,29 @@ func (t *Txn) checkActive() error {
 	}
 }
 
-// Exec parses and executes a statement inside the transaction. Params bind
-// to ? placeholders in order.
+// Exec parses and executes a statement inside the transaction, serving
+// repeated statement text from the engine's plan cache. Params bind to ?
+// placeholders in order; parameterised statements share one cached plan
+// across all bindings.
 func (t *Txn) Exec(sql string, params ...Value) (*Result, error) {
-	stmt, err := Parse(sql)
+	stmt, plan, err := t.engine.cachedStatement(t.db, sql)
 	if err != nil {
 		return nil, err
 	}
-	return t.ExecStmt(stmt, params...)
+	return t.execPlanned(stmt, plan, params)
 }
 
-// ExecStmt executes a pre-parsed statement inside the transaction.
+// ExecStmt executes a pre-parsed statement inside the transaction, memoising
+// its access-path plan by AST identity.
 func (t *Txn) ExecStmt(stmt Statement, params ...Value) (*Result, error) {
+	return t.execPlanned(stmt, t.engine.plannedStmt(t.db, stmt), params)
+}
+
+func (t *Txn) execPlanned(stmt Statement, plan *stmtPlan, params []Value) (*Result, error) {
 	if err := t.checkActive(); err != nil {
 		return nil, err
 	}
-	res, err := t.engine.execute(t, stmt, params)
+	res, err := t.engine.execute(t, stmt, plan, params)
 	if err != nil && isAbortError(err) {
 		// Deadlock victims and lock-wait timeouts roll the whole
 		// transaction back, as InnoDB does for deadlocks.

@@ -136,6 +136,44 @@ func (c *Client) RunSession(seed int64, stop <-chan struct{}) Stats {
 	}
 }
 
+// RunN executes exactly n mix-weighted transactions and returns the
+// statistics. Unlike RunSession it is driven by a count rather than a stop
+// channel, which makes it suitable for benchmark loops that charge each
+// transaction to one iteration. A fatal error ends the run early.
+func (c *Client) RunN(seed int64, n int) Stats {
+	classify := c.Classify
+	if classify == nil {
+		classify = DefaultClassifier
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var st Stats
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		kind := c.Mix.pick(rng)
+		txStart := time.Now()
+		err := c.runOne(kind, rng)
+		switch {
+		case err == nil:
+			st.Committed++
+			st.ByKind[kind]++
+			st.Latency.Observe(time.Since(txStart))
+		default:
+			switch classify(err) {
+			case ClassAborted:
+				st.Aborted++
+			case ClassRejected:
+				st.Rejected++
+			default:
+				st.Fatal++
+				st.Elapsed = time.Since(start)
+				return st
+			}
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return st
+}
+
 // runOne executes one transaction with commit/rollback handling.
 func (c *Client) runOne(kind TxKind, rng *rand.Rand) error {
 	tx, err := c.DB.Begin()
