@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-sqldb experiments clean
+.PHONY: all build test race vet doc-check obs-dump bench bench-sqldb experiments clean
 
 all: build test
 
@@ -16,13 +16,27 @@ test:
 race:
 	$(GO) test -race ./internal/sqldb/... ./internal/core/...
 
+# vet also smoke-tests the wait-free metrics instruments under the race
+# detector — the obs package is the foundation every layer reports into.
 vet:
 	$(GO) vet ./...
+	$(GO) test -race ./internal/obs/
+
+# Verify every exported identifier in the controller packages carries a doc
+# comment (see OBSERVABILITY.md and the package docs citing paper sections).
+doc-check:
+	$(GO) run ./cmd/doccheck ./internal/core ./internal/system ./internal/obs
+
+# Dump the unified observability snapshot after a representative run: a
+# TPC-W mix with an Algorithm 1 replica copy started mid-run.
+obs-dump:
+	$(GO) run ./cmd/experiments -metrics -quick
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Regenerate BENCH_sqldb.json (hot-path query-engine latencies).
+# Regenerate BENCH_sqldb.json (hot-path query-engine latencies) and the
+# accompanying BENCH_sqldb.metrics.txt snapshot.
 bench-sqldb:
 	$(GO) run ./cmd/experiments -bench-sqldb
 

@@ -15,7 +15,13 @@
 //
 // -bench-sqldb runs the hot-path query-engine microbenchmarks (point read,
 // replicated write, TPC-W mix) and writes the results to BENCH_sqldb.json
-// (or the path given by -bench-out) instead of running the figure suite.
+// (or the path given by -bench-out) instead of running the figure suite; a
+// unified metrics snapshot of the bench run lands next to it with a
+// .metrics.txt suffix.
+//
+// -metrics drives a TPC-W mix with a replica creation mid-run and dumps the
+// platform's unified observability snapshot — every family described in
+// OBSERVABILITY.md — as text (default) or JSON (-format json).
 package main
 
 import (
@@ -33,15 +39,45 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig2..fig9, table2, all")
 	quick := flag.Bool("quick", false, "shrink sizes and durations")
 	seed := flag.Int64("seed", 42, "workload seed")
-	format := flag.String("format", "text", "output format: text or csv")
+	format := flag.String("format", "text", "output format: text, csv, or (with -metrics) json")
 	benchSQL := flag.Bool("bench-sqldb", false, "run query-engine microbenchmarks and write JSON results")
 	benchOut := flag.String("bench-out", "BENCH_sqldb.json", "output path for -bench-sqldb results")
+	metrics := flag.Bool("metrics", false, "run a TPC-W mix with a mid-run replica copy and dump the unified metrics snapshot")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 
+	if *metrics {
+		snap, err := experiments.RunMetricsDemo(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(append(data, '\n'))
+		} else {
+			snap.WriteText(os.Stdout)
+			if n := len(snap.Trace); n > 0 {
+				tail := snap.Trace
+				if len(tail) > 20 {
+					tail = tail[len(tail)-20:]
+				}
+				fmt.Printf("\n# trace: last %d of %d span events (scope/id/phase)\n", len(tail), n)
+				for _, ev := range tail {
+					fmt.Printf("%6d %-8s %-12s %-16s %s\n", ev.Seq, ev.Scope, ev.ID, ev.Phase, ev.Detail)
+				}
+			}
+		}
+		return
+	}
+
 	if *benchSQL {
-		res, err := experiments.RunSQLBench(cfg)
+		res, snap, err := experiments.RunSQLBench(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench-sqldb: %v\n", err)
 			os.Exit(1)
@@ -56,8 +92,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench-sqldb: %v\n", err)
 			os.Exit(1)
 		}
+		var mb strings.Builder
+		snap.WriteText(&mb)
+		metricsOut := strings.TrimSuffix(*benchOut, ".json") + ".metrics.txt"
+		if err := os.WriteFile(metricsOut, []byte(mb.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-sqldb: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("wrote %s: point read %.0f ns/op, replicated write %.0f ns/op, TPC-W mix %.0f ns/op (%.0f tps)\n",
 			*benchOut, res.PointReadNsPerOp, res.ReplicatedWriteNsPerOp, res.TPCWMixNsPerOp, res.TPCWMixTPS)
+		fmt.Printf("wrote %s (bench metrics snapshot)\n", metricsOut)
 		return
 	}
 	out := os.Stdout

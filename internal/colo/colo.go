@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"sdp/internal/core"
+	"sdp/internal/obs"
 	"sdp/internal/sla"
 )
 
@@ -39,6 +40,10 @@ type Options struct {
 	// RecoveryThreads is the number of concurrent copy processes used when
 	// recovering from a machine failure.
 	RecoveryThreads int
+	// Metrics, when non-nil, is the shared observability registry: the colo
+	// reports into it and injects it into every cluster it creates, so one
+	// snapshot covers the whole colo. Nil gives the colo a private registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -56,8 +61,9 @@ func (o Options) withDefaults() Options {
 
 // Controller is one colo's controller.
 type Controller struct {
-	name string
-	opts Options
+	name    string
+	opts    Options
+	metrics *coloMetrics
 
 	mu         sync.Mutex
 	clusters   []*core.Cluster
@@ -70,16 +76,29 @@ type Controller struct {
 
 // New creates a colo controller with an initially empty free pool.
 func New(name string, opts Options) *Controller {
-	return &Controller{
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// Every cluster this colo creates reports into the same registry.
+	opts.Cluster.Metrics = reg
+	c := &Controller{
 		name:      name,
-		opts:      opts.withDefaults(),
+		opts:      opts,
+		metrics:   newColoMetrics(reg, name),
 		dbCluster: make(map[string]*core.Cluster),
 		dbReq:     make(map[string]sla.Resources),
 	}
+	reg.OnSnapshot(func() { c.metrics.freeMachines.Set(float64(c.FreeMachines())) })
+	return c
 }
 
 // Name returns the colo's name.
 func (c *Controller) Name() string { return c.name }
+
+// Metrics returns the registry the colo and its clusters report into.
+func (c *Controller) Metrics() *obs.Registry { return c.metrics.reg }
 
 // AddFreeMachines adds n machines to the free pool.
 func (c *Controller) AddFreeMachines(n int) {
@@ -134,8 +153,10 @@ func (c *Controller) CreateDatabase(db string, req sla.Resources, replicas int) 
 			c.dbCluster[db] = cl
 			c.dbReq[db] = req
 			c.mu.Unlock()
+			c.metrics.placements.With(c.name, "placed").Inc()
 			return nil
 		} else if !errors.Is(err, core.ErrNoCapacity) {
+			c.metrics.placements.With(c.name, "error").Inc()
 			return err
 		}
 	}
@@ -147,6 +168,7 @@ func (c *Controller) CreateDatabase(db string, req sla.Resources, replicas int) 
 	for {
 		cl, err := c.provisionCluster(replicas)
 		if err != nil {
+			c.metrics.placements.With(c.name, "no_capacity").Inc()
 			return err
 		}
 		_, perr := cl.PlaceWithSLA(db, req, replicas)
@@ -155,9 +177,11 @@ func (c *Controller) CreateDatabase(db string, req sla.Resources, replicas int) 
 			c.dbCluster[db] = cl
 			c.dbReq[db] = req
 			c.mu.Unlock()
+			c.metrics.placements.With(c.name, "placed_after_growth").Inc()
 			return nil
 		}
 		if !errors.Is(perr, core.ErrNoCapacity) {
+			c.metrics.placements.With(c.name, "error").Inc()
 			return perr
 		}
 	}
@@ -190,6 +214,7 @@ func (c *Controller) provisionCluster(minMachines int) (*core.Cluster, error) {
 				}
 			}
 			c.free -= grow
+			c.metrics.machinesProvisioned.Add(uint64(grow))
 			return last, nil
 		}
 	}
@@ -206,6 +231,8 @@ func (c *Controller) provisionCluster(minMachines int) (*core.Cluster, error) {
 	}
 	c.free -= grow
 	c.clusters = append(c.clusters, cl)
+	c.metrics.clustersFormed.Inc()
+	c.metrics.machinesProvisioned.Add(uint64(grow))
 	return cl, nil
 }
 
@@ -246,12 +273,16 @@ func (c *Controller) FailMachine(id string) (core.RecoveryReport, error) {
 		if err != nil {
 			return core.RecoveryReport{}, err
 		}
+		c.metrics.machineFailures.Inc()
+		c.metrics.reg.TraceEvent("recovery", id, "machine_failed",
+			fmt.Sprintf("%d databases affected", len(affected)))
 		// Replace the dead machine from the free pool if possible.
 		c.mu.Lock()
 		if c.free > 0 {
 			c.machineSeq++
 			if _, err := cl.AddMachine(fmt.Sprintf("%s-m%d", c.name, c.machineSeq)); err == nil {
 				c.free--
+				c.metrics.machinesProvisioned.Inc()
 			}
 		}
 		c.mu.Unlock()

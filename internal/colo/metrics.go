@@ -1,0 +1,35 @@
+package colo
+
+import "sdp/internal/obs"
+
+// coloMetrics holds the colo controller's resolved instruments. Families
+// are labeled by colo name because several colos usually share one
+// platform-wide registry (see sdp.Platform).
+type coloMetrics struct {
+	reg *obs.Registry
+
+	clustersFormed      *obs.Counter
+	machinesProvisioned *obs.Counter
+	placements          *obs.CounterVec
+	machineFailures     *obs.Counter
+	freeMachines        *obs.Gauge
+}
+
+// newColoMetrics resolves the colo's instruments on reg, labeled with the
+// colo's name.
+func newColoMetrics(reg *obs.Registry, name string) *coloMetrics {
+	return &coloMetrics{
+		reg: reg,
+
+		clustersFormed: reg.CounterVec("colo_clusters_formed_total",
+			"Clusters formed by the colo controller", "colo").With(name),
+		machinesProvisioned: reg.CounterVec("colo_machines_provisioned_total",
+			"Machines moved from the free pool into clusters", "colo").With(name),
+		placements: reg.CounterVec("colo_placement_total",
+			"Database placements attempted by the colo, by result", "colo", "result"),
+		machineFailures: reg.CounterVec("colo_machine_failures_total",
+			"Machine failures handled (failure + recovery runs)", "colo").With(name),
+		freeMachines: reg.GaugeVec("colo_free_machines",
+			"Machines currently in the colo's free pool", "colo").With(name),
+	}
+}

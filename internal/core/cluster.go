@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sdp/internal/obs"
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 )
@@ -38,9 +39,10 @@ type Cluster struct {
 	// transactions) execute it.
 	stmts *sqldb.StmtCache
 
-	committed atomic.Uint64
-	aborted   atomic.Uint64
-	rejected  atomic.Uint64
+	// metrics holds the controller's resolved observability instruments
+	// (see metrics.go and OBSERVABILITY.md); all transaction-outcome
+	// counters live there.
+	metrics *clusterMetrics
 }
 
 // dbState is the controller's bookkeeping for one client database.
@@ -125,13 +127,21 @@ func (d *drainCounter) wait() {
 
 // NewCluster creates an empty cluster controller.
 func NewCluster(name string, opts Options) *Cluster {
-	return &Cluster{
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Cluster{
 		name:     name,
-		opts:     opts.withDefaults(),
+		opts:     opts,
 		machines: make(map[string]*Machine),
 		dbs:      make(map[string]*dbState),
 		stmts:    sqldb.NewStmtCache(0),
+		metrics:  newClusterMetrics(reg),
 	}
+	reg.OnSnapshot(c.bridgeStats)
+	return c
 }
 
 // Name returns the cluster's name.
@@ -391,11 +401,13 @@ func (c *Cluster) pickReadMachine(t *Txn, tables []string) (string, error) {
 		return "", fmt.Errorf("%w: %s", ErrNoDatabase, t.db)
 	}
 	if ds.partitioned() {
+		c.metrics.readRoutePart.Inc()
 		return c.partitionReadRoute(ds, tables)
 	}
 	if len(ds.replicas) == 0 {
 		return "", ErrNoReplicas
 	}
+	c.metrics.readRouteCounter(c.opts.ReadOption).Inc()
 	switch c.opts.ReadOption {
 	case ReadOption1:
 		// All reads of the database go to its designated home replica.
@@ -447,11 +459,13 @@ func (c *Cluster) writeRoute(db, table string) ([]string, func(), error) {
 		case cs.wholeDB:
 			// Database-granularity copy: every write to the database is
 			// proactively rejected for the duration of the copy.
-			c.rejected.Add(1)
+			c.metrics.rejected.Inc()
+			c.metrics.reg.TraceEvent("copy", db, "write_rejected", table)
 			return nil, nil, ErrRejected
 		case table == cs.inFlight:
 			// Algorithm 1, line 11: write on the table being copied.
-			c.rejected.Add(1)
+			c.metrics.rejected.Inc()
+			c.metrics.reg.TraceEvent("copy", db, "write_rejected", table)
 			return nil, nil, ErrRejected
 		case cs.copied[table]:
 			// Algorithm 1, line 9: table already copied — include target.
@@ -506,13 +520,14 @@ type Stats struct {
 	Deadlocks uint64 // summed over all machines
 }
 
-// Stats returns cluster counters. Deadlocks are aggregated from every
-// machine's engine.
+// Stats returns cluster counters, read back from the observability
+// registry (the counters' single source of truth). Deadlocks are
+// aggregated from every machine's engine.
 func (c *Cluster) Stats() Stats {
 	s := Stats{
-		Committed: c.committed.Load(),
-		Aborted:   c.aborted.Load(),
-		Rejected:  c.rejected.Load(),
+		Committed: c.metrics.committed.Value(),
+		Aborted:   c.metrics.aborted.Value(),
+		Rejected:  c.metrics.rejected.Value(),
 	}
 	c.mu.Lock()
 	ms := make([]*Machine, 0, len(c.machines))

@@ -9,6 +9,7 @@ package core
 
 import (
 	"sdp/internal/history"
+	"sdp/internal/obs"
 	"sdp/internal/sqldb"
 )
 
@@ -86,6 +87,11 @@ type Options struct {
 	// Recorder, when non-nil, captures all data operations for offline
 	// serializability checking.
 	Recorder *history.Recorder
+	// Metrics, when non-nil, is the observability registry the controller
+	// reports into; the colo controller injects a shared registry so every
+	// cluster, the colo, and the system controller feed one snapshot. Nil
+	// gives the cluster a private registry (see Cluster.Metrics).
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset fields.

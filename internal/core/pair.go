@@ -121,7 +121,8 @@ func (c *Cluster) TakeOver() (committed, rolledBack int) {
 			for _, s := range rec.sessions {
 				_ = s.commitPrepared().wait()
 			}
-			c.committed.Add(1)
+			c.metrics.committed.Inc()
+			c.metrics.reg.TraceEvent("2pc", gidString(rec.gid), "takeover_commit", "")
 			if recd := c.opts.Recorder; recd != nil {
 				recd.Commit(rec.gid)
 			}
@@ -130,7 +131,8 @@ func (c *Cluster) TakeOver() (committed, rolledBack int) {
 			for _, s := range rec.sessions {
 				_ = s.rollback().wait()
 			}
-			c.aborted.Add(1)
+			c.metrics.aborted.Inc()
+			c.metrics.reg.TraceEvent("2pc", gidString(rec.gid), "takeover_rollback", "")
 			rolledBack++
 		}
 		for _, s := range rec.sessions {

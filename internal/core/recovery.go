@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // RecoveryReport summarises one recovery run.
@@ -30,12 +31,18 @@ func (c *Cluster) RecoverDatabases(dbs []string, threads int) RecoveryReport {
 		go func() {
 			defer wg.Done()
 			for db := range work {
+				start := time.Now()
 				err := c.recoverOne(db)
+				c.metrics.recoverySeconds.ObserveDuration(time.Since(start))
 				mu.Lock()
 				if err != nil {
 					report.Failed[db] = err
+					c.metrics.recoveryTotal.With("failed").Inc()
+					c.metrics.reg.TraceEvent("recovery", db, "failed", err.Error())
 				} else {
 					report.Recovered = append(report.Recovered, db)
+					c.metrics.recoveryTotal.With("recovered").Inc()
+					c.metrics.reg.TraceEvent("recovery", db, "recovered", "")
 				}
 				mu.Unlock()
 			}

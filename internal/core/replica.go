@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sdp/internal/sqldb"
 )
@@ -63,6 +64,12 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	ds.copying = cs
 	c.mu.Unlock()
 
+	m := c.metrics
+	m.copyPhase.With("start").Inc()
+	m.copiesRunning.Inc()
+	defer m.copiesRunning.Dec()
+	m.reg.TraceEvent("copy", db, "start", fmt.Sprintf("%s -> %s", sourceID, targetID))
+
 	if err := target.engine.CreateDatabase(db); err != nil {
 		c.abandonCopy(ds)
 		return err
@@ -85,6 +92,8 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	ds.copying = nil
 	c.mu.Unlock()
 	target.dbCount.Add(1)
+	m.copyPhase.With("done").Inc()
+	m.reg.TraceEvent("copy", db, "done", targetID)
 	return nil
 }
 
@@ -104,6 +113,9 @@ func (c *Cluster) copyWholeDB(ds *dbState, source, target *Machine, db string) e
 	for _, d := range counters {
 		d.wait()
 	}
+	c.metrics.reg.TraceEvent("copy", db, "db_locked", "")
+	dumpStart := time.Now()
+	defer func() { c.metrics.copyDump.ObserveDuration(time.Since(dumpStart)) }()
 	_, err := source.engine.DumpDatabase(db, sqldb.GranularityDatabase, sqldb.DumpObserver{
 		TableDone: func(_ string, d sqldb.TableDump) {
 			// Errors surface via the outer dump error path below: a failed
@@ -137,12 +149,16 @@ func (c *Cluster) copyTableByTable(ds *dbState, cs *copyState, source, target *M
 		cs.inFlight = tbl
 		d := ds.pendingFor(lowerName(tbl))
 		c.mu.Unlock()
+		c.metrics.copyPhase.With("table_inflight").Inc()
+		c.metrics.reg.TraceEvent("copy", db, "table_inflight", tbl)
 
 		d.wait()
 
+		dumpStart := time.Now()
 		err := source.engine.DumpTableWith(db, tbl, func(d sqldb.TableDump) error {
 			return target.engine.RestoreTable(db, d)
 		})
+		c.metrics.copyDump.ObserveDuration(time.Since(dumpStart))
 		if err != nil {
 			return err
 		}
@@ -151,6 +167,8 @@ func (c *Cluster) copyTableByTable(ds *dbState, cs *copyState, source, target *M
 		cs.copied[lowerName(tbl)] = true
 		cs.inFlight = ""
 		c.mu.Unlock()
+		c.metrics.copyPhase.With("table_copied").Inc()
+		c.metrics.reg.TraceEvent("copy", db, "table_copied", tbl)
 	}
 	return nil
 }
@@ -160,4 +178,6 @@ func (c *Cluster) abandonCopy(ds *dbState) {
 	c.mu.Lock()
 	ds.copying = nil
 	c.mu.Unlock()
+	c.metrics.copyPhase.With("abandoned").Inc()
+	c.metrics.reg.TraceEvent("copy", ds.name, "abandoned", "")
 }

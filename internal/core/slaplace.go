@@ -84,6 +84,7 @@ func (c *Cluster) PlaceWithSLA(db string, req sla.Resources, replicas int) ([]st
 			m.release(req)
 		}
 	}
+	probes := uint64(0)
 	for _, id := range order {
 		if len(chosen) == replicas {
 			break
@@ -92,19 +93,24 @@ func (c *Cluster) PlaceWithSLA(db string, req sla.Resources, replicas int) ([]st
 		if m.Failed() {
 			continue
 		}
+		probes++
 		if m.reserve(req) {
 			chosen = append(chosen, id)
 			reserved = append(reserved, m)
 		}
 	}
+	c.metrics.slaProbes.Add(probes)
 	if len(chosen) < replicas {
 		undo()
+		c.metrics.slaPlacements.With("no_capacity").Inc()
 		return nil, fmt.Errorf("%w: %s needs %d replicas of %s", ErrNoCapacity, db, replicas, req)
 	}
 	if err := c.CreateDatabaseOn(db, chosen); err != nil {
 		undo()
+		c.metrics.slaPlacements.With("error").Inc()
 		return nil, err
 	}
+	c.metrics.slaPlacements.With("placed").Inc()
 	c.mu.Lock()
 	if ds, ok := c.dbs[db]; ok {
 		ds.req = req

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"sdp/internal/sqldb"
 )
@@ -213,6 +214,7 @@ func (t *Txn) Commit() error {
 		return ErrTxnDone
 	}
 
+	m := t.c.metrics
 	if !t.wrote {
 		var firstErr error
 		for _, s := range t.sessions {
@@ -222,10 +224,11 @@ func (t *Txn) Commit() error {
 		}
 		t.cleanup()
 		if firstErr != nil {
-			t.c.aborted.Add(1)
+			m.aborted.Inc()
 			return firstErr
 		}
-		t.c.committed.Add(1)
+		m.committed.Inc()
+		m.readonlyCommit.Inc()
 		if rec := t.c.opts.Recorder; rec != nil {
 			rec.Commit(t.gid)
 		}
@@ -234,8 +237,19 @@ func (t *Txn) Commit() error {
 
 	// Mirror the commit to the backup controller before issuing prepares.
 	rec := t.c.pair.begin(t)
+	gid := gidString(t.gid)
 
 	// Phase 1: prepare everywhere, concurrently.
+	m.prepareTotal.Inc()
+	if t.c.opts.AckMode == Aggressive && t.c.opts.ReadOption != ReadOption1 &&
+		t.c.opts.EngineConfig.ReleaseReadLocksAtPrepare {
+		// The exact combination the paper proves non-serializable (Table
+		// 1): read locks dropped at PREPARE while reads are routed per
+		// transaction or per operation under an aggressive controller.
+		m.unsafePrepare.Inc()
+	}
+	m.reg.TraceEvent("2pc", gid, "prepare", fmt.Sprintf("%d participants", len(t.sessions)))
+	prepStart := time.Now()
 	votes := make(map[string]*future, len(t.sessions))
 	for id, s := range t.sessions {
 		votes[id] = s.prepare()
@@ -246,6 +260,7 @@ func (t *Txn) Commit() error {
 			voteErr = r.err
 		}
 	}
+	m.prepareSeconds.ObserveDuration(time.Since(prepStart))
 	if t.c.pair.crashed(StagePreparing, t.gid) {
 		// Primary controller died before the commit decision; the backup's
 		// TakeOver will roll this transaction back.
@@ -254,10 +269,12 @@ func (t *Txn) Commit() error {
 	}
 	if voteErr != nil {
 		// Phase 2 (abort): roll everyone back.
+		m.voteNoTotal.Inc()
+		m.reg.TraceEvent("2pc", gid, "abort", voteErr.Error())
 		t.c.pair.finish(rec)
 		t.rollbackAll()
 		t.cleanup()
-		t.c.aborted.Add(1)
+		m.aborted.Inc()
 		return fmt.Errorf("core: transaction aborted by 2PC: %w", voteErr)
 	}
 
@@ -270,6 +287,7 @@ func (t *Txn) Commit() error {
 	}
 
 	// Phase 2 (commit).
+	commitStart := time.Now()
 	commits := make([]*future, 0, len(t.sessions))
 	for _, s := range t.sessions {
 		commits = append(commits, s.commitPrepared())
@@ -279,9 +297,11 @@ func (t *Txn) Commit() error {
 		// recovery (re-replication), not by blocking the commit.
 		_ = f.wait()
 	}
+	m.commitSeconds.ObserveDuration(time.Since(commitStart))
+	m.reg.TraceEvent("2pc", gid, "commit", "")
 	t.c.pair.finish(rec)
 	t.cleanup()
-	t.c.committed.Add(1)
+	m.committed.Inc()
 	if rec := t.c.opts.Recorder; rec != nil {
 		rec.Commit(t.gid)
 	}
@@ -297,14 +317,17 @@ func (t *Txn) Rollback() error {
 	return nil
 }
 
-// abort rolls back every session and finishes the transaction.
+// abort rolls back every session and finishes the transaction. The guard on
+// finished makes the abort counter exact: no matter how many error paths
+// converge here (failed read, failed write, rejected route, explicit
+// Rollback after an error), a transaction is counted aborted at most once.
 func (t *Txn) abort() {
 	if t.finished {
 		return
 	}
 	t.rollbackAll()
 	t.cleanup()
-	t.c.aborted.Add(1)
+	t.c.metrics.aborted.Inc()
 }
 
 func (t *Txn) rollbackAll() {

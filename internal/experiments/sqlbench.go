@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sdp/internal/core"
+	"sdp/internal/obs"
 	"sdp/internal/sqldb"
 	"sdp/internal/tpcw"
 )
@@ -44,21 +45,25 @@ func (c Config) sqlBenchIters() int {
 // controller (2 replicas, 2PC), and one mix-weighted TPC-W transaction on a
 // single engine. Each is reported as mean ns/op over the configured number of
 // iterations, after a warmup that fills the buffer pool and the plan caches.
-func RunSQLBench(cfg Config) (SQLBench, error) {
+// The returned snapshot carries every engine's and the bench cluster's
+// metrics; cmd/experiments writes it next to BENCH_sqldb.json.
+func RunSQLBench(cfg Config) (SQLBench, obs.Snapshot, error) {
 	iters := cfg.sqlBenchIters()
 	res := SQLBench{Iterations: iters}
+	reg := obs.NewRegistry()
 
 	// Point read: the same loop as BenchmarkSQLPointRead.
 	e := sqldb.NewEngine(sqldb.DefaultConfig())
+	bridgeEngine(reg, "bench_point", e)
 	if err := e.CreateDatabase("app"); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	if _, err := e.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	for i := 0; i < 1000; i++ {
 		if _, err := e.Exec("app", fmt.Sprintf("INSERT INTO t VALUES (%d, 'val%d')", i, i)); err != nil {
-			return res, err
+			return res, obs.Snapshot{}, err
 		}
 	}
 	point := func(i int) error {
@@ -73,13 +78,13 @@ func RunSQLBench(cfg Config) (SQLBench, error) {
 	}
 	for i := 0; i < 200; i++ { // warmup
 		if err := point(i); err != nil {
-			return res, err
+			return res, obs.Snapshot{}, err
 		}
 	}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		if err := point(i); err != nil {
-			return res, err
+			return res, obs.Snapshot{}, err
 		}
 	}
 	res.PointReadNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
@@ -87,51 +92,52 @@ func RunSQLBench(cfg Config) (SQLBench, error) {
 	res.PlanCacheHitRate = st.HitRate()
 
 	// Replicated write: the same loop as BenchmarkClusterReplicatedWrite.
-	c := core.NewCluster("bench", core.Options{Replicas: 2})
+	c := core.NewCluster("bench", core.Options{Replicas: 2, Metrics: reg})
 	if _, err := c.AddMachines(2); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	if err := c.CreateDatabase("app"); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	if _, err := c.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	if _, err := c.Exec("app", "INSERT INTO t VALUES (1, 0)"); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	wIters := iters / 5
 	for i := 0; i < 100; i++ { // warmup
 		if _, err := c.Exec("app", "UPDATE t SET v = v + 1 WHERE id = 1"); err != nil {
-			return res, err
+			return res, obs.Snapshot{}, err
 		}
 	}
 	start = time.Now()
 	for i := 0; i < wIters; i++ {
 		if _, err := c.Exec("app", "UPDATE t SET v = v + 1 WHERE id = 1"); err != nil {
-			return res, err
+			return res, obs.Snapshot{}, err
 		}
 	}
 	res.ReplicatedWriteNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(wIters)
 
 	// TPC-W mix: the same loop as BenchmarkTPCWMixSingleEngine.
 	te := sqldb.NewEngine(sqldb.DefaultConfig())
+	bridgeEngine(reg, "bench_tpcw", te)
 	if err := te.CreateDatabase("tpcw"); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	db := benchEngineDB{e: te, db: "tpcw"}
 	sc := tpcw.SmallScale(1)
 	if err := tpcw.Load(db, sc); err != nil {
-		return res, err
+		return res, obs.Snapshot{}, err
 	}
 	client := &tpcw.Client{DB: db, Mix: tpcw.ShoppingMix, Workload: tpcw.NewWorkload(sc)}
 	_ = client.RunN(1, 200) // warmup
 	mixIters := iters / 2
 	stats := client.RunN(cfg.Seed, mixIters)
 	if stats.Fatal > 0 {
-		return res, fmt.Errorf("experiments: fatal errors in TPC-W bench run")
+		return res, obs.Snapshot{}, fmt.Errorf("experiments: fatal errors in TPC-W bench run")
 	}
 	res.TPCWMixNsPerOp = float64(stats.Elapsed.Nanoseconds()) / float64(mixIters)
 	res.TPCWMixTPS = stats.TPS()
-	return res, nil
+	return res, reg.Snapshot(), nil
 }

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default histogram bounds, in seconds: exponential
+// from one microsecond to ten seconds. They cover everything this platform
+// times, from a buffer-pool hit to a whole-database copy.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// CountBuckets are histogram bounds for small cardinalities (probe counts,
+// batch sizes, machines examined).
+var CountBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+
+// Histogram is a lock-free bounded histogram: a fixed set of buckets with
+// atomic counts, plus an exact observation count and sum. Recording is
+// wait-free except for the sum, which uses a CAS loop (uncontended in
+// practice because concurrent recorders rarely collide on the same family).
+// Quantiles are estimated by linear interpolation within the bucket that
+// holds the requested rank, the standard bounded-histogram estimate; the
+// error is bounded by the bucket width.
+type Histogram struct {
+	bounds []float64       // upper bounds, increasing
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram creates a histogram with the given bucket upper bounds
+// (increasing order); nil selects LatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		val := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot captures the histogram's current state. Bucket counts are read
+// one by one, so under concurrent recording the snapshot may straddle a few
+// in-flight observations; Count is reconciled to the bucket total so the
+// quantile estimate is computed over exactly the observations it saw.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.counts)),
+		Sum:     h.Sum(),
+	}
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Buckets[i] = c
+		total += c
+	}
+	s.Count = total
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with derived
+// quantile estimates.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"-"`
+	Buckets []uint64  `json:"-"`
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts by
+// linear interpolation within the target bucket. Values beyond the last
+// bound are reported as the last bound (the estimate saturates, as with
+// any bounded histogram).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := lo
+		if i < len(s.Bounds) {
+			hi = s.Bounds[i]
+		}
+		if seen+float64(c) >= rank {
+			frac := (rank - seen) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(c)
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

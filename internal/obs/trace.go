@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the ring size of a registry's tracer: large
+// enough to hold the full 2PC and copy-phase history of an experiment run,
+// small enough to be dumped whole.
+const DefaultTraceCapacity = 4096
+
+// Event is one structured span event. Events carry a correlation ID —
+// "gid:<n>" for the branches and phases of one distributed transaction,
+// or a database name for replica-copy and DR-replication spans — so an
+// operator can reassemble the timeline of one transaction or one copy from
+// the interleaved ring.
+type Event struct {
+	// Seq is a tracer-wide monotonically increasing sequence number; it
+	// orders events exactly even when timestamps collide.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock instant the event was recorded.
+	Time time.Time `json:"time"`
+	// Scope names the subsystem: "2pc", "copy", "recovery", "repl".
+	Scope string `json:"scope"`
+	// ID is the correlation ID tying this event to its peers.
+	ID string `json:"id"`
+	// Phase is the span transition: "prepare", "commit", "abort",
+	// "table_inflight", "table_copied", "enqueue", "apply", ...
+	Phase string `json:"phase"`
+	// Detail is optional free-form context (target machine, error text).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of span events. Recording takes one
+// short mutex-guarded append; when the ring is full the oldest events are
+// overwritten, so the tracer holds the most recent window of activity and
+// never grows. A nil Tracer is valid and discards events.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int // index in buf to write next
+	full bool
+	seq  uint64
+}
+
+// NewTracer creates a tracer holding up to capacity events; capacity <= 0
+// selects DefaultTraceCapacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends one event to the ring.
+func (t *Tracer) Record(scope, id, phase, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.seq++
+	t.buf[t.next] = Event{Seq: t.seq, Time: now, Scope: scope, ID: id, Phase: phase, Detail: detail}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events in recording order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event{}, t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// ByID returns the buffered events with the given correlation ID, oldest
+// first — the reassembled timeline of one transaction or one copy.
+func (t *Tracer) ByID(id string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByScope returns the buffered events of one subsystem, oldest first.
+func (t *Tracer) ByScope(scope string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Scope == scope {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// WriteText dumps the buffered events, one per line, oldest first.
+func (t *Tracer) WriteText(w io.Writer) {
+	for _, e := range t.Events() {
+		detail := ""
+		if e.Detail != "" {
+			detail = " " + e.Detail
+		}
+		fmt.Fprintf(w, "%6d %s %-8s %-16s %s%s\n",
+			e.Seq, e.Time.Format("15:04:05.000000"), e.Scope, e.ID, e.Phase, detail)
+	}
+}

@@ -16,6 +16,7 @@ type Allocator struct {
 	machines  []Machine
 	remaining []Resources
 	placement Placement
+	probes    uint64
 	// NewMachine supplies additional machines from the free pool when
 	// First-Fit cannot place a replica. The default mints unit machines.
 	NewMachine func(idx int) Machine
@@ -63,6 +64,11 @@ func (a *Allocator) Placement() Placement {
 
 // Remaining returns the remaining capacity of machine i.
 func (a *Allocator) Remaining(i int) Resources { return a.remaining[i] }
+
+// Probes returns how many machine-fit examinations the allocator has
+// performed — the work done by Algorithm 2's greedy scan. First-Fit's
+// advantage over Best-Fit (which always scans every machine) shows up here.
+func (a *Allocator) Probes() uint64 { return a.probes }
 
 // Place allocates the replicas of a new database using First-Fit
 // (Algorithm 2): each replica goes to the first existing machine with
@@ -123,6 +129,7 @@ func (a *Allocator) firstFit(req Resources, exclude map[int]bool) int {
 		if exclude[i] {
 			continue
 		}
+		a.probes++
 		if req.Fits(a.remaining[i]) {
 			return i
 		}
@@ -135,7 +142,11 @@ func (a *Allocator) firstFit(req Resources, exclude map[int]bool) int {
 func (a *Allocator) bestFit(req Resources, exclude map[int]bool) int {
 	best, bestSlack := -1, 0.0
 	for i := range a.machines {
-		if exclude[i] || !req.Fits(a.remaining[i]) {
+		if exclude[i] {
+			continue
+		}
+		a.probes++
+		if !req.Fits(a.remaining[i]) {
 			continue
 		}
 		rem := a.remaining[i].Sub(req)

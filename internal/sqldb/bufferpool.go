@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sdp/internal/obs"
 )
 
 // PageKey identifies a page across all tables of one engine.
@@ -55,8 +57,11 @@ type BufferPool struct {
 	stripes     []poolStripe
 	missLatency time.Duration
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
+	// hitMiss packs the hit (A) and miss (B) counters into one word so
+	// Stats() returns a pair that was simultaneously true — a concurrent
+	// reader can never observe a hit whose matching access is missing from
+	// the total (see obs.Pair).
+	hitMiss   obs.Pair
 	evictions atomic.Uint64
 }
 
@@ -150,14 +155,14 @@ func (p *BufferPool) Get(key PageKey, load func() []byte) ([]pageSlot, error) {
 		s.lru.MoveToFront(el)
 		slots := el.Value.(*poolEntry).slots
 		s.mu.Unlock()
-		p.hits.Add(1)
+		p.hitMiss.IncA()
 		return slots, nil
 	}
 	s.mu.Unlock()
 
 	// Miss: decode outside the stripe mutex so concurrent misses overlap,
 	// exactly as concurrent disk reads would.
-	p.misses.Add(1)
+	p.hitMiss.IncB()
 	if p.missLatency > 0 {
 		time.Sleep(p.missLatency)
 	}
@@ -250,11 +255,14 @@ func (p *BufferPool) Len() int {
 	return n
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. Hits and misses come from
+// one atomic word, so the pair is never torn: Hits+Misses is exactly the
+// number of accesses recorded at a single instant.
 func (p *BufferPool) Stats() PoolStats {
+	hits, misses := p.hitMiss.Load()
 	return PoolStats{
-		Hits:      p.hits.Load(),
-		Misses:    p.misses.Load(),
+		Hits:      hits,
+		Misses:    misses,
 		Evictions: p.evictions.Load(),
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sdp/internal/obs"
 )
 
 // Config holds the tunables of one engine instance. The defaults model a
@@ -95,8 +97,9 @@ type Engine struct {
 
 	recorder atomic.Pointer[recorderBox]
 
-	commits atomic.Uint64
-	aborts  atomic.Uint64
+	// commitAbort packs the commit (A) and abort (B) counters into one
+	// word so Stats() cannot observe one without the other (see obs.Pair).
+	commitAbort obs.Pair
 }
 
 type recorderBox struct{ r Recorder }
@@ -153,11 +156,16 @@ func (e *Engine) Closed() bool {
 	return e.closed
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. Counter pairs that
+// readers combine (commits/aborts, pool hits/misses, plan-cache
+// hits/misses) are each packed into a single atomic word, so a concurrent
+// reader never observes a torn pair — e.g. a buffer-pool hit whose access
+// is missing from the miss side's total.
 func (e *Engine) Stats() Stats {
+	commits, aborts := e.commitAbort.Load()
 	return Stats{
-		Commits:   e.commits.Load(),
-		Aborts:    e.aborts.Load(),
+		Commits:   commits,
+		Aborts:    aborts,
 		Deadlocks: e.locks.deadlockCount(),
 		Pool:      e.pool.Stats(),
 		PlanCache: e.plans.stats(),
@@ -166,9 +174,9 @@ func (e *Engine) Stats() Stats {
 
 func (e *Engine) finishTxn(t *Txn, committed bool) {
 	if committed {
-		e.commits.Add(1)
+		e.commitAbort.IncA()
 	} else {
-		e.aborts.Add(1)
+		e.commitAbort.IncB()
 	}
 }
 
@@ -335,17 +343,17 @@ func (e *Engine) cachedStatement(db, sql string) (Statement, *stmtPlan, error) {
 	}
 	if stmt, plan, ok := pc.get(db, sql); ok {
 		if plan != nil && plan.gen == pc.gen.Load() {
-			pc.hits.Add(1)
+			pc.hitMiss.IncA()
 			return stmt, plan, nil
 		}
-		pc.misses.Add(1)
+		pc.hitMiss.IncB()
 		plan, cacheable := planStatement(e, db, stmt)
 		if cacheable {
 			pc.put(db, sql, stmt, plan)
 		}
 		return stmt, plan, nil
 	}
-	pc.misses.Add(1)
+	pc.hitMiss.IncB()
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, nil, err
@@ -368,10 +376,10 @@ func (e *Engine) plannedStmt(db string, stmt Statement) *stmtPlan {
 		return plan
 	}
 	if plan, ok := pc.memoLoad(db, stmt); ok {
-		pc.hits.Add(1)
+		pc.hitMiss.IncA()
 		return plan
 	}
-	pc.misses.Add(1)
+	pc.hitMiss.IncB()
 	plan, cacheable := planStatement(e, db, stmt)
 	if cacheable && plan != nil {
 		pc.memoStore(db, stmt, plan)

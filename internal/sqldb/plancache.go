@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"sdp/internal/obs"
 )
 
 // PlanCacheStats reports plan-cache activity counters. A hit means the
@@ -56,8 +58,9 @@ type planCache struct {
 
 	gen atomic.Uint64 // bumped by every DDL / catalog change
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
+	// hitMiss packs hits (A) and misses (B) into one word so stats
+	// snapshots are never torn (see obs.Pair).
+	hitMiss   obs.Pair
 	evictions atomic.Uint64
 }
 
@@ -185,11 +188,13 @@ func (pc *planCache) len() int {
 	return pc.lru.Len()
 }
 
-// stats returns a snapshot of the counters.
+// stats returns a snapshot of the counters. The hit/miss pair comes from
+// one atomic word and is never torn.
 func (pc *planCache) stats() PlanCacheStats {
+	hits, misses := pc.hitMiss.Load()
 	return PlanCacheStats{
-		Hits:      pc.hits.Load(),
-		Misses:    pc.misses.Load(),
+		Hits:      hits,
+		Misses:    misses,
 		Evictions: pc.evictions.Load(),
 	}
 }

@@ -1,0 +1,42 @@
+package system
+
+import "sdp/internal/obs"
+
+// systemMetrics holds the system controller's resolved instruments:
+// connection routing, disaster events, and the asynchronous cross-colo
+// replicator (the paper's disaster-recovery shipping, Section 5).
+type systemMetrics struct {
+	reg *obs.Registry
+
+	routes       *obs.CounterVec
+	coloFailures *obs.Counter
+	promotions   *obs.Counter
+
+	replBatches    *obs.CounterVec
+	replStatements *obs.Counter
+	replApply      *obs.Histogram
+	replPending    *obs.Gauge
+}
+
+// newSystemMetrics resolves the system controller's families on reg.
+func newSystemMetrics(reg *obs.Registry) *systemMetrics {
+	return &systemMetrics{
+		reg: reg,
+
+		routes: reg.CounterVec("system_route_total",
+			"Connection routing decisions, by destination kind", "kind"),
+		coloFailures: reg.Counter("system_colo_failures_total",
+			"Colos marked down by a disaster"),
+		promotions: reg.Counter("system_dr_promotions_total",
+			"DR colos promoted to primary after a disaster"),
+
+		replBatches: reg.CounterVec("system_repl_batches_total",
+			"Write batches shipped to DR colos by the asynchronous replicator, by result", "result"),
+		replStatements: reg.Counter("system_repl_statements_total",
+			"Statements replayed at DR colos"),
+		replApply: reg.Histogram("system_repl_apply_seconds",
+			"Time to apply one committed write batch at all DR colos", nil),
+		replPending: reg.Gauge("system_repl_pending_batches",
+			"Write batches enqueued and not yet applied (replication lag)"),
+	}
+}

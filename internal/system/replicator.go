@@ -1,7 +1,9 @@
 package system
 
 import (
+	"fmt"
 	"sync"
+	"time"
 )
 
 // replicator ships committed write batches to the DR colos of each
@@ -41,6 +43,7 @@ func (r *replicator) enqueue(db string, batch []capturedWrite) {
 		go r.drain(db)
 	}
 	r.mu.Unlock()
+	r.sys.metrics.reg.TraceEvent("repl", db, "enqueued", fmt.Sprintf("%d statements", len(batch)))
 }
 
 // drain applies queued batches for db until the queue empties.
@@ -69,10 +72,14 @@ func (r *replicator) drain(db string) {
 
 // apply replays one batch at every DR colo, transactionally per colo.
 func (r *replicator) apply(db string, batch []capturedWrite) {
+	m := r.sys.metrics
+	start := time.Now()
+	ok := true
 	for _, co := range r.sys.drTargets(db) {
 		tx, err := co.Begin(db)
 		if err != nil {
 			r.recordErr(err)
+			ok = false
 			continue
 		}
 		failed := false
@@ -83,12 +90,23 @@ func (r *replicator) apply(db string, batch []capturedWrite) {
 				failed = true
 				break
 			}
+			m.replStatements.Inc()
 		}
 		if !failed {
 			if err := tx.Commit(); err != nil {
 				r.recordErr(err)
+				failed = true
 			}
 		}
+		ok = ok && !failed
+	}
+	m.replApply.ObserveDuration(time.Since(start))
+	if ok {
+		m.replBatches.With("applied").Inc()
+		m.reg.TraceEvent("repl", db, "applied", "")
+	} else {
+		m.replBatches.With("failed").Inc()
+		m.reg.TraceEvent("repl", db, "failed", "")
 	}
 }
 
@@ -114,6 +132,18 @@ func (r *replicator) lag(db string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.pending[db]
+}
+
+// totalPending returns the number of unapplied batches across all
+// databases; the snapshot hook exposes it as the replication-lag gauge.
+func (r *replicator) totalPending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, p := range r.pending {
+		n += p
+	}
+	return n
 }
 
 // errors returns the recorded replication errors.

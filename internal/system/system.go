@@ -15,6 +15,7 @@ import (
 
 	"sdp/internal/colo"
 	"sdp/internal/core"
+	"sdp/internal/obs"
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 )
@@ -35,6 +36,8 @@ var (
 // only at setup), so hot-standby pairing suffices for its own fault
 // tolerance.
 type Controller struct {
+	metrics *systemMetrics
+
 	mu    sync.Mutex
 	colos map[string]*coloEntry
 	dbs   map[string]*dbEntry
@@ -54,15 +57,26 @@ type dbEntry struct {
 	req     sla.Resources
 }
 
-// New creates an empty system controller.
-func New() *Controller {
+// New creates an empty system controller with a private observability
+// registry.
+func New() *Controller { return NewWithRegistry(obs.NewRegistry()) }
+
+// NewWithRegistry creates a system controller reporting into reg. The
+// platform passes one shared registry here and to every colo it creates, so
+// a single Snapshot covers all layers.
+func NewWithRegistry(reg *obs.Registry) *Controller {
 	s := &Controller{
-		colos: make(map[string]*coloEntry),
-		dbs:   make(map[string]*dbEntry),
+		metrics: newSystemMetrics(reg),
+		colos:   make(map[string]*coloEntry),
+		dbs:     make(map[string]*dbEntry),
 	}
 	s.repl = newReplicator(s)
+	reg.OnSnapshot(func() { s.metrics.replPending.Set(float64(s.repl.totalPending())) })
 	return s
 }
+
+// Metrics returns the registry the system controller reports into.
+func (s *Controller) Metrics() *obs.Registry { return s.metrics.reg }
 
 // AddColo registers a colo controller under a region label used for
 // proximity routing.
@@ -134,6 +148,7 @@ func (s *Controller) Route(db string) (*colo.Controller, error) {
 	if pe == nil || pe.down {
 		return nil, ErrColoDown
 	}
+	s.metrics.routes.With("primary").Inc()
 	return pe.ctrl, nil
 }
 
@@ -150,6 +165,7 @@ func (s *Controller) RouteRead(db, clientRegion string) (*colo.Controller, error
 	for _, name := range e.dr {
 		if ce := s.colos[name]; ce != nil && !ce.down && ce.region == clientRegion {
 			s.mu.Unlock()
+			s.metrics.routes.With("dr_proximity").Inc()
 			return ce.ctrl, nil
 		}
 	}
@@ -205,6 +221,8 @@ func (s *Controller) FailColo(name string) ([]string, error) {
 			affected = append(affected, db)
 		}
 	}
+	s.metrics.coloFailures.Inc()
+	s.metrics.reg.TraceEvent("dr", name, "colo_failed", fmt.Sprintf("%d primaries affected", len(affected)))
 	return affected, nil
 }
 
@@ -227,6 +245,8 @@ func (s *Controller) PromoteDR(db, coloName string) error {
 				e.dr = append(e.dr, e.primary)
 			}
 			e.primary = coloName
+			s.metrics.promotions.Inc()
+			s.metrics.reg.TraceEvent("dr", db, "promoted", coloName)
 			return nil
 		}
 	}

@@ -53,6 +53,63 @@ func TestPlatformDisasterRecovery(t *testing.T) {
 	}
 }
 
+// TestPlatformUnifiedMetrics checks the tentpole property: one registry
+// snapshot covers every layer — system replicator, colo provisioning,
+// cluster 2PC, and per-engine statistics.
+func TestPlatformUnifiedMetrics(t *testing.T) {
+	p := New(Config{ClusterSize: 2})
+	p.AddColo("west", "us-west", 2)
+	p.AddColo("east", "us-east", 2)
+	if err := p.CreateDatabase("app", SLA{SizeMB: 250, MinTPS: 1}, "west", "east"); err != nil {
+		t.Fatal(err)
+	}
+	conn := p.Open("app")
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Exec("INSERT INTO t VALUES (?, ?)", Int(int64(i)), Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Query("SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	p.System().Flush("app")
+
+	s := p.Metrics().Snapshot()
+	for _, name := range []string{
+		"core_txn_committed_total",
+		"core_2pc_prepare_total",
+		"core_sla_probe_total",
+		"system_repl_batches_total",
+	} {
+		if s.Counter(name) == 0 {
+			t.Errorf("%s is zero in the platform snapshot", name)
+		}
+	}
+	if got := s.Counter("colo_machines_provisioned_total", "colo", "west"); got == 0 {
+		t.Error("west colo reported no provisioned machines")
+	}
+	if h, ok := s.Histogram("core_2pc_prepare_seconds"); !ok || h.Count == 0 {
+		t.Error("no 2PC prepare latencies in the platform snapshot")
+	}
+	if h, ok := s.Histogram("system_repl_apply_seconds"); !ok || h.Count == 0 {
+		t.Error("no replication apply latencies in the platform snapshot")
+	}
+	// Engine stats are bridged per cluster; at least one cluster must show
+	// plan-cache traffic.
+	found := false
+	for _, pnt := range s.Metrics {
+		if pnt.Name == "sqldb_engine_stat" && pnt.Labels["stat"] == "plan_cache_hits" && pnt.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no bridged engine plan-cache stats in the platform snapshot")
+	}
+}
+
 // TestPlatformConfigKnobs verifies the facade threads its configuration
 // down to the machines.
 func TestPlatformConfigKnobs(t *testing.T) {

@@ -23,6 +23,7 @@ import (
 
 	"sdp/internal/colo"
 	"sdp/internal/core"
+	"sdp/internal/obs"
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 	"sdp/internal/system"
@@ -137,20 +138,32 @@ type SLA struct {
 }
 
 // Platform is the top-level handle: the system controller plus its colos.
+// All layers — system controller, colo controllers, cluster controllers,
+// and every machine's DBMS engine — report into one observability registry
+// (see Metrics and OBSERVABILITY.md).
 type Platform struct {
 	cfg Config
+	reg *obs.Registry
 	sys *system.Controller
 }
 
 // New creates an empty platform with the given configuration.
 func New(cfg Config) *Platform {
-	return &Platform{cfg: cfg, sys: system.New()}
+	reg := obs.NewRegistry()
+	return &Platform{cfg: cfg, reg: reg, sys: system.NewWithRegistry(reg)}
 }
+
+// Metrics returns the platform-wide observability registry. Snapshot() on
+// it captures every layer's counters, latency histograms, and the trace
+// ring in one consistent dump.
+func (p *Platform) Metrics() *obs.Registry { return p.reg }
 
 // AddColo creates a colo in a region with the given number of free
 // machines and registers it with the system controller.
 func (p *Platform) AddColo(name, region string, freeMachines int) *colo.Controller {
-	co := colo.New(name, p.cfg.coloOptions())
+	opts := p.cfg.coloOptions()
+	opts.Metrics = p.reg
+	co := colo.New(name, opts)
 	co.AddFreeMachines(freeMachines)
 	p.sys.AddColo(co, region)
 	return co
