@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doc-check obs-dump bench bench-sqldb experiments clean
+.PHONY: all build test race vet doc-check obs-dump admin-demo bench bench-sqldb experiments clean
 
 all: build test
 
@@ -16,21 +16,35 @@ test:
 race:
 	$(GO) test -race ./internal/sqldb/... ./internal/core/...
 
-# vet also smoke-tests the wait-free metrics instruments under the race
-# detector — the obs package is the foundation every layer reports into.
+# vet also smoke-tests the wait-free metrics instruments, the SLA monitor's
+# epoch-recycled windows, and the admin plane under the race detector — the
+# obs package is the foundation every layer reports into.
 vet:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./internal/obs/ ./internal/sla/ ./internal/admin/
 
 # Verify every exported identifier in the controller packages carries a doc
 # comment (see OBSERVABILITY.md and the package docs citing paper sections).
 doc-check:
-	$(GO) run ./cmd/doccheck ./internal/core ./internal/system ./internal/obs
+	$(GO) run ./cmd/doccheck ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla
 
 # Dump the unified observability snapshot after a representative run: a
 # TPC-W mix with an Algorithm 1 replica copy started mid-run.
 obs-dump:
 	$(GO) run ./cmd/experiments -metrics -quick
+
+# Boot a platform with the HTTP admin plane, scrape /metrics for a known
+# family, and show the live SLA violation report — the fastest way to see
+# the operator surface end to end.
+admin-demo:
+	@set -e; \
+	$(GO) build -o /tmp/sdp-experiments ./cmd/experiments; \
+	/tmp/sdp-experiments -admin 127.0.0.1:8344 -admin-duration 6s -sla-report & pid=$$!; \
+	sleep 2; \
+	curl -fsS http://127.0.0.1:8344/metrics | grep -m1 '^core_txn_committed_total'; \
+	curl -fsS http://127.0.0.1:8344/healthz; echo; \
+	curl -fsS 'http://127.0.0.1:8344/slaz?format=text'; \
+	wait $$pid
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sdp"
+	"sdp/internal/core"
+	"sdp/internal/tpcw"
+)
+
+// connDB adapts an sdp.Conn to tpcw.DB so the TPC-W client can drive the
+// full platform stack (system controller → colo → cluster → machines).
+type connDB struct{ conn *sdp.Conn }
+
+// Begin opens one platform transaction for the TPC-W client.
+func (d connDB) Begin() (tpcw.Txn, error) { return d.conn.Begin() }
+
+// classifyErr maps platform errors onto the TPC-W client's accounting
+// classes, counting Algorithm 1 rejections separately.
+func classifyErr(err error) tpcw.ErrorClass {
+	if core.IsRejection(err) {
+		return tpcw.ClassRejected
+	}
+	if core.IsRetryable(err) {
+		return tpcw.ClassAborted
+	}
+	return tpcw.ClassFatal
+}
+
+// runAdminDemo boots a full platform with the admin plane listening on addr,
+// then drives a TPC-W shopping mix against a database whose SLA carries a
+// deliberately unattainable mean-latency bound, so /metrics serves the
+// platform families plus non-zero sla_violations_total and /slaz returns a
+// non-empty violation report. The server listens before any data loads, so
+// `make admin-demo` can curl it as soon as the process is up.
+func runAdminDemo(addr string, dur time.Duration, seed int64, slaReport bool) error {
+	plat := sdp.New(sdp.Config{
+		Replicas:    2,
+		ClusterSize: 3,
+		SLAWindow:   100 * time.Millisecond,
+	})
+	plat.AddColo("colo1", "us-east", 4)
+
+	srv, err := plat.ServeAdmin(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("admin plane listening on http://%s/ (metrics, healthz, readyz, tracez, slaz, pprof)\n", srv.Addr())
+
+	// An SLA no real system meets: mean commit latency under a nanosecond.
+	// Every busy window violates, which is the point of the demo.
+	if err := plat.CreateDatabase("shop", sdp.SLA{
+		SizeMB:            1,
+		MinTPS:            5,
+		MaxRejectFraction: 0.1,
+		MaxLatency:        time.Nanosecond,
+	}, "colo1"); err != nil {
+		return err
+	}
+
+	db := connDB{conn: plat.Open("shop")}
+	scale := tpcw.SmallScale(seed)
+	if err := tpcw.Load(db, scale); err != nil {
+		return err
+	}
+	workload := tpcw.NewWorkload(scale)
+
+	const concurrency = 4
+	stop := make(chan struct{})
+	results := make(chan tpcw.Stats, concurrency)
+	for s := 0; s < concurrency; s++ {
+		client := &tpcw.Client{DB: db, Mix: tpcw.ShoppingMix, Workload: workload, Classify: classifyErr}
+		go func(seed int64) {
+			results <- client.RunSession(seed, stop)
+		}(seed + int64(s)*104729)
+	}
+	time.Sleep(dur)
+	close(stop)
+	var total tpcw.Stats
+	for s := 0; s < concurrency; s++ {
+		st := <-results
+		total.Committed += st.Committed
+		total.Aborted += st.Aborted
+		total.Rejected += st.Rejected
+	}
+	fmt.Printf("workload done: %d committed, %d aborted, %d rejected over %s\n",
+		total.Committed, total.Aborted, total.Rejected, dur)
+
+	if slaReport {
+		plat.SLAReport().WriteText(os.Stdout)
+	}
+	return nil
+}

@@ -21,7 +21,14 @@
 //
 // -metrics drives a TPC-W mix with a replica creation mid-run and dumps the
 // platform's unified observability snapshot — every family described in
-// OBSERVABILITY.md — as text (default) or JSON (-format json).
+// OBSERVABILITY.md — as text (default) or JSON (-format json). -trace-scope
+// restricts the printed trace events to one scope (2pc, copy, recovery,
+// repl, dr, sla) and -sla-report appends the SLA compliance report.
+//
+// -admin boots a full platform with the HTTP admin plane listening on the
+// given address (e.g. -admin 127.0.0.1:8344) and drives a TPC-W mix with a
+// deliberately under-provisioned SLA for -admin-duration, so /metrics,
+// /tracez and /slaz all serve live data while it runs.
 package main
 
 import (
@@ -30,8 +37,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sdp/internal/experiments"
+	"sdp/internal/obs"
 	"sdp/internal/tpcw"
 )
 
@@ -43,12 +52,24 @@ func main() {
 	benchSQL := flag.Bool("bench-sqldb", false, "run query-engine microbenchmarks and write JSON results")
 	benchOut := flag.String("bench-out", "BENCH_sqldb.json", "output path for -bench-sqldb results")
 	metrics := flag.Bool("metrics", false, "run a TPC-W mix with a mid-run replica copy and dump the unified metrics snapshot")
+	traceScope := flag.String("trace-scope", "", "with -metrics: only print trace events of this scope (2pc, copy, recovery, repl, dr, sla)")
+	slaReport := flag.Bool("sla-report", false, "with -metrics or -admin: print the SLA compliance report")
+	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address (e.g. 127.0.0.1:8344) while driving a demo workload")
+	adminDur := flag.Duration("admin-duration", 10*time.Second, "how long the -admin demo workload runs")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 
+	if *adminAddr != "" {
+		if err := runAdminDemo(*adminAddr, *adminDur, *seed, *slaReport); err != nil {
+			fmt.Fprintf(os.Stderr, "admin: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *metrics {
-		snap, err := experiments.RunMetricsDemo(cfg)
+		snap, rep, err := experiments.RunMetricsDemo(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 			os.Exit(1)
@@ -62,8 +83,10 @@ func main() {
 			os.Stdout.Write(append(data, '\n'))
 		} else {
 			snap.WriteText(os.Stdout)
-			if n := len(snap.Trace); n > 0 {
-				tail := snap.Trace
+			// Same filter predicate as the admin plane's /tracez endpoint.
+			trace := obs.FilterEvents(snap.Trace, *traceScope, "")
+			if n := len(trace); n > 0 {
+				tail := trace
 				if len(tail) > 20 {
 					tail = tail[len(tail)-20:]
 				}
@@ -72,6 +95,10 @@ func main() {
 					fmt.Printf("%6d %-8s %-12s %-16s %s\n", ev.Seq, ev.Scope, ev.ID, ev.Phase, ev.Detail)
 				}
 			}
+		}
+		if *slaReport {
+			fmt.Println()
+			rep.WriteText(os.Stdout)
 		}
 		return
 	}

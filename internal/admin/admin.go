@@ -1,0 +1,231 @@
+// Package admin implements the platform's HTTP admin plane: a small,
+// dependency-free operator surface exposing Prometheus metrics, liveness and
+// readiness probes aggregated from the colo free pools and recovery state,
+// the trace ring with scope/correlation-ID filtering, the SLA compliance
+// report, and the standard pprof profiling endpoints. The handler is plain
+// net/http so tests can drive it through httptest without binding a port.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"sdp/internal/obs"
+	"sdp/internal/sla"
+	"sdp/internal/system"
+)
+
+// Platform is the slice of the platform the admin plane reads from. The root
+// sdp.Platform implements it; tests substitute fakes.
+type Platform interface {
+	// Health returns the platform-wide liveness report.
+	Health() system.Health
+	// SLAReport returns the current SLA compliance report.
+	SLAReport() sla.ComplianceReport
+}
+
+// Handler builds the admin-plane HTTP handler over the given registry and
+// platform. plat may be nil (registry-only deployments): the probes then
+// report a trivially healthy empty platform and /slaz is 404.
+func Handler(reg *obs.Registry, plat Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", serveIndex)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		serveHealthz(w, plat)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		serveReadyz(w, plat)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		serveTracez(w, r, reg)
+	})
+	mux.HandleFunc("/slaz", func(w http.ResponseWriter, r *http.Request) {
+		serveSlaz(w, r, plat)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveIndex lists the admin endpoints so an operator hitting the root sees
+// what is available.
+func serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `sdp admin plane
+  /metrics          Prometheus text exposition of the obs registry
+  /healthz          liveness: any live machine in any cluster
+  /readyz           readiness: colos up, replication degree met, no copies in flight
+  /tracez           trace ring (query: scope=2pc|copy|recovery|repl|dr|sla, gid=<correlation id>)
+  /slaz             SLA compliance report (query: format=text for the operator rendering)
+  /debug/pprof/     Go runtime profiles
+`)
+}
+
+// healthzBody is the JSON body of /healthz.
+type healthzBody struct {
+	// Status is "ok" or "down".
+	Status string `json:"status"`
+	// LiveMachines counts live machines across all clusters in all colos.
+	LiveMachines int `json:"live_machines"`
+	// Health is the full platform health report.
+	Health system.Health `json:"health"`
+}
+
+// serveHealthz reports liveness: the platform is "down" only when at least
+// one cluster exists and no machine anywhere is live. An empty platform (or
+// nil plat) is trivially alive — it is not failing, just not serving yet.
+func serveHealthz(w http.ResponseWriter, plat Platform) {
+	body := healthzBody{Status: "ok"}
+	clusters := 0
+	if plat != nil {
+		body.Health = plat.Health()
+		for _, co := range body.Health.Colos {
+			for _, cl := range co.Clusters {
+				clusters++
+				body.LiveMachines += cl.LiveMachines
+			}
+		}
+	}
+	code := http.StatusOK
+	if clusters > 0 && body.LiveMachines == 0 {
+		body.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// readyzBody is the JSON body of /readyz.
+type readyzBody struct {
+	// Status is "ready" or "not ready".
+	Status string `json:"status"`
+	// Reasons lists why the platform is not ready (empty when ready).
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// serveReadyz reports readiness: every colo up, every cluster holding enough
+// live machines for its replication degree, and no replica copies in flight
+// (a copy in flight means Algorithm 1 may be rejecting writes). A nil plat
+// is trivially ready; a platform with zero colos is not.
+func serveReadyz(w http.ResponseWriter, plat Platform) {
+	body := readyzBody{Status: "ready"}
+	if plat != nil {
+		h := plat.Health()
+		if len(h.Colos) == 0 {
+			body.Reasons = append(body.Reasons, "no colos registered")
+		}
+		for _, co := range h.Colos {
+			if co.Down {
+				body.Reasons = append(body.Reasons, fmt.Sprintf("colo %s down", co.Colo))
+				continue
+			}
+			for _, cl := range co.Clusters {
+				if cl.LiveMachines < cl.Replicas {
+					body.Reasons = append(body.Reasons, fmt.Sprintf(
+						"cluster %s: %d live machines < replication degree %d",
+						cl.Cluster, cl.LiveMachines, cl.Replicas))
+				}
+				if cl.ActiveCopies > 0 {
+					body.Reasons = append(body.Reasons, fmt.Sprintf(
+						"cluster %s: %d replica copies in flight", cl.Cluster, cl.ActiveCopies))
+				}
+			}
+		}
+	}
+	code := http.StatusOK
+	if len(body.Reasons) > 0 {
+		body.Status = "not ready"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// tracezBody is the JSON body of /tracez.
+type tracezBody struct {
+	// Scope is the scope filter applied ("" = all).
+	Scope string `json:"scope,omitempty"`
+	// ID is the correlation-ID filter applied ("" = all).
+	ID string `json:"id,omitempty"`
+	// Count is len(Events).
+	Count int `json:"count"`
+	// Events are the matching ring events, oldest first.
+	Events []obs.Event `json:"events"`
+}
+
+// serveTracez serves the trace ring, filtered by the scope and gid query
+// parameters using the same predicate as the experiments CLI's -trace-scope.
+func serveTracez(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
+	scope := r.URL.Query().Get("scope")
+	id := r.URL.Query().Get("gid")
+	if id == "" {
+		id = r.URL.Query().Get("id")
+	}
+	events := reg.Trace().EventsFiltered(scope, id)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, tracezBody{Scope: scope, ID: id, Count: len(events), Events: events})
+}
+
+// serveSlaz serves the SLA compliance report: JSON by default, the operator
+// text rendering with ?format=text.
+func serveSlaz(w http.ResponseWriter, r *http.Request, plat Platform) {
+	if plat == nil {
+		http.Error(w, "no platform attached", http.StatusNotFound)
+		return
+	}
+	rep := plat.SLAReport()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// writeJSON writes v as an indented JSON response with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running admin-plane HTTP server bound to a real port.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves h on it in a background
+// goroutine. Close the returned server to stop it.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, useful when Serve was given port 0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

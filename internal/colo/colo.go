@@ -236,6 +236,29 @@ func (c *Controller) provisionCluster(minMachines int) (*core.Cluster, error) {
 	return cl, nil
 }
 
+// Health summarises the colo's liveness for the admin plane: the free-pool
+// size and every owned cluster's machine/copy state.
+type Health struct {
+	// Colo is the colo's name.
+	Colo string `json:"colo"`
+	// FreeMachines is the current free-pool size.
+	FreeMachines int `json:"free_machines"`
+	// Clusters lists the owned clusters' health, in formation order.
+	Clusters []core.ClusterHealth `json:"clusters"`
+}
+
+// Health captures the colo's current liveness.
+func (c *Controller) Health() Health {
+	c.mu.Lock()
+	h := Health{Colo: c.name, FreeMachines: c.free}
+	clusters := append([]*core.Cluster{}, c.clusters...)
+	c.mu.Unlock()
+	for _, cl := range clusters {
+		h.Clusters = append(h.Clusters, cl.Health())
+	}
+	return h
+}
+
 // Route returns the cluster hosting db — the colo controller's connection
 // routing role.
 func (c *Controller) Route(db string) (*core.Cluster, error) {

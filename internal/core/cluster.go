@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdp/internal/obs"
 	"sdp/internal/sla"
@@ -43,6 +44,11 @@ type Cluster struct {
 	// (see metrics.go and OBSERVABILITY.md); all transaction-outcome
 	// counters live there.
 	metrics *clusterMetrics
+
+	// slamon, when non-nil, is fed one observation per finished
+	// transaction so declared SLAs are compared against delivered service
+	// (see sla.Monitor; all its methods are nil-receiver safe).
+	slamon *sla.Monitor
 }
 
 // dbState is the controller's bookkeeping for one client database.
@@ -139,8 +145,20 @@ func NewCluster(name string, opts Options) *Cluster {
 		dbs:      make(map[string]*dbState),
 		stmts:    sqldb.NewStmtCache(0),
 		metrics:  newClusterMetrics(reg),
+		slamon:   opts.SLAMonitor,
 	}
 	reg.OnSnapshot(c.bridgeStats)
+	if c.slamon != nil {
+		// Let the monitor resolve which machines host a violating
+		// database's replicas (the re-placement hook).
+		c.slamon.AddReplicaSource(func(db string) ([]string, bool) {
+			ids, err := c.Replicas(db)
+			if err != nil {
+				return nil, false
+			}
+			return ids, true
+		})
+	}
 	return c
 }
 
@@ -491,6 +509,7 @@ func (c *Cluster) Begin(db string) (*Txn, error) {
 		c:        c,
 		db:       db,
 		gid:      c.gidSeq.Add(1),
+		start:    time.Now(),
 		sessions: make(map[string]*replicaSession),
 	}, nil
 }

@@ -1,0 +1,44 @@
+package core
+
+// ClusterHealth summarises one cluster's liveness for the admin plane's
+// /healthz and /readyz endpoints: machine counts, hosted databases, the
+// configured replication degree, and how many Algorithm 1 replica copies
+// (replica creation or recovery re-replication) are in flight right now.
+type ClusterHealth struct {
+	// Cluster is the cluster's name.
+	Cluster string `json:"cluster"`
+	// Machines counts all registered machines, live or failed.
+	Machines int `json:"machines"`
+	// LiveMachines counts machines that have not failed.
+	LiveMachines int `json:"live_machines"`
+	// Databases counts hosted client databases.
+	Databases int `json:"databases"`
+	// ActiveCopies counts databases with a replica copy in progress.
+	ActiveCopies int `json:"active_copies"`
+	// Replicas is the configured replication degree new databases get.
+	Replicas int `json:"replicas"`
+}
+
+// Health captures the cluster's current liveness in one pass under the
+// cluster mutex.
+func (c *Cluster) Health() ClusterHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := ClusterHealth{
+		Cluster:   c.name,
+		Machines:  len(c.order),
+		Databases: len(c.dbs),
+		Replicas:  c.opts.Replicas,
+	}
+	for _, id := range c.order {
+		if !c.machines[id].Failed() {
+			h.LiveMachines++
+		}
+	}
+	for _, ds := range c.dbs {
+		if ds.copying != nil {
+			h.ActiveCopies++
+		}
+	}
+	return h
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"sdp/internal/history"
 	"sdp/internal/obs"
+	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 )
 
@@ -92,6 +93,11 @@ type Options struct {
 	// cluster, the colo, and the system controller feed one snapshot. Nil
 	// gives the cluster a private registry (see Cluster.Metrics).
 	Metrics *obs.Registry
+	// SLAMonitor, when non-nil, receives one observation per finished
+	// transaction (commit with latency, abort, or proactive rejection) and
+	// a replica-location source, so declared SLAs are checked against what
+	// this cluster actually delivers (see sla.Monitor).
+	SLAMonitor *sla.Monitor
 }
 
 // withDefaults fills unset fields.

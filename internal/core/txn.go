@@ -14,15 +14,20 @@ import (
 // replicas; commit runs two-phase commit across the machines touched. A Txn
 // must be used from a single goroutine, like a database connection.
 type Txn struct {
-	c   *Cluster
-	db  string
-	gid uint64
+	c     *Cluster
+	db    string
+	gid   uint64
+	start time.Time // for the SLA monitor's commit-latency accounting
 
 	sessions map[string]*replicaSession
 	readHome string // Option 2's per-transaction read replica
 
 	wrote    bool
 	finished bool
+	// rejected marks a transaction aborted by a proactive Algorithm 1
+	// rejection, so the SLA monitor books it against the availability
+	// bound instead of the inherent-abort tally.
+	rejected bool
 
 	// async tracks, in aggressive mode, writes whose remaining replicas
 	// have not been confirmed yet. Before each subsequent operation the
@@ -149,6 +154,9 @@ func (t *Txn) execRead(stmt sqldb.Statement, tables []string, params []sqldb.Val
 func (t *Txn) execWrite(stmt sqldb.Statement, table string, params []sqldb.Value) (*sqldb.Result, error) {
 	targets, release, err := t.c.writeRoute(t.db, table)
 	if err != nil {
+		if IsRejection(err) {
+			t.rejected = true
+		}
 		t.abort()
 		return nil, err
 	}
@@ -225,10 +233,12 @@ func (t *Txn) Commit() error {
 		t.cleanup()
 		if firstErr != nil {
 			m.aborted.Inc()
+			t.c.slamon.ObserveAbort(t.db)
 			return firstErr
 		}
 		m.committed.Inc()
 		m.readonlyCommit.Inc()
+		t.c.slamon.ObserveCommit(t.db, time.Since(t.start))
 		if rec := t.c.opts.Recorder; rec != nil {
 			rec.Commit(t.gid)
 		}
@@ -275,6 +285,7 @@ func (t *Txn) Commit() error {
 		t.rollbackAll()
 		t.cleanup()
 		m.aborted.Inc()
+		t.c.slamon.ObserveAbort(t.db)
 		return fmt.Errorf("core: transaction aborted by 2PC: %w", voteErr)
 	}
 
@@ -302,6 +313,7 @@ func (t *Txn) Commit() error {
 	t.c.pair.finish(rec)
 	t.cleanup()
 	m.committed.Inc()
+	t.c.slamon.ObserveCommit(t.db, time.Since(t.start))
 	if rec := t.c.opts.Recorder; rec != nil {
 		rec.Commit(t.gid)
 	}
@@ -321,6 +333,8 @@ func (t *Txn) Rollback() error {
 // finished makes the abort counter exact: no matter how many error paths
 // converge here (failed read, failed write, rejected route, explicit
 // Rollback after an error), a transaction is counted aborted at most once.
+// The SLA monitor sees the same exactly-once outcome, booked as a rejection
+// when a proactive Algorithm 1 rejection caused the abort.
 func (t *Txn) abort() {
 	if t.finished {
 		return
@@ -328,6 +342,11 @@ func (t *Txn) abort() {
 	t.rollbackAll()
 	t.cleanup()
 	t.c.metrics.aborted.Inc()
+	if t.rejected {
+		t.c.slamon.ObserveReject(t.db)
+	} else {
+		t.c.slamon.ObserveAbort(t.db)
+	}
 }
 
 func (t *Txn) rollbackAll() {

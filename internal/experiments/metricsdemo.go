@@ -6,6 +6,7 @@ import (
 
 	"sdp/internal/core"
 	"sdp/internal/obs"
+	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 	"sdp/internal/tpcw"
 )
@@ -18,34 +19,41 @@ import (
 //     read routing, buffer-pool and plan-cache activity),
 //   - an Algorithm 1 replica creation started mid-run (copy phase
 //     transitions, dump durations, rejected writes),
+//   - an SLA compliance monitor on the database, evaluated every 100ms, so
+//     sla_* families and the returned compliance report are populated,
 //
 // so the resulting snapshot prints non-zero values for the families that
 // back the paper's Figures 2–4 and 8–9. OBSERVABILITY.md walks through
 // reading the output.
-func RunMetricsDemo(cfg Config) (obs.Snapshot, error) {
+func RunMetricsDemo(cfg Config) (obs.Snapshot, sla.ComplianceReport, error) {
 	reg := obs.NewRegistry()
+	mon := sla.NewMonitor(reg, sla.MonitorOptions{Window: 100 * time.Millisecond})
 	c := core.NewCluster("demo", core.Options{
 		Replicas:     2,
 		EngineConfig: cfg.engineConfig(),
 		Metrics:      reg,
+		SLAMonitor:   mon,
 	})
 	if _, err := c.AddMachines(3); err != nil {
-		return obs.Snapshot{}, err
+		return obs.Snapshot{}, sla.ComplianceReport{}, err
 	}
 	if err := c.CreateDatabase("tpcw"); err != nil {
-		return obs.Snapshot{}, err
+		return obs.Snapshot{}, sla.ComplianceReport{}, err
 	}
+	// A deliberately tight mean-latency bound: the demo is meant to show the
+	// violation machinery firing, not a healthy report.
+	mon.Track("tpcw", sla.SLA{MaxMeanLatency: time.Nanosecond})
 	db := clusterDB{c: c, db: "tpcw"}
 	scale := tpcw.SmallScale(cfg.Seed)
 	if err := tpcw.Load(db, scale); err != nil {
-		return obs.Snapshot{}, err
+		return obs.Snapshot{}, sla.ComplianceReport{}, err
 	}
 	workload := tpcw.NewWorkload(scale)
 
 	// Find the machine not hosting the database: the replica-copy target.
 	hosts, err := c.Replicas("tpcw")
 	if err != nil {
-		return obs.Snapshot{}, err
+		return obs.Snapshot{}, sla.ComplianceReport{}, err
 	}
 	target := ""
 	for _, id := range c.MachineIDs() {
@@ -59,7 +67,7 @@ func RunMetricsDemo(cfg Config) (obs.Snapshot, error) {
 		}
 	}
 	if target == "" {
-		return obs.Snapshot{}, fmt.Errorf("experiments: no free machine for the copy target")
+		return obs.Snapshot{}, sla.ComplianceReport{}, fmt.Errorf("experiments: no free machine for the copy target")
 	}
 
 	const concurrency = 4
@@ -83,9 +91,12 @@ func RunMetricsDemo(cfg Config) (obs.Snapshot, error) {
 		<-results
 	}
 	if copyErr != nil {
-		return obs.Snapshot{}, fmt.Errorf("experiments: replica creation during demo: %w", copyErr)
+		return obs.Snapshot{}, sla.ComplianceReport{}, fmt.Errorf("experiments: replica creation during demo: %w", copyErr)
 	}
-	return reg.Snapshot(), nil
+	// Snapshot first: its OnSnapshot hook evaluates the pending compliance
+	// windows, so the snapshot and the report agree on the violation counts.
+	snap := reg.Snapshot()
+	return snap, mon.Report(), nil
 }
 
 // bridgeEngine registers a snapshot hook exposing one standalone engine's

@@ -101,15 +101,19 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram with derived
-// quantile estimates.
+// quantile estimates. Bounds and Buckets survive JSON serialization so a
+// `-metrics -format json` dump carries the same information as the
+// Prometheus exposition (cumulative buckets are derivable from the
+// per-bucket counts); Buckets has one more entry than Bounds, the overflow
+// bucket.
 type HistogramSnapshot struct {
 	Count   uint64    `json:"count"`
 	Sum     float64   `json:"sum"`
 	P50     float64   `json:"p50"`
 	P95     float64   `json:"p95"`
 	P99     float64   `json:"p99"`
-	Bounds  []float64 `json:"-"`
-	Buckets []uint64  `json:"-"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
 }
 
 // Mean returns the average observed value, or 0 with no observations.

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type an HTTP handler should declare
+// when serving WritePrometheus output — text exposition format 0.0.4.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# HELP` / `# TYPE` header per family followed
+// by its samples, counters and gauges as single lines, histograms as
+// cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`. Label
+// values are escaped per the format spec (backslash, double quote, newline)
+// and label names are emitted in sorted order, so the output is
+// deterministic and scrapable by a stock Prometheus server. All samples of
+// one family are contiguous, as the format requires.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	lastName := ""
+	for _, p := range s.Metrics {
+		if p.Name != lastName {
+			if p.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(p.Help))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind)
+			lastName = p.Name
+		}
+		if p.Kind == "histogram" {
+			writePromHistogram(w, p)
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels, ""), promFloat(p.Value))
+	}
+}
+
+// writePromHistogram emits one histogram point: cumulative buckets (the
+// overflow bucket folds into `le="+Inf"`), then the exact sum and count.
+func writePromHistogram(w io.Writer, p MetricPoint) {
+	h := p.Histogram
+	var cum uint64
+	for i, bound := range h.Bounds {
+		if i < len(h.Buckets) {
+			cum += h.Buckets[i]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, promFloat(bound)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "+Inf"), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, promLabels(p.Labels, ""), promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, ""), h.Count)
+}
+
+// promLabels renders {k="v",...} with names sorted; a non-empty le is
+// appended last (bucket lines), matching the conventional ordering. Returns
+// "" when there are no labels at all.
+func promLabels(labels map[string]string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(labels) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat formats a sample value: shortest round-trip representation, with
+// the spec's spellings for the special values.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text: backslash and line feed.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, line feed.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks the exposition output byte for byte: family
+// headers, sorted labels, spec escaping in HELP and label values, and
+// cumulative histogram buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	c := reg.Counter("demo_requests_total", "Requests served")
+	c.Add(42)
+
+	g := reg.Gauge("demo_queue_depth", "Items queued; escapes \\ and\nnewlines")
+	g.Set(3.5)
+
+	h := reg.Histogram("demo_latency_seconds", "Request latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	v := reg.CounterVec("demo_errors_total", "Errors by class and db", "class", "db")
+	v.With("timeout", `we"ird\db`+"\n").Add(7)
+	v.With("fatal", "shop").Inc()
+
+	var buf bytes.Buffer
+	reg.Snapshot().WritePrometheus(&buf)
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSnapshotHistogramBuckets verifies the snapshot carries the bucket
+// bounds and per-bucket counts (one more bucket than bounds: the overflow).
+func TestSnapshotHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hist", "h", []float64{1, 2})
+	h.Observe(0.5) // bucket 0
+	h.Observe(1.5) // bucket 1
+	h.Observe(9)   // overflow
+
+	hs, ok := reg.Snapshot().Histogram("hist")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if len(hs.Bounds) != 2 || hs.Bounds[0] != 1 || hs.Bounds[1] != 2 {
+		t.Fatalf("bounds = %v, want [1 2]", hs.Bounds)
+	}
+	if len(hs.Buckets) != len(hs.Bounds)+1 {
+		t.Fatalf("got %d buckets for %d bounds, want one extra overflow bucket", len(hs.Buckets), len(hs.Bounds))
+	}
+	for i, want := range []uint64{1, 1, 1} {
+		if hs.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Buckets[i], want)
+		}
+	}
+}

@@ -88,6 +88,68 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// eventMatches is the one filter predicate shared by EventsFiltered,
+// FilterEvents, and the admin plane's /tracez endpoint: an empty scope or id
+// is a wildcard.
+func eventMatches(e *Event, scope, id string) bool {
+	return (scope == "" || e.Scope == scope) && (id == "" || e.ID == id)
+}
+
+// FilterEvents returns the events matching scope and id (empty = any),
+// preserving order. It filters an already-captured slice (e.g.
+// Snapshot.Trace); EventsFiltered filters the live ring.
+func FilterEvents(events []Event, scope, id string) []Event {
+	var out []Event
+	for i := range events {
+		if eventMatches(&events[i], scope, id) {
+			out = append(out, events[i])
+		}
+	}
+	return out
+}
+
+// EventsFiltered returns the buffered events matching scope and id (empty =
+// any), oldest first. Unlike filtering the result of Events, it never copies
+// the whole ring: a counting pass sizes the result exactly, so the only
+// allocation is the returned slice (nil when nothing matches) — the /tracez
+// endpoint can be polled without generating garbage proportional to the ring
+// size.
+func (t *Tracer) EventsFiltered(scope, id string) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	t.eachLocked(func(e *Event) {
+		if eventMatches(e, scope, id) {
+			n++
+		}
+	})
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	t.eachLocked(func(e *Event) {
+		if eventMatches(e, scope, id) {
+			out = append(out, *e)
+		}
+	})
+	return out
+}
+
+// eachLocked visits the buffered events oldest first. Caller holds t.mu.
+func (t *Tracer) eachLocked(fn func(*Event)) {
+	if t.full {
+		for i := t.next; i < len(t.buf); i++ {
+			fn(&t.buf[i])
+		}
+	}
+	for i := 0; i < t.next; i++ {
+		fn(&t.buf[i])
+	}
+}
+
 // ByID returns the buffered events with the given correlation ID, oldest
 // first — the reassembled timeline of one transaction or one copy.
 func (t *Tracer) ByID(id string) []Event {

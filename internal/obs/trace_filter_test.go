@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestEventsFiltered covers the filter dimensions: scope only, id only,
+// both, wildcards, and a wrapped (full) ring keeping oldest-first order.
+func TestEventsFiltered(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record("2pc", "gid:1", "prepare", "")
+	tr.Record("2pc", "gid:2", "prepare", "")
+	tr.Record("copy", "shop", "table_copied", "item")
+	tr.Record("2pc", "gid:1", "commit", "")
+
+	if got := tr.EventsFiltered("2pc", ""); len(got) != 3 {
+		t.Fatalf("scope filter: got %d events, want 3", len(got))
+	}
+	if got := tr.EventsFiltered("", "gid:1"); len(got) != 2 || got[0].Phase != "prepare" || got[1].Phase != "commit" {
+		t.Fatalf("id filter: got %+v, want prepare then commit", got)
+	}
+	if got := tr.EventsFiltered("2pc", "gid:2"); len(got) != 1 {
+		t.Fatalf("scope+id filter: got %d events, want 1", len(got))
+	}
+	if got := tr.EventsFiltered("", ""); len(got) != 4 {
+		t.Fatalf("wildcard: got %d events, want 4", len(got))
+	}
+	if got := tr.EventsFiltered("recovery", ""); got != nil {
+		t.Fatalf("no match should return nil, got %+v", got)
+	}
+
+	// Wrap the ring; the oldest events must fall out and order must hold.
+	for i := 0; i < 6; i++ {
+		tr.Record("repl", "shop", "apply", "")
+	}
+	got := tr.EventsFiltered("2pc", "")
+	if len(got) != 1 || got[0].Phase != "commit" {
+		t.Fatalf("after wrap: got %+v, want only the gid:1 commit", got)
+	}
+
+	// A nil tracer filters to nothing.
+	var nilTr *Tracer
+	if got := nilTr.EventsFiltered("2pc", ""); got != nil {
+		t.Fatalf("nil tracer: got %+v", got)
+	}
+}
+
+// TestEventsFilteredAllocations pins the contract the /tracez endpoint
+// relies on: filtering allocates nothing beyond the result slice, even
+// against a full ring.
+func TestEventsFilteredAllocations(t *testing.T) {
+	tr := NewTracer(256)
+	for i := 0; i < 512; i++ { // wrap: exercise the full-ring walk
+		scope := "2pc"
+		if i%2 == 0 {
+			scope = "copy"
+		}
+		tr.Record(scope, "gid:1", "prepare", "")
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		tr.EventsFiltered("2pc", "gid:1")
+	}); allocs > 1 {
+		t.Errorf("filter with matches: %.1f allocs/run, want at most the result slice (1)", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		tr.EventsFiltered("recovery", "")
+	}); allocs != 0 {
+		t.Errorf("filter with no matches: %.1f allocs/run, want 0", allocs)
+	}
+}

@@ -72,6 +72,12 @@ type SLA struct {
 	// (recovery and reallocation); application-inherent failures such as
 	// deadlocks do not count.
 	MaxRejectFraction float64
+	// MaxMeanLatency, when positive, bounds the mean commit latency the
+	// compliance monitor will accept per accounting window. The paper's
+	// Section 4 model is throughput/availability only; this is the latency
+	// dimension operators invariably add on top. Zero leaves latency
+	// unconstrained.
+	MaxMeanLatency time.Duration
 	// Period is the measurement window T.
 	Period time.Duration
 }

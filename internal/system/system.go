@@ -11,6 +11,7 @@ package system
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"sdp/internal/colo"
@@ -203,6 +204,46 @@ func (s *Controller) Exec(db, sql string, params ...sqldb.Value) (*sqldb.Result,
 		return nil, err
 	}
 	return res, nil
+}
+
+// ColoHealth is one colo's entry in the platform health report: the colo's
+// own liveness plus the system controller's view of it (region, disaster
+// state).
+type ColoHealth struct {
+	colo.Health
+	// Region is the proximity-routing region label.
+	Region string `json:"region"`
+	// Down reports whether a disaster marked the colo down.
+	Down bool `json:"down"`
+}
+
+// Health is the platform-wide liveness report aggregated by the system
+// controller, the source for the admin plane's /healthz and /readyz.
+type Health struct {
+	// Colos lists every registered colo's health, sorted by name.
+	Colos []ColoHealth `json:"colos"`
+	// Databases counts databases the system controller routes.
+	Databases int `json:"databases"`
+}
+
+// Health aggregates every colo's liveness into one report.
+func (s *Controller) Health() Health {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.colos))
+	for n := range s.colos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	entries := make([]*coloEntry, len(names))
+	for i, n := range names {
+		entries[i] = s.colos[n]
+	}
+	h := Health{Databases: len(s.dbs)}
+	s.mu.Unlock()
+	for _, e := range entries {
+		h.Colos = append(h.Colos, ColoHealth{Health: e.ctrl.Health(), Region: e.region, Down: e.down})
+	}
+	return h
 }
 
 // FailColo marks a colo as down (a disaster), returning the databases whose

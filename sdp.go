@@ -19,8 +19,10 @@
 package sdp
 
 import (
+	"net/http"
 	"time"
 
+	"sdp/internal/admin"
 	"sdp/internal/colo"
 	"sdp/internal/core"
 	"sdp/internal/obs"
@@ -98,6 +100,9 @@ type Config struct {
 	DiskLatency time.Duration
 	// LockTimeout bounds lock waits on each machine (default 2s).
 	LockTimeout time.Duration
+	// SLAWindow is the SLA compliance monitor's accounting window (default
+	// 1s). Tests shrink it so violations surface quickly.
+	SLAWindow time.Duration
 }
 
 func (c Config) coloOptions() colo.Options {
@@ -133,6 +138,9 @@ type SLA struct {
 	MinTPS float64
 	// MaxRejectFraction bounds proactively rejected transactions.
 	MaxRejectFraction float64
+	// MaxLatency bounds the mean commit latency per compliance window (zero
+	// = unconstrained). It is monitored, not used for placement.
+	MaxLatency time.Duration
 	// Period is the SLA measurement window (default 24h).
 	Period time.Duration
 }
@@ -145,12 +153,18 @@ type Platform struct {
 	cfg Config
 	reg *obs.Registry
 	sys *system.Controller
+	mon *sla.Monitor
 }
 
 // New creates an empty platform with the given configuration.
 func New(cfg Config) *Platform {
 	reg := obs.NewRegistry()
-	return &Platform{cfg: cfg, reg: reg, sys: system.NewWithRegistry(reg)}
+	return &Platform{
+		cfg: cfg,
+		reg: reg,
+		sys: system.NewWithRegistry(reg),
+		mon: sla.NewMonitor(reg, sla.MonitorOptions{Window: cfg.SLAWindow}),
+	}
 }
 
 // Metrics returns the platform-wide observability registry. Snapshot() on
@@ -163,6 +177,7 @@ func (p *Platform) Metrics() *obs.Registry { return p.reg }
 func (p *Platform) AddColo(name, region string, freeMachines int) *colo.Controller {
 	opts := p.cfg.coloOptions()
 	opts.Metrics = p.reg
+	opts.Cluster.SLAMonitor = p.mon
 	co := colo.New(name, opts)
 	co.AddFreeMachines(freeMachines)
 	p.sys.AddColo(co, region)
@@ -180,7 +195,16 @@ func (p *Platform) CreateDatabase(name string, s SLA, primaryColo string, drColo
 	if replicas <= 0 {
 		replicas = 2
 	}
-	return p.sys.CreateDatabase(name, req, replicas, primaryColo, drColos...)
+	if err := p.sys.CreateDatabase(name, req, replicas, primaryColo, drColos...); err != nil {
+		return err
+	}
+	p.mon.Track(name, sla.SLA{
+		MinThroughput:     s.MinTPS,
+		MaxRejectFraction: s.MaxRejectFraction,
+		MaxMeanLatency:    s.MaxLatency,
+		Period:            s.Period,
+	})
+	return nil
 }
 
 // Open returns a connection handle for a database; the system controller
@@ -192,3 +216,23 @@ func (p *Platform) Open(name string) *Conn {
 // System exposes the underlying system controller for advanced operations
 // (fail-over drills, DR promotion).
 func (p *Platform) System() *system.Controller { return p.sys }
+
+// SLAMonitor exposes the platform's SLA compliance monitor.
+func (p *Platform) SLAMonitor() *sla.Monitor { return p.mon }
+
+// SLAReport evaluates all pending compliance windows and returns the
+// current report.
+func (p *Platform) SLAReport() sla.ComplianceReport { return p.mon.Report() }
+
+// Health aggregates every layer's liveness into one report.
+func (p *Platform) Health() system.Health { return p.sys.Health() }
+
+// AdminHandler returns the admin-plane HTTP handler (metrics, probes,
+// traces, SLA report, pprof) for mounting in tests or a custom server.
+func (p *Platform) AdminHandler() http.Handler { return admin.Handler(p.reg, p) }
+
+// ServeAdmin binds addr and serves the admin plane on it in the background.
+// Close the returned server to stop it.
+func (p *Platform) ServeAdmin(addr string) (*admin.Server, error) {
+	return admin.Serve(addr, p.AdminHandler())
+}
