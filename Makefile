@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doc-check obs-dump admin-demo bench bench-sqldb experiments clean
+.PHONY: all build test race vet doc-check crash obs-dump admin-demo bench bench-sqldb bench-wal experiments clean
 
 all: build test
 
@@ -11,22 +11,33 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with lock-sensitive hot paths: the
-# query engine (plan cache, striped buffer pool, lock manager) and the
-# cluster controller (2PC, replica management).
+# query engine (plan cache, striped buffer pool, lock manager), the cluster
+# controller (2PC, replica management), and the write-ahead log's
+# group-commit pipeline.
 race:
-	$(GO) test -race ./internal/sqldb/... ./internal/core/...
+	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/wal/...
 
 # vet also smoke-tests the wait-free metrics instruments, the SLA monitor's
-# epoch-recycled windows, and the admin plane under the race detector — the
-# obs package is the foundation every layer reports into.
+# epoch-recycled windows, the admin plane, and the write-ahead log under the
+# race detector — the obs package is the foundation every layer reports into.
 vet:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs/ ./internal/sla/ ./internal/admin/
+	$(GO) test -race ./internal/obs/ ./internal/sla/ ./internal/admin/ ./internal/wal/
 
-# Verify every exported identifier in the controller packages carries a doc
-# comment (see OBSERVABILITY.md and the package docs citing paper sections).
+# Verify every exported identifier in the controller, durability, and engine
+# packages carries a doc comment (see OBSERVABILITY.md and the package docs
+# citing paper sections).
 doc-check:
-	$(GO) run ./cmd/doccheck ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla
+	$(GO) run ./cmd/doccheck ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb
+
+# Crash-recovery soak: the randomized log-cut property test, 20 runs with
+# distinct injection seeds. Any failure reproduces with
+# SDP_CRASH_SEED=<seed> go test -run TestCrashRandomizedCut ./internal/sqldb/
+crash:
+	@set -e; for seed in $$(seq 1 20); do \
+		echo "crash suite seed $$seed"; \
+		SDP_CRASH_SEED=$$seed $(GO) test -count=1 -race -run 'TestCrash' ./internal/sqldb/ >/dev/null; \
+	done; echo "crash suite: 20 seeds passed"
 
 # Dump the unified observability snapshot after a representative run: a
 # TPC-W mix with an Algorithm 1 replica copy started mid-run.
@@ -53,6 +64,11 @@ bench:
 # accompanying BENCH_sqldb.metrics.txt snapshot.
 bench-sqldb:
 	$(GO) run ./cmd/experiments -bench-sqldb
+
+# Regenerate BENCH_wal.json (group-commit scaling and the restart-recovery
+# vs full-copy comparison).
+bench-wal:
+	$(GO) run ./cmd/experiments -bench-wal
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

@@ -19,6 +19,11 @@
 // unified metrics snapshot of the bench run lands next to it with a
 // .metrics.txt suffix.
 //
+// -bench-wal runs the durability benchmarks — commit latency and flushes
+// per commit as concurrent committers grow, with and without group commit,
+// plus machine-restart recovery by log replay versus a full Algorithm-1
+// copy — and writes the results to BENCH_wal.json (or -bench-wal-out).
+//
 // -metrics drives a TPC-W mix with a replica creation mid-run and dumps the
 // platform's unified observability snapshot — every family described in
 // OBSERVABILITY.md — as text (default) or JSON (-format json). -trace-scope
@@ -51,6 +56,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, csv, or (with -metrics) json")
 	benchSQL := flag.Bool("bench-sqldb", false, "run query-engine microbenchmarks and write JSON results")
 	benchOut := flag.String("bench-out", "BENCH_sqldb.json", "output path for -bench-sqldb results")
+	benchWAL := flag.Bool("bench-wal", false, "run the durability benchmarks (group commit scaling, log-replay vs full-copy recovery) and write JSON results")
+	benchWALOut := flag.String("bench-wal-out", "BENCH_wal.json", "output path for -bench-wal results")
 	metrics := flag.Bool("metrics", false, "run a TPC-W mix with a mid-run replica copy and dump the unified metrics snapshot")
 	traceScope := flag.String("trace-scope", "", "with -metrics: only print trace events of this scope (2pc, copy, recovery, repl, dr, sla)")
 	slaReport := flag.Bool("sla-report", false, "with -metrics or -admin: print the SLA compliance report")
@@ -100,6 +107,30 @@ func main() {
 			fmt.Println()
 			rep.WriteText(os.Stdout)
 		}
+		return
+	}
+
+	if *benchWAL {
+		res, err := experiments.RunWALBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-wal: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-wal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchWALOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-wal: %v\n", err)
+			os.Exit(1)
+		}
+		last := len(res.GroupCommit) - 1
+		fmt.Printf("wrote %s: at %d committers %.3f flushes/commit with group commit vs %.3f without; recovery of %d rows: %.1f ms log replay+delta vs %.1f ms full copy (%.1fx)\n",
+			*benchWALOut,
+			res.GroupCommit[last].Committers, res.GroupCommit[last].FlushesPerCommit,
+			res.NoGroupCommit[last].FlushesPerCommit,
+			res.RecoveryRows, res.FastRecoveryMs, res.FullRecoveryMs, res.FastSpeedupRatio)
 		return
 	}
 

@@ -11,7 +11,10 @@
 //	\use <db>                     switch the current database
 //	\dbs                          list databases
 //	\machines                     list machines and their databases
-//	\fail <machine>               fail a machine and recover
+//	\fail <machine>               fail a machine for good and re-replicate
+//	\crash <machine>              fail a machine that will come back
+//	\restart <machine>            restart a crashed machine: log replay + rejoin
+//	\checkpoint                   fuzzy-checkpoint every machine's log
 //	\migrate <db> <from> <to>     move a replica between machines
 //	\rebalance                    spread load by migrating replicas
 //	\stats                        platform counters
@@ -34,9 +37,14 @@ import (
 
 func main() {
 	machines := flag.Int("machines", 6, "free machines in the colo")
+	durable := flag.Bool("wal", true, "write-ahead logging: group commit, \\crash/\\restart recovery")
 	flag.Parse()
 
-	p := sdp.New(sdp.Config{ClusterSize: 4})
+	cfg := sdp.Config{ClusterSize: 4}
+	if *durable {
+		cfg.WAL = &sdp.WALConfig{Compact: true}
+	}
+	p := sdp.New(cfg)
 	west := p.AddColo("local", "local", *machines)
 
 	fmt.Printf("sdp shell — colo %q with %d machines. \\create <db> to begin, \\quit to exit.\n",
@@ -214,6 +222,56 @@ func command(p *sdp.Platform, line string, current **sdp.Conn, currentName *stri
 			fmt.Printf(", failed: %v", report.Failed)
 		}
 		fmt.Println()
+	case "\\crash":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\crash <machine>")
+			return true
+		}
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		affected, err := co.CrashMachine(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("crashed %s; affected databases %v run on one replica until \\restart\n", fields[1], affected)
+	case "\\restart":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\restart <machine>")
+			return true
+		}
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		stats, report, err := co.RestartMachine(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("restarted %s: replayed %d statements (checkpoint LSN %d, %d in doubt); rejoined %v",
+			fields[1], stats.Applied, stats.CheckpointLSN, stats.InDoubt, report.Recovered)
+		if len(report.Failed) > 0 {
+			fmt.Printf(", failed: %v", report.Failed)
+		}
+		fmt.Println()
+	case "\\checkpoint":
+		co, err := p.System().Colo("local")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, cl := range co.Clusters() {
+			if err := cl.CheckpointMachines(); err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+			fmt.Printf("cluster %s: checkpointed\n", cl.Name())
+		}
 	case "\\migrate":
 		if len(fields) != 4 {
 			fmt.Println("usage: \\migrate <db> <from> <to>")

@@ -15,6 +15,7 @@ import (
 	"sdp/internal/core"
 	"sdp/internal/obs"
 	"sdp/internal/sla"
+	"sdp/internal/sqldb"
 )
 
 // Sentinel errors.
@@ -312,4 +313,52 @@ func (c *Controller) FailMachine(id string) (core.RecoveryReport, error) {
 		return cl.RecoverDatabases(affected, c.opts.RecoveryThreads), nil
 	}
 	return core.RecoveryReport{}, fmt.Errorf("colo: machine %s not found in any cluster", id)
+}
+
+// CrashMachine fails a machine without re-replicating its databases — the
+// transient-outage model: the machine is expected back, so its replicas are
+// left one short rather than rebuilt elsewhere. Pair with RestartMachine;
+// use FailMachine when the machine is gone for good. Returns the affected
+// databases.
+func (c *Controller) CrashMachine(id string) ([]string, error) {
+	c.mu.Lock()
+	clusters := append([]*core.Cluster{}, c.clusters...)
+	c.mu.Unlock()
+	for _, cl := range clusters {
+		if _, err := cl.Machine(id); err != nil {
+			continue
+		}
+		affected, err := cl.FailMachine(id)
+		if err != nil {
+			return nil, err
+		}
+		c.metrics.machineFailures.Inc()
+		c.metrics.reg.TraceEvent("recovery", id, "machine_crashed",
+			fmt.Sprintf("%d databases affected", len(affected)))
+		return affected, nil
+	}
+	return nil, fmt.Errorf("colo: machine %s not found in any cluster", id)
+}
+
+// RestartMachine brings a crashed machine back: its engine recovers from its
+// write-ahead log, and its databases rejoin their replica sets — by the fast
+// log-replay-plus-delta path when the machine's recovered state is usable,
+// by a full copy otherwise. Requires the clusters to run with a WAL.
+func (c *Controller) RestartMachine(id string) (*sqldb.RecoveryStats, core.RecoveryReport, error) {
+	c.mu.Lock()
+	clusters := append([]*core.Cluster{}, c.clusters...)
+	c.mu.Unlock()
+	for _, cl := range clusters {
+		m, err := cl.Machine(id)
+		if err != nil {
+			continue
+		}
+		stats, err := cl.RestartMachine(id)
+		if err != nil {
+			return nil, core.RecoveryReport{}, err
+		}
+		report := cl.RecoverDatabases(m.Engine().Databases(), c.opts.RecoveryThreads)
+		return stats, report, nil
+	}
+	return nil, core.RecoveryReport{}, fmt.Errorf("colo: machine %s not found in any cluster", id)
 }

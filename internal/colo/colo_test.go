@@ -7,6 +7,7 @@ import (
 
 	"sdp/internal/core"
 	"sdp/internal/sla"
+	"sdp/internal/wal"
 )
 
 func smallReq() sla.Resources { return sla.Profile(400, 2) }
@@ -136,4 +137,69 @@ func TestFailMachineTriggersRecovery(t *testing.T) {
 		t.Error("failing unknown machine succeeded")
 	}
 	_ = core.ErrNoMachine // keep the core import honest
+}
+
+// TestCrashRestartMachine drives the transient-outage cycle: a machine
+// crashes without re-replication, writes land on the surviving replica, and
+// the restart recovers the machine from its log and rejoins its databases by
+// the fast path.
+func TestCrashRestartMachine(t *testing.T) {
+	c := New("colo1", Options{ClusterSize: 2, Cluster: core.Options{WAL: &wal.Config{Compact: true}}})
+	c.AddFreeMachines(4)
+	if err := c.CreateDatabase("app", smallReq(), 2); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Route("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("app", "INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	replicas, err := cl.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := replicas[1]
+	affected, err := c.CrashMachine(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != "app" {
+		t.Fatalf("affected = %v, want [app]", affected)
+	}
+	// The database keeps serving on the survivor while the machine is down.
+	if _, err := cl.Exec("app", "INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, report, err := c.RestartMachine(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied == 0 {
+		t.Fatal("restart replayed nothing")
+	}
+	if len(report.Failed) != 0 {
+		t.Fatalf("rejoin failures: %v", report.Failed)
+	}
+	replicas, err = cl.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replicas) != 2 {
+		t.Fatalf("replicas after restart = %v, want 2", replicas)
+	}
+	// The restarted machine holds the full table, including the downtime write.
+	m, err := cl.Machine(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Engine().Exec("app", "SELECT id FROM t")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("restarted machine: rows=%v err=%v, want 2 rows", res, err)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"sdp/internal/obs"
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
+	"sdp/internal/wal"
 )
 
 // Cluster is the fault-tolerant cluster controller of the paper: it owns a
@@ -27,9 +28,14 @@ type Cluster struct {
 	order    []string // machine IDs in registration order
 	dbs      map[string]*dbState
 
-	gidSeq  atomic.Uint64
-	rrSeq   atomic.Uint64
-	homeSeq uint64 // guarded by mu; rotates Option-1 read homes
+	gidSeq   atomic.Uint64
+	rrSeq    atomic.Uint64
+	epochSeq atomic.Uint64
+	homeSeq  uint64 // guarded by mu; rotates Option-1 read homes
+
+	// walMetrics is the shared instrument set for every machine's write-ahead
+	// log; nil when the cluster runs without WAL (Options.WAL == nil).
+	walMetrics *wal.Metrics
 
 	// pair mirrors commit-in-transit state to the backup controller of the
 	// process pair (see pair.go).
@@ -57,6 +63,15 @@ type dbState struct {
 	replicas []string   // live machines hosting the database
 	readHome string     // Option 1's designated read replica
 	copying  *copyState // non-nil while a new replica is being created
+	// epoch uniquely identifies this incarnation of the namespace, so a
+	// machine's failure-time marks from a since-dropped-and-recreated
+	// database are never trusted.
+	epoch uint64
+	// writeSeq counts routed writes per table (lower-cased name), guarded by
+	// the cluster mutex. A restarted machine compares its failure-time
+	// snapshot of these counters against the current values: equal means the
+	// table is unchanged and log replay alone recovered it.
+	writeSeq map[string]uint64
 	// pending counts in-flight write operations per table (lower-cased
 	// name). The copy process drains a table's counter after marking it
 	// in-flight; since rejections stop new arrivals, the wait is bounded
@@ -68,6 +83,15 @@ type dbState struct {
 	// (the paper's larger-than-one-machine extension; see partition.go).
 	partitions []partitionState
 	tableAt    map[string]int
+}
+
+// bumpWrite advances a table's write sequence number. Called with the
+// cluster mutex held, for every write the router sends to the replicas.
+func (ds *dbState) bumpWrite(table string) {
+	if ds.writeSeq == nil {
+		ds.writeSeq = make(map[string]uint64)
+	}
+	ds.writeSeq[table]++
 }
 
 // pendingFor returns (creating if needed) the drain counter of a table.
@@ -147,6 +171,9 @@ func NewCluster(name string, opts Options) *Cluster {
 		metrics:  newClusterMetrics(reg),
 		slamon:   opts.SLAMonitor,
 	}
+	if opts.WAL != nil {
+		c.walMetrics = wal.NewMetrics(reg)
+	}
 	reg.OnSnapshot(c.bridgeStats)
 	if c.slamon != nil {
 		// Let the monitor resolve which machines host a violating
@@ -180,7 +207,7 @@ func (c *Cluster) AddMachine(id string) (*Machine, error) {
 	if c.opts.Recorder != nil {
 		rec = c.opts.Recorder.ForSite(id)
 	}
-	m := newMachine(id, c.opts.EngineConfig, rec)
+	m := newMachine(id, c.opts.EngineConfig, rec, c.opts.WAL, c.walMetrics)
 	c.machines[id] = m
 	c.order = append(c.order, id)
 	return m, nil
@@ -312,7 +339,7 @@ func (c *Cluster) CreateDatabaseOn(db string, machineIDs []string) error {
 	c.mu.Unlock()
 
 	for _, m := range ms {
-		if err := m.engine.CreateDatabase(db); err != nil {
+		if err := m.Engine().CreateDatabase(db); err != nil {
 			return err
 		}
 		m.dbCount.Add(1)
@@ -329,6 +356,7 @@ func (c *Cluster) CreateDatabaseOn(db string, machineIDs []string) error {
 		name:     db,
 		replicas: append([]string{}, machineIDs...),
 		readHome: home,
+		epoch:    c.epochSeq.Add(1),
 	}
 	return nil
 }
@@ -352,7 +380,7 @@ func (c *Cluster) DropDatabase(db string) error {
 		if m.Failed() {
 			continue
 		}
-		if err := m.engine.DropDatabase(db); err != nil {
+		if err := m.Engine().DropDatabase(db); err != nil {
 			return err
 		}
 		m.dbCount.Add(-1)
@@ -379,6 +407,11 @@ func (c *Cluster) FailMachine(id string) ([]string, error) {
 				affected = append(affected, ds.name)
 				if ds.readHome == id && len(ds.replicas) > 0 {
 					ds.readHome = ds.replicas[0]
+				}
+				// Snapshot the database's write counters so a restart can
+				// tell which tables changed while the machine was down.
+				if m.walStore != nil {
+					m.setMarks(ds.name, ds.epoch, ds.writeSeq)
 				}
 				break
 			}
@@ -464,6 +497,7 @@ func (c *Cluster) writeRoute(db, table string) ([]string, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		ds.bumpWrite(table)
 		d := ds.pendingFor(table)
 		d.inc()
 		return targets, d.dec, nil
@@ -492,6 +526,7 @@ func (c *Cluster) writeRoute(db, table string) ([]string, func(), error) {
 			// Algorithm 1, line 13: not yet copied — exclude target.
 		}
 	}
+	ds.bumpWrite(table)
 	d := ds.pendingFor(table)
 	d.inc()
 	return targets, d.dec, nil
@@ -555,7 +590,7 @@ func (c *Cluster) Stats() Stats {
 	}
 	c.mu.Unlock()
 	for _, m := range ms {
-		s.Deadlocks += m.engine.Stats().Deadlocks
+		s.Deadlocks += m.Engine().Stats().Deadlocks
 	}
 	return s
 }

@@ -1,19 +1,34 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
+	"sdp/internal/wal"
 )
 
 // Machine is one database machine of the cluster: a commodity box running a
 // single-node DBMS instance. The cluster controller is the only client of
 // its engine.
 type Machine struct {
-	id     string
-	engine *sqldb.Engine
+	id string
+
+	// engine is swapped atomically on restart: a failure destroys the
+	// in-memory instance, and recovery rebuilds a fresh one from the
+	// machine's write-ahead log.
+	engine atomic.Pointer[sqldb.Engine]
+
+	// walStore is the machine's durable log device (nil when the cluster
+	// runs without WAL). It survives engine failures; walCfg/walMetrics and
+	// the engine construction inputs are kept so Restart can rebuild.
+	walStore   wal.Store
+	walCfg     wal.Config
+	walMetrics *wal.Metrics
+	engCfg     sqldb.Config
+	rec        sqldb.Recorder
 
 	mu       sync.Mutex
 	failed   bool
@@ -21,25 +36,59 @@ type Machine struct {
 	hasCap   bool
 	used     sla.Resources
 
+	// marks records, per database this machine hosted when it failed, the
+	// cluster's per-table write sequence numbers at the moment of failure
+	// (plus the database's epoch, so a dropped-and-recreated namespace is
+	// never mistaken for the one the machine knew). After a restart the
+	// delta between these marks and the current sequence numbers is exactly
+	// the set of tables the fast recovery path must copy.
+	marks map[string]dbMarks
+
 	// dbCount tracks how many databases are hosted here, for the cluster's
 	// internal least-loaded placement.
 	dbCount atomic.Int32
 }
 
-// newMachine creates a machine with a fresh engine.
-func newMachine(id string, cfg sqldb.Config, rec sqldb.Recorder) *Machine {
-	e := sqldb.NewEngine(cfg)
-	if rec != nil {
-		e.SetRecorder(rec)
+// dbMarks is the failure-time snapshot for one database.
+type dbMarks struct {
+	epoch  uint64
+	tables map[string]uint64
+}
+
+// newMachine creates a machine with a fresh engine. When walCfg is non-nil
+// the engine writes a WAL to an in-memory simulated disk that survives
+// machine failures, enabling Restart.
+func newMachine(id string, cfg sqldb.Config, rec sqldb.Recorder, walCfg *wal.Config, walMetrics *wal.Metrics) *Machine {
+	m := &Machine{id: id, engCfg: cfg, rec: rec, walMetrics: walMetrics}
+	if walCfg != nil {
+		m.walCfg = *walCfg
+		m.walStore = wal.NewMemStore()
 	}
-	return &Machine{id: id, engine: e}
+	m.engine.Store(m.newEngine())
+	return m
+}
+
+// newEngine builds a fresh engine wired to the machine's recorder and (when
+// configured) a log over the machine's durable store.
+func (m *Machine) newEngine() *sqldb.Engine {
+	e := sqldb.NewEngine(m.engCfg)
+	if m.rec != nil {
+		e.SetRecorder(m.rec)
+	}
+	if m.walStore != nil {
+		e.AttachWAL(wal.New(m.walStore, m.walCfg, m.walMetrics))
+		e.SetWALMetrics(m.walMetrics)
+	}
+	return e
 }
 
 // ID returns the machine's identifier.
 func (m *Machine) ID() string { return m.id }
 
 // Engine exposes the machine's DBMS instance (statistics, experiments).
-func (m *Machine) Engine() *sqldb.Engine { return m.engine }
+// Restart replaces the instance, so callers must not cache it across a
+// failure.
+func (m *Machine) Engine() *sqldb.Engine { return m.engine.Load() }
 
 // Failed reports whether the machine has failed.
 func (m *Machine) Failed() bool {
@@ -49,10 +98,98 @@ func (m *Machine) Failed() bool {
 }
 
 // fail marks the machine as failed and closes its engine, modelling a
-// power or disk failure.
+// power or disk failure: all in-memory state is lost, and any log bytes not
+// yet flushed are lost with it. The durable log prefix survives for Restart.
 func (m *Machine) fail() {
 	m.mu.Lock()
 	m.failed = true
 	m.mu.Unlock()
-	m.engine.Close()
+	m.Engine().Close()
+	if cr, ok := m.walStore.(wal.Crasher); ok {
+		cr.Crash(0)
+	}
+}
+
+// Restart brings a failed machine back: a fresh engine is built over the
+// machine's surviving log and recovered from it (checkpoint restore plus
+// log replay). The machine rejoins the cluster as live, but its databases
+// do not serve traffic until the controller catches them up and re-adds
+// them to the replica sets (see Cluster.RestartMachine).
+func (m *Machine) Restart() (*sqldb.RecoveryStats, error) {
+	m.mu.Lock()
+	if !m.failed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: machine %s has not failed", m.id)
+	}
+	m.mu.Unlock()
+	if m.walStore == nil {
+		return nil, fmt.Errorf("core: machine %s has no durable log to restart from", m.id)
+	}
+	e := m.newEngine()
+	stats, err := e.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("core: restart %s: %w", m.id, err)
+	}
+	m.engine.Store(e)
+	m.dbCount.Store(int32(len(e.Databases())))
+	m.mu.Lock()
+	m.failed = false
+	m.mu.Unlock()
+	return stats, nil
+}
+
+// setMarks snapshots a database's write sequence numbers at failure time.
+func (m *Machine) setMarks(db string, epoch uint64, seqs map[string]uint64) {
+	cp := make(map[string]uint64, len(seqs))
+	for k, v := range seqs {
+		cp[k] = v
+	}
+	m.mu.Lock()
+	if m.marks == nil {
+		m.marks = make(map[string]dbMarks)
+	}
+	m.marks[db] = dbMarks{epoch: epoch, tables: cp}
+	m.mu.Unlock()
+}
+
+// hasMarks reports whether the machine holds a failure-time snapshot for db.
+func (m *Machine) hasMarks(db string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.marks[db]
+	return ok
+}
+
+// takeMarks consumes the failure-time snapshot for db.
+func (m *Machine) takeMarks(db string) (map[string]uint64, uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dm, ok := m.marks[db]
+	if !ok {
+		return nil, 0, false
+	}
+	delete(m.marks, db)
+	return dm.tables, dm.epoch, true
+}
+
+// dirtyMarks removes tables from a database's snapshot, forcing them into
+// the fast recovery path's delta-copy set (used for tables touched by
+// in-doubt transactions, whose local effects were presumed aborted).
+func (m *Machine) dirtyMarks(db string, tables []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dm, ok := m.marks[db]
+	if !ok {
+		return
+	}
+	for _, t := range tables {
+		delete(dm.tables, lowerName(t))
+	}
+}
+
+// clearMarks discards the snapshot for db.
+func (m *Machine) clearMarks(db string) {
+	m.mu.Lock()
+	delete(m.marks, db)
+	m.mu.Unlock()
 }

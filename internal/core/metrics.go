@@ -42,6 +42,7 @@ type clusterMetrics struct {
 	// Machine-failure recovery.
 	recoveryTotal   *obs.CounterVec
 	recoverySeconds *obs.Histogram
+	walRecovery     *obs.CounterVec
 
 	// SLA placement (Algorithm 2 inside the cluster).
 	slaProbes     *obs.Counter
@@ -95,6 +96,8 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 			"Databases processed by machine-failure recovery, by result", "result"),
 		recoverySeconds: reg.Histogram("core_recovery_seconds",
 			"Per-database re-replication duration during recovery", nil),
+		walRecovery: reg.CounterVec("wal_recovery_total",
+			"Databases recovered after a machine restart, by path: fast (log replay + delta catch-up) or full (Algorithm-1 copy)", "path"),
 
 		slaProbes: reg.Counter("core_sla_probe_total",
 			"First-Fit machine probes during SLA placement (Algorithm 2)"),
@@ -169,7 +172,7 @@ func (c *Cluster) bridgeStats() {
 		if mach.Failed() {
 			continue
 		}
-		st := mach.engine.Stats()
+		st := mach.Engine().Stats()
 		commits += st.Commits
 		aborts += st.Aborts
 		deadlocks += st.Deadlocks

@@ -101,7 +101,7 @@ func (c *Cluster) retireReplica(db, machineID string) error {
 		// dropping immediately is safe for our engine because scans and
 		// locks are per-table objects that survive catalog removal, but
 		// we keep it simple and drop right away.
-		if err := m.engine.DropDatabase(db); err != nil {
+		if err := m.Engine().DropDatabase(db); err != nil {
 			return err
 		}
 		m.dbCount.Add(-1)

@@ -12,6 +12,7 @@ import (
 	"sdp/internal/obs"
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
+	"sdp/internal/wal"
 )
 
 // ReadOption selects how the controller routes read operations among the
@@ -98,6 +99,11 @@ type Options struct {
 	// a replica-location source, so declared SLAs are checked against what
 	// this cluster actually delivers (see sla.Monitor).
 	SLAMonitor *sla.Monitor
+	// WAL, when non-nil, gives every machine a write-ahead log over a
+	// simulated durable disk: commits are forced (with group commit) before
+	// acknowledgement, and a failed machine can Restart and recover its
+	// state by log replay instead of a full Algorithm-1 copy.
+	WAL *wal.Config
 }
 
 // withDefaults fills unset fields.

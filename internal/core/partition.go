@@ -76,7 +76,7 @@ func (c *Cluster) CreatePartitionedDatabase(db string, groups [][]string) error 
 	c.mu.Unlock()
 
 	for _, m := range ms {
-		if err := m.engine.CreateDatabase(db); err != nil {
+		if err := m.Engine().CreateDatabase(db); err != nil {
 			return err
 		}
 		m.dbCount.Add(1)

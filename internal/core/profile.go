@@ -52,12 +52,12 @@ func (c *Cluster) ObserveDatabase(db, machineID string, window time.Duration, dr
 	if m.Failed() {
 		return ProfileReport{}, fmt.Errorf("%w: %s", ErrMachineFailed, machineID)
 	}
-	if !m.engine.HasDatabase(db) {
+	if !m.Engine().HasDatabase(db) {
 		return ProfileReport{}, fmt.Errorf("%w: %s not on %s", ErrNoDatabase, db, machineID)
 	}
 
-	before := m.engine.Stats()
-	poolBefore := m.engine.Pool().Len()
+	before := m.Engine().Stats()
+	poolBefore := m.Engine().Pool().Len()
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
@@ -67,12 +67,12 @@ func (c *Cluster) ObserveDatabase(db, machineID string, window time.Duration, dr
 	time.Sleep(window)
 	close(stop)
 	<-done
-	after := m.engine.Stats()
-	poolAfter := m.engine.Pool().Len()
+	after := m.Engine().Stats()
+	poolAfter := m.Engine().Pool().Len()
 
 	committed := after.Commits - before.Commits
 	tps := float64(committed) / window.Seconds()
-	sizeMB := float64(m.engine.DatabaseByteSize(db)) / (1 << 20)
+	sizeMB := float64(m.Engine().DatabaseByteSize(db)) / (1 << 20)
 	touched := poolAfter - poolBefore
 	if touched < 0 {
 		touched = 0

@@ -119,7 +119,7 @@ func (c *Cluster) planMove() (Move, bool) {
 
 	// Its SLA-managed databases, largest requirement first would be
 	// classic; we simply scan in name order for determinism.
-	for _, db := range hottest.engine.Databases() {
+	for _, db := range hottest.Engine().Databases() {
 		ds := c.dbs[db]
 		if ds == nil || ds.req == (sla.Resources{}) || ds.copying != nil {
 			continue

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"sdp/internal/sqldb"
 )
 
 // RecoveryReport summarises one recovery run.
@@ -57,13 +61,346 @@ func (c *Cluster) RecoverDatabases(dbs []string, threads int) RecoveryReport {
 	return report
 }
 
-// recoverOne picks a target machine and creates the replica.
+// recoverOne re-replicates one database. When a restarted machine holds a
+// log-recovered copy of the database plus usable failure-time marks, the
+// fast path catches it up by copying only the tables written while it was
+// down; otherwise (or if catch-up fails) a full Algorithm-1 copy onto a
+// fresh target runs.
 func (c *Cluster) recoverOne(db string) error {
+	if target := c.fastRecoveryCandidate(db); target != nil {
+		err := c.catchUpReplica(db, target)
+		if err == nil {
+			c.metrics.walRecovery.With("fast").Inc()
+			c.metrics.reg.TraceEvent("recovery", db, "fast_path", target.ID())
+			return nil
+		}
+		if errors.Is(err, ErrCopyInProgress) {
+			return err
+		}
+		// The log-recovered copy is unusable; discard it and fall through
+		// to a full copy.
+		c.metrics.reg.TraceEvent("recovery", db, "fast_path_failed", err.Error())
+		if target.Engine().HasDatabase(db) {
+			if derr := target.Engine().DropDatabase(db); derr == nil {
+				target.dbCount.Add(-1)
+			}
+		}
+		target.clearMarks(db)
+	}
 	target, err := c.pickRecoveryTarget(db)
 	if err != nil {
 		return err
 	}
-	return c.CreateReplica(db, target)
+	if err := c.CreateReplica(db, target); err != nil {
+		return err
+	}
+	c.metrics.walRecovery.With("full").Inc()
+	return nil
+}
+
+// fastRecoveryCandidate returns a live machine holding a log-recovered copy
+// of db plus the failure-time marks needed to catch it up, or nil.
+func (c *Cluster) fastRecoveryCandidate(db string) *Machine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.dbs[db]
+	if !ok || ds.partitioned() {
+		return nil
+	}
+	for _, id := range c.order {
+		m := c.machines[id]
+		if m.Failed() || contains(ds.replicas, id) {
+			continue
+		}
+		if ds.copying != nil && ds.copying.target == id {
+			continue
+		}
+		if m.hasMarks(db) && m.Engine().HasDatabase(db) {
+			return m
+		}
+	}
+	return nil
+}
+
+// catchUpReplica re-admits a restarted machine's log-recovered copy of db
+// into the replica set by running Algorithm 1 with the unchanged tables
+// pre-marked as copied: only the tables written while the machine was down
+// (per its failure-time marks) are dumped and restored.
+func (c *Cluster) catchUpReplica(db string, target *Machine) error {
+	targetID := target.ID()
+	c.mu.Lock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	if ds.partitioned() {
+		c.mu.Unlock()
+		return fmt.Errorf("core: catch-up is not supported for partitioned database %s", db)
+	}
+	if ds.copying != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrCopyInProgress, db)
+	}
+	if contains(ds.replicas, targetID) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: %s already hosts %s", targetID, db)
+	}
+	if len(ds.replicas) == 0 {
+		c.mu.Unlock()
+		return ErrNoReplicas
+	}
+	marks, epoch, ok := target.takeMarks(db)
+	if !ok || epoch != ds.epoch {
+		c.mu.Unlock()
+		return fmt.Errorf("core: %s has no usable failure-time marks for %s", targetID, db)
+	}
+	sourceID := ds.replicas[0]
+	source := c.machines[sourceID]
+	cs := &copyState{target: targetID, copied: make(map[string]bool)}
+	// A table whose write counter did not move while the machine was down
+	// was fully recovered by log replay: mark it copied up front, so it is
+	// never dumped and new writes route to the target immediately. (Counters
+	// advance at routing time under the cluster mutex, so any write the dead
+	// machine might have missed is visible in the delta.)
+	for tbl, seq := range marks {
+		if ds.writeSeq[tbl] == seq {
+			cs.copied[tbl] = true
+		}
+	}
+	ds.copying = cs
+	c.mu.Unlock()
+
+	met := c.metrics
+	met.copyPhase.With("start").Inc()
+	met.copiesRunning.Inc()
+	defer met.copiesRunning.Dec()
+	met.reg.TraceEvent("copy", db, "catchup_start", fmt.Sprintf("%s -> %s", sourceID, targetID))
+
+	physical, err := c.catchUpTables(ds, cs, source, target, db)
+	if err != nil {
+		c.abandonCopy(ds)
+		return err
+	}
+	// Small deltas are applied through the target's SQL layer and are already
+	// in its log; only a physical bulk restore bypasses it and forces a
+	// checkpoint of the database, so the log alone reproduces the caught-up
+	// state on the machine's next restart.
+	if physical && target.Engine().WAL() != nil {
+		if err := target.Engine().CheckpointDatabase(db); err != nil {
+			c.abandonCopy(ds)
+			return err
+		}
+	}
+
+	c.mu.Lock()
+	ds.replicas = append(ds.replicas, targetID)
+	ds.copying = nil
+	c.mu.Unlock()
+	met.copyPhase.With("done").Inc()
+	met.reg.TraceEvent("copy", db, "catchup_done", targetID)
+	return nil
+}
+
+// catchUpLogicalRows is the largest table that catch-up rebuilds through SQL
+// statements on the target — and therefore through the target's write-ahead
+// log. Larger tables are restored physically, which bypasses the log and
+// costs a checkpoint of the whole database before the target rejoins.
+const catchUpLogicalRows = 1000
+
+// catchUpTables reconciles the target's table set with the source and copies
+// every table not pre-marked as unchanged, under Algorithm 1's in-flight
+// drain protocol. It reports whether any table was restored physically
+// (bypassing the target's log).
+func (c *Cluster) catchUpTables(ds *dbState, cs *copyState, source, target *Machine, db string) (physical bool, err error) {
+	srcTables := source.Engine().Tables(db)
+	srcSet := make(map[string]bool, len(srcTables))
+	for _, tbl := range srcTables {
+		srcSet[lowerName(tbl)] = true
+	}
+	// Tables the target recovered but the source no longer has were dropped
+	// cluster-wide while the machine was down.
+	for _, tbl := range target.Engine().Tables(db) {
+		if !srcSet[lowerName(tbl)] {
+			if _, err := target.Engine().Exec(db, "DROP TABLE "+tbl); err != nil {
+				return physical, err
+			}
+		}
+	}
+	for _, tbl := range srcTables {
+		lt := lowerName(tbl)
+		if cs.copied[lt] {
+			continue
+		}
+		c.mu.Lock()
+		cs.inFlight = tbl
+		d := ds.pendingFor(lt)
+		c.mu.Unlock()
+		c.metrics.copyPhase.With("table_inflight").Inc()
+		c.metrics.reg.TraceEvent("copy", db, "table_inflight", tbl)
+
+		d.wait()
+
+		// The target's recovered version of the table is stale; replace it.
+		if target.Engine().HasDatabase(db) {
+			if _, err := target.Engine().Table(db, tbl); err == nil {
+				if _, err := target.Engine().Exec(db, "DROP TABLE "+tbl); err != nil {
+					return physical, err
+				}
+			}
+		}
+		dumpStart := time.Now()
+		err := source.Engine().DumpTableWith(db, tbl, func(d sqldb.TableDump) error {
+			if len(d.Rows) <= catchUpLogicalRows {
+				return restoreTableLogged(target.Engine(), db, d)
+			}
+			physical = true
+			return target.Engine().RestoreTable(db, d)
+		})
+		c.metrics.copyDump.ObserveDuration(time.Since(dumpStart))
+		if err != nil {
+			return physical, err
+		}
+
+		c.mu.Lock()
+		cs.copied[lt] = true
+		cs.inFlight = ""
+		c.mu.Unlock()
+		c.metrics.copyPhase.With("table_copied").Inc()
+		c.metrics.reg.TraceEvent("copy", db, "table_copied", tbl)
+	}
+	return physical, nil
+}
+
+// restoreTableLogged rebuilds one table on a machine through its SQL layer,
+// so every mutation reaches the machine's write-ahead log and the log alone
+// reproduces the table on the next restart — no checkpoint needed. All rows
+// are inserted in a single transaction: one commit record, one flush.
+func restoreTableLogged(eng *sqldb.Engine, db string, d sqldb.TableDump) error {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(d.Schema.Table)
+	b.WriteString(" (")
+	for i, col := range d.Schema.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(col.Name)
+		b.WriteByte(' ')
+		b.WriteString(col.Typ.String())
+		switch {
+		case col.PrimaryKey:
+			b.WriteString(" PRIMARY KEY")
+		case col.NotNull:
+			b.WriteString(" NOT NULL")
+		}
+		if col.Unique && !col.PrimaryKey {
+			b.WriteString(" UNIQUE")
+		}
+	}
+	b.WriteString(")")
+	if _, err := eng.Exec(db, b.String()); err != nil {
+		return err
+	}
+	for _, ix := range d.Indexes {
+		create := "CREATE INDEX "
+		if ix.Unique {
+			create = "CREATE UNIQUE INDEX "
+		}
+		if _, err := eng.Exec(db, create+ix.Name+" ON "+d.Schema.Table+" ("+ix.Col+")"); err != nil {
+			return err
+		}
+	}
+	if len(d.Rows) == 0 {
+		return nil
+	}
+	insert := "INSERT INTO " + d.Schema.Table + " VALUES (?" + strings.Repeat(", ?", len(d.Schema.Cols)-1) + ")"
+	t, err := eng.Begin(db)
+	if err != nil {
+		return err
+	}
+	for _, row := range d.Rows {
+		if _, err := t.Exec(insert, row...); err != nil {
+			_ = t.Rollback()
+			return err
+		}
+	}
+	return t.Commit()
+}
+
+// CheckpointMachines writes a fuzzy checkpoint on every live machine that
+// has a write-ahead log, bounding each machine's restart replay to the log
+// tail written since. A deployment runs this periodically (it blocks writers
+// only per table, one table at a time) so that RestartMachine restores table
+// images instead of replaying the machine's whole history statement by
+// statement. Machines without a WAL are skipped.
+func (c *Cluster) CheckpointMachines() error {
+	c.mu.Lock()
+	var ms []*Machine
+	for _, id := range c.order {
+		m := c.machines[id]
+		if !m.Failed() && m.walStore != nil {
+			ms = append(ms, m)
+		}
+	}
+	c.mu.Unlock()
+	for _, m := range ms {
+		if err := m.Engine().Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint %s: %w", m.ID(), err)
+		}
+	}
+	return nil
+}
+
+// RestartMachine brings a failed machine back into the cluster: the machine
+// recovers its engine from its write-ahead log, in-doubt transactions are
+// resolved by presumed abort (their tables are marked stale, since the
+// aborted branch may have committed cluster-wide), and databases dropped
+// while the machine was down are discarded. The machine's databases rejoin
+// their replica sets through RecoverDatabases, which prefers the fast
+// log-replay path for them.
+func (c *Cluster) RestartMachine(id string) (*sqldb.RecoveryStats, error) {
+	c.mu.Lock()
+	m, ok := c.machines[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoMachine, id)
+	}
+	stats, err := m.Restart()
+	if err != nil {
+		return nil, err
+	}
+	eng := m.Engine()
+	// Presumed abort: this controller is the commit coordinator, and a
+	// coordinator that cannot reach a participant aborts; but a prepared
+	// branch whose global transaction did commit elsewhere must not serve
+	// stale data, so every table an in-doubt transaction touched is forced
+	// into the delta-copy set.
+	for _, gid := range eng.RecoveredPrepared() {
+		if rerr := eng.ResolvePrepared(gid, false); rerr != nil {
+			return stats, rerr
+		}
+	}
+	c.mu.Lock()
+	for db, tables := range stats.InDoubtTables {
+		m.dirtyMarks(db, tables)
+	}
+	var orphans []string
+	for _, db := range eng.Databases() {
+		if _, exists := c.dbs[db]; !exists {
+			orphans = append(orphans, db)
+		}
+	}
+	c.mu.Unlock()
+	for _, db := range orphans {
+		if derr := eng.DropDatabase(db); derr == nil {
+			m.dbCount.Add(-1)
+		}
+		m.clearMarks(db)
+	}
+	c.metrics.reg.TraceEvent("recovery", id, "machine_restarted",
+		fmt.Sprintf("replayed=%d in_doubt=%d", stats.Applied, stats.InDoubt))
+	return stats, nil
 }
 
 // pickRecoveryTarget returns the live machine with the fewest hosted

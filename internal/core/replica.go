@@ -70,7 +70,7 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	defer m.copiesRunning.Dec()
 	m.reg.TraceEvent("copy", db, "start", fmt.Sprintf("%s -> %s", sourceID, targetID))
 
-	if err := target.engine.CreateDatabase(db); err != nil {
+	if err := target.Engine().CreateDatabase(db); err != nil {
 		c.abandonCopy(ds)
 		return err
 	}
@@ -83,8 +83,19 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	}
 	if err != nil {
 		c.abandonCopy(ds)
-		_ = target.engine.DropDatabase(db)
+		_ = target.Engine().DropDatabase(db)
 		return err
+	}
+
+	// The restore was physical and bypassed the target's log; checkpoint the
+	// copied database so the log alone reproduces it on the target's next
+	// restart. Databases the target already hosts are untouched.
+	if target.Engine().WAL() != nil {
+		if err := target.Engine().CheckpointDatabase(db); err != nil {
+			c.abandonCopy(ds)
+			_ = target.Engine().DropDatabase(db)
+			return err
+		}
 	}
 
 	c.mu.Lock()
@@ -116,20 +127,20 @@ func (c *Cluster) copyWholeDB(ds *dbState, source, target *Machine, db string) e
 	c.metrics.reg.TraceEvent("copy", db, "db_locked", "")
 	dumpStart := time.Now()
 	defer func() { c.metrics.copyDump.ObserveDuration(time.Since(dumpStart)) }()
-	_, err := source.engine.DumpDatabase(db, sqldb.GranularityDatabase, sqldb.DumpObserver{
+	_, err := source.Engine().DumpDatabase(db, sqldb.GranularityDatabase, sqldb.DumpObserver{
 		TableDone: func(_ string, d sqldb.TableDump) {
 			// Errors surface via the outer dump error path below: a failed
 			// restore leaves the target incomplete, and the final verify
 			// catches it.
-			_ = target.engine.RestoreTable(db, d)
+			_ = target.Engine().RestoreTable(db, d)
 		},
 	})
 	if err != nil {
 		return err
 	}
 	// Verify every table arrived.
-	for _, tbl := range source.engine.Tables(db) {
-		if _, terr := target.engine.Table(db, tbl); terr != nil {
+	for _, tbl := range source.Engine().Tables(db) {
+		if _, terr := target.Engine().Table(db, tbl); terr != nil {
 			return fmt.Errorf("core: table %s missing on target after copy: %w", tbl, terr)
 		}
 	}
@@ -139,7 +150,7 @@ func (c *Cluster) copyWholeDB(ds *dbState, source, target *Machine, db string) e
 // copyTableByTable performs a table-granularity copy, advancing Algorithm
 // 1's copied-set/in-flight state table by table.
 func (c *Cluster) copyTableByTable(ds *dbState, cs *copyState, source, target *Machine, db string) error {
-	for _, tbl := range source.engine.Tables(db) {
+	for _, tbl := range source.Engine().Tables(db) {
 		// Mark the table in flight *before* taking its lock: from this
 		// moment new writes to it are rejected, so once the in-flight
 		// writes drain the lock acquisition races only with transactions
@@ -155,8 +166,8 @@ func (c *Cluster) copyTableByTable(ds *dbState, cs *copyState, source, target *M
 		d.wait()
 
 		dumpStart := time.Now()
-		err := source.engine.DumpTableWith(db, tbl, func(d sqldb.TableDump) error {
-			return target.engine.RestoreTable(db, d)
+		err := source.Engine().DumpTableWith(db, tbl, func(d sqldb.TableDump) error {
+			return target.Engine().RestoreTable(db, d)
 		})
 		c.metrics.copyDump.ObserveDuration(time.Since(dumpStart))
 		if err != nil {

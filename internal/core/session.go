@@ -74,7 +74,7 @@ func newReplicaSession(m *Machine, db string, globalID uint64) (*replicaSession,
 	if m.Failed() {
 		return nil, ErrMachineFailed
 	}
-	txn, err := m.engine.BeginWithID(db, globalID)
+	txn, err := m.Engine().BeginWithID(db, globalID)
 	if err != nil {
 		return nil, err
 	}

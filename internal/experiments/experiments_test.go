@@ -150,3 +150,28 @@ func TestTable2Shape(t *testing.T) {
 		t.Error("render missing header")
 	}
 }
+
+func TestWALBenchShape(t *testing.T) {
+	res, err := RunWALBench(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GroupCommit) != 5 || len(res.NoGroupCommit) != 5 {
+		t.Fatalf("points: group=%d nogroup=%d, want 5 each", len(res.GroupCommit), len(res.NoGroupCommit))
+	}
+	// The acceptance property: at >= 8 committers, group commit amortises
+	// flushes across committers while the baseline pays one per commit.
+	for i, pt := range res.GroupCommit {
+		base := res.NoGroupCommit[i]
+		if pt.Committers >= 8 && pt.FlushesPerCommit >= base.FlushesPerCommit {
+			t.Errorf("%d committers: %.3f flushes/commit with group commit, %.3f without",
+				pt.Committers, pt.FlushesPerCommit, base.FlushesPerCommit)
+		}
+	}
+	if res.FastRecoveryMs <= 0 || res.FullRecoveryMs <= 0 {
+		t.Fatalf("recovery timings: fast=%.2fms full=%.2fms", res.FastRecoveryMs, res.FullRecoveryMs)
+	}
+	if res.FastReplayed == 0 {
+		t.Fatal("fast path replayed nothing")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sdp/internal/obs"
+	"sdp/internal/wal"
 )
 
 // Config holds the tunables of one engine instance. The defaults model a
@@ -95,6 +96,16 @@ type Engine struct {
 	nextTxn atomic.Uint64
 	seq     atomic.Uint64
 
+	// wal, when attached, receives logical redo records; recovering
+	// suppresses logging (and counter updates) while the engine replays that
+	// same log. ckptMu serialises checkpoints; prepared holds in-doubt
+	// transactions re-instated by Recover, keyed by global transaction ID.
+	wal        *wal.Log
+	walMetrics *wal.Metrics
+	recovering atomic.Bool
+	ckptMu     sync.Mutex
+	prepared   map[uint64]*Txn
+
 	recorder atomic.Pointer[recorderBox]
 
 	// commitAbort packs the commit (A) and abort (B) counters into one
@@ -173,6 +184,9 @@ func (e *Engine) Stats() Stats {
 }
 
 func (e *Engine) finishTxn(t *Txn, committed bool) {
+	if e.recovering.Load() {
+		return // replayed transactions were already counted before the crash
+	}
 	if committed {
 		e.commitAbort.IncA()
 	} else {
@@ -194,7 +208,7 @@ func (e *Engine) CreateDatabase(name string) error {
 	// A name can be reused after a drop; retire plans derived against any
 	// earlier incarnation of this namespace.
 	e.plans.bumpGen()
-	return nil
+	return e.walNamespace(wal.RecCreateDB, name)
 }
 
 // DropDatabase removes a database and all its tables.
@@ -213,7 +227,7 @@ func (e *Engine) DropDatabase(name string) error {
 	}
 	delete(e.dbs, name)
 	e.plans.invalidateDB(name)
-	return nil
+	return e.walNamespace(wal.RecDropDB, name)
 }
 
 // HasDatabase reports whether the named database exists.

@@ -37,15 +37,24 @@ func (e *Engine) execute(t *Txn, stmt Statement, plan *stmtPlan, params []Value)
 	case *CreateTableStmt:
 		return e.execCreateTable(t, s)
 	case *CreateIndexStmt:
-		return e.execCreateIndex(t, s)
+		res, err := e.execCreateIndex(t, s)
+		if err == nil {
+			// Logged while the table read lock is still held, so the record
+			// is ordered against every write to the indexed table.
+			err = e.walDDL(t.db, s.Table, s)
+		}
+		return res, err
 	case *DropTableStmt:
 		return e.execDropTable(t, s)
 	case *InsertStmt:
-		return e.execInsert(t, s, params)
+		res, err := e.execInsert(t, s, params)
+		return e.logWrite(t, s.Table, stmt, params, res, err)
 	case *UpdateStmt:
-		return e.execUpdate(t, s, access, params)
+		res, err := e.execUpdate(t, s, access, params)
+		return e.logWrite(t, s.Table, stmt, params, res, err)
 	case *DeleteStmt:
-		return e.execDelete(t, s, access, params)
+		res, err := e.execDelete(t, s, access, params)
+		return e.logWrite(t, s.Table, stmt, params, res, err)
 	case *SelectStmt:
 		var sel *selPlan
 		if plan != nil {
@@ -59,6 +68,20 @@ func (e *Engine) execute(t *Txn, stmt Statement, plan *stmtPlan, params []Value)
 	default:
 		return nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
 	}
+}
+
+// logWrite appends the redo record for a successful DML statement while its
+// locks are still held (the locks stay held until commit either way, so log
+// order equals lock-grant order for conflicting statements). Statements that
+// matched no rows are not logged: replaying them would redo nothing.
+func (e *Engine) logWrite(t *Txn, table string, stmt Statement, params []Value, res *Result, err error) (*Result, error) {
+	if err != nil || res == nil || res.Affected == 0 {
+		return res, err
+	}
+	if werr := e.walStmt(t, table, stmt, params); werr != nil {
+		return res, werr
+	}
+	return res, nil
 }
 
 // --- DDL -------------------------------------------------------------------
@@ -93,6 +116,11 @@ func (e *Engine) execCreateTable(t *Txn, s *CreateTableStmt) (*Result, error) {
 	}
 	tables[key] = newTable(e, qualified(t.db, s.Table), schema)
 	e.plans.invalidateTables(t.db, key)
+	// Logged under the catalog mutex: a write to the new table can only start
+	// after this mutex is released, so its record lands after this one.
+	if err := e.walDDL(t.db, s.Table, s); err != nil {
+		return nil, err
+	}
 	return &Result{}, nil
 }
 
@@ -139,6 +167,11 @@ func (e *Engine) execDropTable(t *Txn, s *DropTableStmt) (*Result, error) {
 	delete(tables, key)
 	e.pool.InvalidateTable(tbl.poolName)
 	e.plans.invalidateTables(t.db, key)
+	// Logged under the catalog mutex, ordering the drop after every record
+	// of the dropped table.
+	if err := e.walDDL(t.db, s.Table, s); err != nil {
+		return nil, err
+	}
 	return &Result{}, nil
 }
 

@@ -26,6 +26,7 @@ type token struct {
 	pos  int
 }
 
+// String renders the token for parser error messages.
 func (t token) String() string {
 	switch t.kind {
 	case tokEOF:

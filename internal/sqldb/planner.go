@@ -15,6 +15,7 @@ const (
 	pathIndexRange                 // ordered index/PK traversal for range predicates
 )
 
+// String names the access path as EXPLAIN reports it.
 func (k pathKind) String() string {
 	switch k {
 	case pathPoint:

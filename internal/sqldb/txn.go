@@ -68,6 +68,11 @@ type Txn struct {
 	state TxnState
 	undo  []undoRec
 
+	// walBegun records that the transaction's begin record (and at least one
+	// statement) was logged, so commit/prepare must force an outcome record.
+	// Only the transaction's own goroutine touches it.
+	walBegun bool
+
 	// locks is guarded by the engine's lock-manager mutex, not mu: all
 	// mutation happens inside lockManager methods. The manager appends an
 	// id exactly once per hold (on first grant; upgrades do not re-append),
@@ -177,6 +182,12 @@ func (t *Txn) Prepare() error {
 	}
 	t.state = TxnPrepared
 	t.mu.Unlock()
+	// The prepare record is forced before any lock moves: an in-doubt
+	// transaction must survive a crash with its writes intact.
+	if err := t.engine.walPrepare(t); err != nil {
+		t.rollbackLocked()
+		return err
+	}
 	if t.engine.cfg.ReleaseReadLocksAtPrepare {
 		t.engine.locks.releaseShared(t)
 	}
@@ -199,6 +210,14 @@ func (t *Txn) CommitPrepared() error {
 			return ErrNotPrepared
 		}
 	}
+	t.mu.Unlock()
+	// Force the commit record before releasing any lock (write-ahead rule);
+	// if the log is failing the transaction rolls back instead.
+	if err := t.engine.walCommit(t); err != nil {
+		t.rollbackLocked()
+		return err
+	}
+	t.mu.Lock()
 	t.state = TxnCommitted
 	t.undo = nil
 	t.mu.Unlock()
@@ -213,6 +232,14 @@ func (t *Txn) Commit() error {
 	t.mu.Lock()
 	switch t.state {
 	case TxnActive, TxnPrepared:
+		t.mu.Unlock()
+		// Force the commit record before releasing any lock (write-ahead
+		// rule); if the log is failing the transaction rolls back instead.
+		if err := t.engine.walCommit(t); err != nil {
+			t.rollbackLocked()
+			return err
+		}
+		t.mu.Lock()
 		t.state = TxnCommitted
 		t.undo = nil
 		t.mu.Unlock()
@@ -258,6 +285,7 @@ func (t *Txn) rollbackLocked() {
 	undo := t.undo
 	t.undo = nil
 	t.mu.Unlock()
+	t.engine.walAbort(t)
 
 	for i := len(undo) - 1; i >= 0; i-- {
 		rec := undo[i]

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"testing"
+
+	"sdp/internal/obs"
+)
+
+// appendSpan writes a complete checkpoint span: a begin frame, a namespace
+// marker and one table image per database, and a synced end frame.
+func appendSpan(t *testing.T, l *Log, dbs ...string) {
+	t.Helper()
+	if _, err := l.Append(Record{Type: RecCheckpointBegin}); err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range dbs {
+		if _, err := l.Append(Record{Type: RecCheckpointTable, DB: db}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Append(Record{Type: RecCheckpointTable, DB: db, Table: "t", Data: []byte("image")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendSync(Record{Type: RecCheckpointEnd}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactDropsDeadHead(t *testing.T) {
+	s := NewMemStore()
+	m := NewMetrics(obs.NewRegistry())
+	l := New(s, Config{Compact: true}, m)
+	for _, r := range []Record{
+		{Type: RecCreateDB, DB: "db"},
+		{Type: RecBegin, Txn: 1, DB: "db"},
+		{Type: RecStatement, Txn: 1, DB: "db", Table: "t", Data: []byte("INSERT INTO t VALUES (1)")},
+		{Type: RecCommit, Txn: 1, DB: "db"},
+	} {
+		if _, err := l.AppendSync(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendSpan(t, l, "db")
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 2, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := s.Size()
+	ok, err := l.Compact()
+	if err != nil || !ok {
+		t.Fatalf("Compact = (%v, %v), want (true, nil)", ok, err)
+	}
+	if s.Size() >= before {
+		t.Fatalf("store did not shrink: %d -> %d bytes", before, s.Size())
+	}
+	if got := m.Compactions.Value(); got != 1 {
+		t.Fatalf("wal_compactions_total = %d, want 1", got)
+	}
+
+	// The surviving log starts at the checkpoint begin frame, re-addressed to
+	// offset zero, and is clean.
+	recs, torn, err := l.Recover()
+	if err != nil || torn {
+		t.Fatalf("recover after compact: err=%v torn=%v", err, torn)
+	}
+	want := []RecordType{RecCheckpointBegin, RecCheckpointTable, RecCheckpointTable, RecCheckpointEnd, RecCommit}
+	if len(recs) != len(want) {
+		t.Fatalf("%d records survived, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Type != want[i] {
+			t.Fatalf("record %d: type %d, want %d", i, r.Type, want[i])
+		}
+	}
+	if recs[0].LSN != 0 {
+		t.Fatalf("first record LSN = %d, want 0", recs[0].LSN)
+	}
+
+	// Appends continue cleanly on the compacted log.
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 3, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err = l.Recover()
+	if err != nil || torn || len(recs) != len(want)+1 {
+		t.Fatalf("after re-append: err=%v torn=%v records=%d", err, torn, len(recs))
+	}
+}
+
+func TestCompactWithoutCheckpointIsNoop(t *testing.T) {
+	s := NewMemStore()
+	l := New(s, Config{Compact: true}, nil)
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 1, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Size()
+	if ok, err := l.Compact(); err != nil || ok {
+		t.Fatalf("Compact = (%v, %v), want (false, nil)", ok, err)
+	}
+	if s.Size() != before {
+		t.Fatalf("store changed without a checkpoint: %d -> %d", before, s.Size())
+	}
+}
+
+func TestCompactRefusesInDoubtHead(t *testing.T) {
+	l := New(NewMemStore(), Config{Compact: true}, nil)
+	for _, r := range []Record{
+		{Type: RecCreateDB, DB: "db"},
+		{Type: RecBegin, Txn: 1, GID: 7, DB: "db"},
+		{Type: RecStatement, Txn: 1, GID: 7, DB: "db", Table: "t", Data: []byte("stmt")},
+		{Type: RecPrepare, Txn: 1, GID: 7, DB: "db"},
+	} {
+		if _, err := l.AppendSync(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendSpan(t, l, "db")
+	// The prepared transaction is in doubt: its statements may still be
+	// needed, so the head must stay.
+	if ok, err := l.Compact(); err != nil || ok {
+		t.Fatalf("in-doubt head: Compact = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// Resolving it after the checkpoint is not enough: that outcome record
+	// would pair with compacted statements on a later recovery.
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 1, GID: 7, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := l.Compact(); err != nil || ok {
+		t.Fatalf("outcome past checkpoint: Compact = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// Once a newer checkpoint covers both the statements and the outcome,
+	// the head is dead and compaction proceeds.
+	appendSpan(t, l, "db")
+	if ok, err := l.Compact(); err != nil || !ok {
+		t.Fatalf("resolved head: Compact = (%v, %v), want (true, nil)", ok, err)
+	}
+	recs, torn, err := l.Recover()
+	if err != nil || torn {
+		t.Fatalf("recover: err=%v torn=%v", err, torn)
+	}
+	if len(recs) == 0 || recs[0].Type != RecCheckpointBegin {
+		t.Fatalf("compacted log does not start at a checkpoint begin")
+	}
+}
+
+func TestCompactRefusesUncoveredDatabase(t *testing.T) {
+	l := New(NewMemStore(), Config{Compact: true}, nil)
+	for _, db := range []string{"a", "b"} {
+		for _, r := range []Record{
+			{Type: RecCreateDB, DB: db},
+			{Type: RecBegin, Txn: 1, DB: db},
+			{Type: RecStatement, Txn: 1, DB: db, Table: "t", Data: []byte("stmt")},
+			{Type: RecCommit, Txn: 1, DB: db},
+		} {
+			if _, err := l.AppendSync(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The span images only database a; b's history would be lost.
+	appendSpan(t, l, "a")
+	if ok, err := l.Compact(); err != nil || ok {
+		t.Fatalf("uncovered database: Compact = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// A dropped database needs no coverage — there is nothing left to lose.
+	if _, err := l.AppendSync(Record{Type: RecDropDB, DB: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	appendSpan(t, l, "a")
+	if ok, err := l.Compact(); err != nil || !ok {
+		t.Fatalf("dropped database: Compact = (%v, %v), want (true, nil)", ok, err)
+	}
+}

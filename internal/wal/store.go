@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is the byte-level persistence a Log writes to. Append buffers bytes
+// (they are not durable until Sync); Sync makes everything appended so far
+// durable; Truncate discards everything at and after off (torn-tail repair
+// during recovery). Implementations must be safe for concurrent use.
+type Store interface {
+	// Append appends p and returns the offset its first byte was written at.
+	Append(p []byte) (int64, error)
+	// Sync makes all appended bytes durable.
+	Sync() error
+	// Size returns the total number of appended bytes (durable or not).
+	Size() int64
+	// Contents returns the store's current bytes, durable and buffered. A
+	// recovery scan after a crash sees only what survived the crash.
+	Contents() ([]byte, error)
+	// Truncate discards the bytes at and after off.
+	Truncate(off int64) error
+	// Close releases the store.
+	Close() error
+}
+
+// Crasher is implemented by stores that can simulate a process or machine
+// crash: buffered-but-unsynced bytes are lost, except that the first
+// tornBytes of the unsynced tail survive — modelling a write torn mid-frame
+// by the failure.
+type Crasher interface {
+	Crash(tornBytes int)
+}
+
+// ErrStoreFailed is returned by a MemStore whose fault injection point has
+// been reached.
+var ErrStoreFailed = fmt.Errorf("wal: simulated store failure")
+
+// MemStore is the in-memory simulated-disk Store used by default: appends
+// land in a buffer, Sync advances a durability watermark, and Crash discards
+// everything past it. Fault hooks make crash scenarios scriptable: FailAfter
+// makes appends error once the store holds n bytes, DuplicateLast re-appends
+// the bytes of the most recent append (a doubled final frame), and Chop
+// drops the last n durable bytes (a truncation mid-record).
+type MemStore struct {
+	mu        sync.Mutex
+	data      []byte
+	durable   int
+	lastOff   int
+	failAfter int64 // <0 disabled
+	closed    bool
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{failAfter: -1}
+}
+
+// Append implements Store.
+func (s *MemStore) Append(p []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("wal: store closed")
+	}
+	if s.failAfter >= 0 && int64(len(s.data))+int64(len(p)) > s.failAfter {
+		// Model a disk that dies partway: the bytes up to the failure point
+		// are kept (unsynced), the rest is lost, and the write errors.
+		room := s.failAfter - int64(len(s.data))
+		if room > 0 {
+			s.data = append(s.data, p[:room]...)
+		}
+		return 0, ErrStoreFailed
+	}
+	off := int64(len(s.data))
+	s.lastOff = len(s.data)
+	s.data = append(s.data, p...)
+	return off, nil
+}
+
+// Sync implements Store.
+func (s *MemStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store closed")
+	}
+	if s.failAfter >= 0 && int64(len(s.data)) > s.failAfter {
+		return ErrStoreFailed
+	}
+	s.durable = len(s.data)
+	return nil
+}
+
+// Size implements Store.
+func (s *MemStore) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.data))
+}
+
+// Contents implements Store.
+func (s *MemStore) Contents() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, len(s.data))
+	copy(out, s.data)
+	return out, nil
+}
+
+// Truncate implements Store.
+func (s *MemStore) Truncate(off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off > int64(len(s.data)) {
+		return fmt.Errorf("wal: truncate offset %d out of range", off)
+	}
+	s.data = s.data[:off]
+	if s.durable > int(off) {
+		s.durable = int(off)
+	}
+	if s.lastOff > int(off) {
+		s.lastOff = int(off)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Crash implements Crasher: unsynced bytes are dropped, except the first
+// tornBytes of the unsynced tail, which survive as a torn final write.
+func (s *MemStore) Crash(tornBytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := s.durable + tornBytes
+	if keep > len(s.data) {
+		keep = len(s.data)
+	}
+	s.data = s.data[:keep]
+	s.durable = keep
+	if s.lastOff > keep {
+		s.lastOff = keep
+	}
+}
+
+// SetFailAfter arms the byte-budget fault: any append that would grow the
+// store past n bytes keeps the prefix that fits and fails. Pass a negative n
+// to disarm.
+func (s *MemStore) SetFailAfter(n int64) {
+	s.mu.Lock()
+	s.failAfter = n
+	s.mu.Unlock()
+}
+
+// DuplicateLast re-appends the bytes of the most recent append and marks
+// them durable — the classic doubled-final-frame corruption after a partial
+// block rewrite. Recovery must detect the duplicate (its self-LSN disagrees
+// with its position) and truncate there.
+func (s *MemStore) DuplicateLast() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	last := s.data[s.lastOff:]
+	dup := make([]byte, len(last))
+	copy(dup, last)
+	s.data = append(s.data, dup...)
+	s.durable = len(s.data)
+}
+
+// Chop drops the last n bytes of the store and marks the remainder durable —
+// a truncation landing mid-record.
+func (s *MemStore) Chop(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := len(s.data) - n
+	if keep < 0 {
+		keep = 0
+	}
+	s.data = s.data[:keep]
+	s.durable = len(s.data)
+	if s.lastOff > keep {
+		s.lastOff = keep
+	}
+}
+
+// FileStore is a real-file Store used by tests that want crash injection
+// against an actual filesystem: appends go through the OS page cache and
+// Sync calls File.Sync.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// OpenFile opens (creating if needed) the log file at path and positions
+// appends at its current end.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{f: f, size: st.Size()}, nil
+}
+
+// Append implements Store.
+func (s *FileStore) Append(p []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := s.size
+	if _, err := s.f.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+	s.size += int64(len(p))
+	return off, nil
+}
+
+// Sync implements Store.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Size implements Store.
+func (s *FileStore) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Contents implements Store.
+func (s *FileStore) Contents() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, s.size)
+	if _, err := s.f.ReadAt(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Truncate implements Store.
+func (s *FileStore) Truncate(off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Truncate(off); err != nil {
+		return err
+	}
+	s.size = off
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,241 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sdp/internal/obs"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecBegin, Txn: 1, GID: 99, DB: "bank"},
+		{Type: RecStatement, Txn: 1, GID: 99, DB: "bank", Table: "accounts", Data: []byte("INSERT INTO accounts VALUES (1, 'a')")},
+		{Type: RecCommit, Txn: 1, GID: 99, DB: "bank"},
+		{Type: RecAbort, Txn: 2, DB: "bank"},
+		{Type: RecPrepare, Txn: 3, GID: 7, DB: "bank"},
+		{Type: RecCreateDB, DB: "other"},
+		{Type: RecDropDB, DB: "other"},
+		{Type: RecCheckpointBegin},
+		{Type: RecCheckpointTable, DB: "bank", Table: "accounts", Data: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Type: RecCheckpointEnd},
+		{Type: RecStatement, DB: "", Table: "", Data: nil}, // all-empty fields
+	}
+	var buf []byte
+	var lsns []int64
+	for _, r := range recs {
+		lsns = append(lsns, int64(len(buf)))
+		buf = encodeFrame(buf, int64(len(buf)), r)
+	}
+	got, goodEnd, torn := Scan(buf)
+	if torn {
+		t.Fatalf("clean log reported torn")
+	}
+	if goodEnd != int64(len(buf)) {
+		t.Fatalf("goodEnd = %d, want %d", goodEnd, len(buf))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(recs))
+	}
+	for i, g := range got {
+		if g.LSN != lsns[i] {
+			t.Errorf("record %d: LSN = %d, want %d", i, g.LSN, lsns[i])
+		}
+		w := recs[i]
+		if g.Type != w.Type || g.Txn != w.Txn || g.GID != w.GID || g.DB != w.DB || g.Table != w.Table || !bytes.Equal(g.Data, w.Data) {
+			t.Errorf("record %d: got %+v, want %+v", i, g.Record, w)
+		}
+	}
+}
+
+func TestScanTornTail(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		buf = encodeFrame(buf, int64(len(buf)), Record{Type: RecCommit, Txn: uint64(i + 1), DB: "db"})
+	}
+	whole := int64(len(buf))
+	// Chop anywhere inside the final frame: the first four records survive.
+	for cut := whole - 1; cut > whole-12; cut-- {
+		recs, goodEnd, torn := Scan(buf[:cut])
+		if !torn {
+			t.Fatalf("cut at %d: torn not reported", cut)
+		}
+		if len(recs) != 4 {
+			t.Fatalf("cut at %d: %d records survived, want 4", cut, len(recs))
+		}
+		if goodEnd <= 0 || goodEnd >= cut {
+			t.Fatalf("cut at %d: goodEnd = %d", cut, goodEnd)
+		}
+	}
+}
+
+func TestScanCorruptTail(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		buf = encodeFrame(buf, int64(len(buf)), Record{Type: RecCommit, Txn: uint64(i + 1), DB: "db"})
+	}
+	// Flip a byte in the last frame's payload: CRC must reject it.
+	bad := append([]byte{}, buf...)
+	bad[len(bad)-1] ^= 0xFF
+	recs, _, torn := Scan(bad)
+	if !torn || len(recs) != 2 {
+		t.Fatalf("corrupt tail: torn=%v records=%d, want torn=true records=2", torn, len(recs))
+	}
+}
+
+func TestScanDuplicatedFrame(t *testing.T) {
+	s := NewMemStore()
+	l := New(s, Config{}, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendSync(Record{Type: RecCommit, Txn: uint64(i + 1), DB: "db"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.DuplicateLast()
+	recs, torn, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duplicated frame sits at the wrong offset, so its self-LSN gives it
+	// away; the three originals survive.
+	if !torn || len(recs) != 3 {
+		t.Fatalf("duplicated frame: torn=%v records=%d, want torn=true records=3", torn, len(recs))
+	}
+}
+
+func TestRecoverRealignsAppendPosition(t *testing.T) {
+	s := NewMemStore()
+	l := New(s, Config{}, nil)
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 1, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Type: RecCommit, Txn: 2, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash(3) // unsynced record lost, 3 torn bytes survive
+	recs, torn, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(recs) != 1 {
+		t.Fatalf("after crash: torn=%v records=%d, want torn=true records=1", torn, len(recs))
+	}
+	// Appends continue cleanly from the truncated end.
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 3, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err = l.Recover()
+	if err != nil || torn {
+		t.Fatalf("second recover: err=%v torn=%v", err, torn)
+	}
+	if len(recs) != 2 || recs[1].Txn != 3 {
+		t.Fatalf("after re-append: %d records, want txns [1 3]", len(recs))
+	}
+}
+
+func TestGroupCommitBatchesFlushes(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	l := New(NewMemStore(), Config{FlushLatency: 2_000_000}, m) // 2ms
+	const committers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.AppendSync(Record{Type: RecCommit, Txn: uint64(i + 1), DB: "db"}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	flushes := m.Flushes.Value()
+	if flushes == 0 || flushes >= committers {
+		t.Fatalf("group commit: %d flushes for %d committers, want 1..%d", flushes, committers, committers-1)
+	}
+}
+
+func TestNoGroupCommitFlushesPerCommitter(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	l := New(NewMemStore(), Config{NoGroupCommit: true}, m)
+	const committers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.AppendSync(Record{Type: RecCommit, Txn: uint64(i + 1), DB: "db"}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if flushes := m.Flushes.Value(); flushes != committers {
+		t.Fatalf("no group commit: %d flushes for %d committers, want %d", flushes, committers, committers)
+	}
+}
+
+func TestMemStoreFailAfterStopsLog(t *testing.T) {
+	s := NewMemStore()
+	l := New(s, Config{}, nil)
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 1, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFailAfter(s.Size() + 4) // next frame dies partway through
+	if _, err := l.Append(Record{Type: RecCommit, Txn: 2, DB: "db"}); err == nil {
+		t.Fatal("append past fault point succeeded")
+	}
+	// The error is sticky until recovery.
+	if _, err := l.Append(Record{Type: RecCommit, Txn: 3, DB: "db"}); err == nil {
+		t.Fatal("append after store failure succeeded")
+	}
+	s.SetFailAfter(-1)
+	recs, torn, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(recs) != 1 || recs[0].Txn != 1 {
+		t.Fatalf("recover after fault: torn=%v records=%d", torn, len(recs))
+	}
+}
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(s, Config{}, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := l.AppendSync(Record{Type: RecCommit, Txn: uint64(i + 1), DB: "db"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen, as a restart would, and scan.
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, torn, err := New(s2, Config{}, nil).Recover()
+	if err != nil || torn {
+		t.Fatalf("reopen: err=%v torn=%v", err, torn)
+	}
+	if len(recs) != 10 || recs[9].Txn != 10 {
+		t.Fatalf("reopen: %d records", len(recs))
+	}
+	// Truncate mid-record on the real file; recovery repairs it.
+	if err := s2.Truncate(s2.Size() - 3); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err = New(s2, Config{}, nil).Recover()
+	if err != nil || !torn || len(recs) != 9 {
+		t.Fatalf("after file truncate: err=%v torn=%v records=%d", err, torn, len(recs))
+	}
+}

@@ -29,7 +29,11 @@ import (
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 	"sdp/internal/system"
+	"sdp/internal/wal"
 )
+
+// WALConfig configures the per-machine write-ahead log (see Config.WAL).
+type WALConfig = wal.Config
 
 // Re-exported configuration enums (see the paper's Section 3.1).
 type (
@@ -103,6 +107,12 @@ type Config struct {
 	// SLAWindow is the SLA compliance monitor's accounting window (default
 	// 1s). Tests shrink it so violations surface quickly.
 	SLAWindow time.Duration
+	// WAL, when non-nil, gives every machine a write-ahead log: commits are
+	// forced (with group commit) before acknowledgement, and a crashed
+	// machine can restart and rejoin by log replay plus delta catch-up
+	// instead of a full re-replication (see DESIGN.md, "Durability
+	// architecture").
+	WAL *WALConfig
 }
 
 func (c Config) coloOptions() colo.Options {
@@ -125,6 +135,7 @@ func (c Config) coloOptions() colo.Options {
 			Replicas:        c.Replicas,
 			CopyGranularity: c.CopyGranularity,
 			EngineConfig:    eng,
+			WAL:             c.WAL,
 		},
 	}
 }
