@@ -34,6 +34,14 @@
 // given address (e.g. -admin 127.0.0.1:8344) and drives a TPC-W mix with a
 // deliberately under-provisioned SLA for -admin-duration, so /metrics,
 // /tracez and /slaz all serve live data while it runs.
+//
+// -chaos runs one chaos soak: TPC-W traffic on a replicated WAL-backed
+// cluster while a scheduler seeded by -seed injects network faults,
+// asymmetric partitions, and machine crashes (including kills timed right
+// after a 2PC PREPARE ack), then checks one-copy serializability, replica
+// convergence, and lock hygiene. -chaos-duration and -chaos-clients size the
+// run; the process exits 1 if any invariant was violated, and the same seed
+// replays the identical fault schedule.
 package main
 
 import (
@@ -63,9 +71,30 @@ func main() {
 	slaReport := flag.Bool("sla-report", false, "with -metrics or -admin: print the SLA compliance report")
 	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address (e.g. 127.0.0.1:8344) while driving a demo workload")
 	adminDur := flag.Duration("admin-duration", 10*time.Second, "how long the -admin demo workload runs")
+	chaos := flag.Bool("chaos", false, "run a chaos soak (TPC-W under injected faults, partitions, and crashes) and verify serializability")
+	chaosDur := flag.Duration("chaos-duration", 0, "faulted-traffic duration for -chaos (default 10s, 2s with -quick)")
+	chaosClients := flag.Int("chaos-clients", 4, "concurrent TPC-W sessions for -chaos")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	if *chaos {
+		rep, err := experiments.RunChaos(experiments.ChaosConfig{
+			Seed:     *seed,
+			Duration: *chaosDur,
+			Clients:  *chaosClients,
+			Quick:    *quick,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		rep.WriteText(os.Stdout)
+		if !rep.Passed() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *adminAddr != "" {
 		if err := runAdminDemo(*adminAddr, *adminDur, *seed, *slaReport); err != nil {

@@ -3,9 +3,11 @@ package colo
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"testing"
 
 	"sdp/internal/core"
+	"sdp/internal/netsim"
 	"sdp/internal/sla"
 	"sdp/internal/wal"
 )
@@ -201,5 +203,112 @@ func TestCrashRestartMachine(t *testing.T) {
 	res, err := m.Engine().Exec("app", "SELECT id FROM t")
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("restarted machine: rows=%v err=%v, want 2 rows", res, err)
+	}
+}
+
+// TestCrashMachineAbortsInFlightCopy crashes the target of an in-flight
+// Algorithm 1 replica copy (regression: the copy used to leave the
+// destination half-registered — partial tables on the target and a stale
+// rejecting copy state on the database). The copy must abort, report the
+// database as affected so the caller can requeue it, leave the replica set
+// untouched, discard the half-copied state on restart, and accept a fresh
+// copy onto the restarted machine.
+func TestCrashMachineAbortsInFlightCopy(t *testing.T) {
+	n := netsim.New(21, nil)
+	c := New("colo1", Options{
+		ClusterSize: 3,
+		Cluster:     core.Options{Replicas: 2, WAL: &wal.Config{}, Network: n},
+	})
+	c.AddFreeMachines(3)
+	if err := c.CreateDatabase("app", smallReq(), 2); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Clusters()[0]
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := cl.Exec("app", sql); err != nil {
+			t.Fatalf("Exec(%q): %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE a (id INT PRIMARY KEY)")
+	mustExec("CREATE TABLE b (id INT PRIMARY KEY)")
+	for i := 1; i <= 25; i++ {
+		mustExec(fmt.Sprintf("INSERT INTO a VALUES (%d)", i))
+		mustExec(fmt.Sprintf("INSERT INTO b VALUES (%d)", i))
+	}
+	replicas, err := cl.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	for _, id := range cl.MachineIDs() {
+		if !slices.Contains(replicas, id) {
+			target = id
+		}
+	}
+	if target == "" {
+		t.Fatal("no spare machine for the copy target")
+	}
+
+	// Crash the target the moment the first copied table lands on it —
+	// exactly mid-copy, with Algorithm 1's write-rejection state active.
+	crashed := make(chan []string, 1)
+	n.OnDeliver(func(ci netsim.CallInfo) {
+		if ci.Op != "copy_apply" || ci.To != target {
+			return
+		}
+		if m, _ := cl.Machine(target); m != nil && m.Failed() {
+			return
+		}
+		affected, cerr := c.CrashMachine(target)
+		if cerr != nil {
+			t.Errorf("CrashMachine: %v", cerr)
+			return
+		}
+		crashed <- affected
+	})
+	err = cl.CreateReplica("app", target)
+	n.ClearHooks()
+	if !errors.Is(err, core.ErrCopyAborted) {
+		t.Fatalf("CreateReplica error = %v, want ErrCopyAborted", err)
+	}
+	affected := <-crashed
+	if !slices.Contains(affected, "app") {
+		t.Fatalf("affected = %v, want to include app (the requeue signal)", affected)
+	}
+
+	// The half-copied destination never joined the replica set, and writes
+	// flow again immediately (no stale in-flight rejection).
+	replicas, err = cl.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replicas) != 2 || slices.Contains(replicas, target) {
+		t.Fatalf("replicas after aborted copy = %v", replicas)
+	}
+	mustExec("INSERT INTO a VALUES (26)")
+
+	// Restart discards the half-copied database, so a fresh copy onto the
+	// same machine succeeds and delivers the full, current state.
+	if _, _, err := c.RestartMachine(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateReplica("app", target); err != nil {
+		t.Fatalf("fresh copy after restart: %v", err)
+	}
+	replicas, err = cl.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Contains(replicas, target) {
+		t.Fatalf("replicas after fresh copy = %v, want to include %s", replicas, target)
+	}
+	m, err := cl.Machine(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Engine().Exec("app", "SELECT id FROM a")
+	if err != nil || len(res.Rows) != 26 {
+		t.Fatalf("target after copy: rows=%d err=%v, want 26", len(res.Rows), err)
 	}
 }

@@ -23,6 +23,15 @@ type Cluster struct {
 	name string
 	opts Options
 
+	// endpoint is the controller's name on the simulated network; every
+	// controller→machine link originates here.
+	endpoint string
+
+	// resolvers tracks background 2PC outcome deliveries (commit or
+	// rollback retried out-of-band after in-band delivery failed), so
+	// tests and the chaos driver can wait for full quiescence.
+	resolvers sync.WaitGroup
+
 	mu       sync.Mutex
 	machines map[string]*Machine
 	order    []string // machine IDs in registration order
@@ -110,10 +119,16 @@ func (ds *dbState) pendingFor(table string) *drainCounter {
 
 // copyState tracks an in-progress replica creation (Algorithm 1).
 type copyState struct {
+	source   string
 	target   string
 	wholeDB  bool // database-granularity copy: all writes rejected
 	copied   map[string]bool
 	inFlight string
+	// aborted is set by FailMachine when the copy's source or target dies
+	// mid-copy: the copy process abandons at its next step boundary, the
+	// router stops rejecting writes, and the half-copied destination is
+	// never registered in the replica set.
+	aborted bool
 }
 
 // drainCounter counts in-flight write operations of a database so the copy
@@ -165,6 +180,7 @@ func NewCluster(name string, opts Options) *Cluster {
 	c := &Cluster{
 		name:     name,
 		opts:     opts,
+		endpoint: "ctl:" + name,
 		machines: make(map[string]*Machine),
 		dbs:      make(map[string]*dbState),
 		stmts:    sqldb.NewStmtCache(0),
@@ -191,6 +207,11 @@ func NewCluster(name string, opts Options) *Cluster {
 
 // Name returns the cluster's name.
 func (c *Cluster) Name() string { return c.name }
+
+// Endpoint returns the controller's name on the simulated network — the
+// `from` side of every controller→machine link. Fault schedules (tests, the
+// chaos driver) use it to target specific links.
+func (c *Cluster) Endpoint() string { return c.endpoint }
 
 // Options returns the controller's configuration.
 func (c *Cluster) Options() Options { return c.opts }
@@ -416,6 +437,15 @@ func (c *Cluster) FailMachine(id string) ([]string, error) {
 				break
 			}
 		}
+		// A machine hosting an in-flight Algorithm 1 copy (as source or
+		// target) aborts the copy: the copy process abandons at its next
+		// step, and the half-copied destination never joins the replica
+		// set. The database is reported affected so the caller can requeue
+		// the copy onto a live target.
+		if cs := ds.copying; cs != nil && !cs.aborted && (cs.target == id || cs.source == id) {
+			cs.aborted = true
+			affected = append(affected, ds.name)
+		}
 		// Partitioned databases: drop the machine from its partition; the
 		// remaining replicas of that partition keep serving.
 		for pi := range ds.partitions {
@@ -433,9 +463,28 @@ func (c *Cluster) FailMachine(id string) ([]string, error) {
 		}
 	}
 	sort.Strings(affected)
+	affected = dedupSorted(affected)
 	c.mu.Unlock()
 	m.fail()
 	return affected, nil
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice (a database
+// can be affected both as a hosted replica and as an aborted copy).
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || out[len(out)-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// reachable reports whether the controller's link to machine id is open.
+// Without a simulated network every machine is reachable.
+func (c *Cluster) reachable(id string) bool {
+	return !c.opts.Network.Partitioned(c.endpoint, id)
 }
 
 // pickReadMachine chooses the replica that serves a read for txn t,
@@ -444,6 +493,11 @@ func (c *Cluster) FailMachine(id string) ([]string, error) {
 // ds.replicas once the copy completes. tables lists the tables the read
 // touches; it only matters for partitioned databases, where all tables must
 // live in one partition.
+//
+// Under a simulated network the read path degrades gracefully: replicas
+// behind a partitioned controller link are routed around (the preferred
+// home keeps its role and resumes service when the partition heals), and
+// only when every replica is unreachable does the read fail.
 func (c *Cluster) pickReadMachine(t *Txn, tables []string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -458,6 +512,18 @@ func (c *Cluster) pickReadMachine(t *Txn, tables []string) (string, error) {
 	if len(ds.replicas) == 0 {
 		return "", ErrNoReplicas
 	}
+	up := ds.replicas
+	if c.opts.Network != nil {
+		up = make([]string, 0, len(ds.replicas))
+		for _, id := range ds.replicas {
+			if c.reachable(id) {
+				up = append(up, id)
+			}
+		}
+		if len(up) == 0 {
+			return "", fmt.Errorf("%w: %s", ErrUnreachable, t.db)
+		}
+	}
 	c.metrics.readRouteCounter(c.opts.ReadOption).Inc()
 	switch c.opts.ReadOption {
 	case ReadOption1:
@@ -465,17 +531,30 @@ func (c *Cluster) pickReadMachine(t *Txn, tables []string) (string, error) {
 		if !contains(ds.replicas, ds.readHome) {
 			ds.readHome = ds.replicas[0]
 		}
-		return ds.readHome, nil
+		if contains(up, ds.readHome) {
+			return ds.readHome, nil
+		}
+		// Home unreachable: serve from another live replica without
+		// reassigning the home, so reads return once the partition heals.
+		c.metrics.readDegraded.Inc()
+		return up[0], nil
 	case ReadOption2:
 		// All reads of this transaction go to one replica, chosen once.
-		if t.readHome != "" && contains(ds.replicas, t.readHome) {
+		if t.readHome != "" && contains(up, t.readHome) {
 			return t.readHome, nil
 		}
-		pick := ds.replicas[int(c.rrSeq.Add(1))%len(ds.replicas)]
+		if t.readHome != "" && contains(ds.replicas, t.readHome) {
+			// The transaction's replica became unreachable mid-flight.
+			c.metrics.readDegraded.Inc()
+		}
+		pick := up[int(c.rrSeq.Add(1))%len(up)]
 		t.readHome = pick
 		return pick, nil
 	default: // ReadOption3
-		return ds.replicas[int(c.rrSeq.Add(1))%len(ds.replicas)], nil
+		if len(up) < len(ds.replicas) {
+			c.metrics.readDegraded.Inc()
+		}
+		return up[int(c.rrSeq.Add(1))%len(up)], nil
 	}
 }
 
@@ -508,6 +587,9 @@ func (c *Cluster) writeRoute(db, table string) ([]string, func(), error) {
 	targets := append([]string{}, ds.replicas...)
 	if cs := ds.copying; cs != nil {
 		switch {
+		case cs.aborted:
+			// The copy is being abandoned (its source or target failed):
+			// stop rejecting and stop feeding the dead target.
 		case cs.wholeDB:
 			// Database-granularity copy: every write to the database is
 			// proactively rejected for the duration of the copy.
@@ -565,6 +647,12 @@ func (c *Cluster) Exec(db, sql string, params ...sqldb.Value) (*sqldb.Result, er
 	}
 	return res, nil
 }
+
+// DrainResolvers blocks until every background 2PC outcome resolver
+// (commit or rollback deliveries retried out-of-band after a network
+// fault) has finished. Tests and the chaos driver call it before checking
+// invariants such as lock counts and replica consistency.
+func (c *Cluster) DrainResolvers() { c.resolvers.Wait() }
 
 // Stats is a snapshot of cluster-level counters.
 type Stats struct {

@@ -33,4 +33,25 @@ var (
 	// ErrCopyInProgress is returned when a second replica creation is
 	// requested for a database that is already being copied.
 	ErrCopyInProgress = errors.New("core: replica creation already in progress")
+
+	// ErrCopyAborted is returned by CreateReplica when the copy was
+	// abandoned because a participating machine (source or target) failed
+	// mid-copy; the caller may requeue the copy onto a live target.
+	ErrCopyAborted = errors.New("core: replica copy aborted by machine failure")
+
+	// ErrPrepareTimeout is returned when a 2PC PREPARE vote did not arrive
+	// within the coordinator's call deadline. The coordinator presumes
+	// abort: the transaction rolls back on every participant.
+	ErrPrepareTimeout = errors.New("core: 2PC prepare vote timed out; presumed abort")
+
+	// ErrUnreachable is returned when every replica of a database is behind
+	// a partitioned controller link; the client should retry after the
+	// partition heals.
+	ErrUnreachable = errors.New("core: all replicas unreachable from the controller")
+
+	// ErrStaleRoute is returned when the controller routed an operation to a
+	// machine whose engine no longer holds the database — the route was
+	// computed concurrently with an aborted replica copy discarding its
+	// half-copied destination. The transaction aborts; a retry re-routes.
+	ErrStaleRoute = errors.New("core: replica route went stale")
 )

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sdp/internal/netsim"
+	"sdp/internal/sqldb"
+)
+
+// netOpts builds cluster options with a seeded simulated network and fast
+// failure handling (tight deadline and backoff so tests stay quick).
+func netOpts(seed int64) (Options, *netsim.Network) {
+	n := netsim.New(seed, nil)
+	return Options{
+		Replicas:     2,
+		Network:      n,
+		CallTimeout:  50 * time.Millisecond,
+		RetryLimit:   8,
+		RetryBackoff: 100 * time.Microsecond,
+	}, n
+}
+
+// TestFaultFreeNetworkIsTransparent checks that interposing a perfect
+// simulated network changes nothing observable.
+func TestFaultFreeNetworkIsTransparent(t *testing.T) {
+	opts, _ := netOpts(1)
+	c := newTestCluster(t, 2, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 10)")
+	res := clusterExec(t, c, "SELECT n FROM t WHERE id = 1")
+	if res.Rows[0][0].Int != 10 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if got := c.Stats().Aborted; got != 0 {
+		t.Fatalf("aborted = %d, want 0", got)
+	}
+}
+
+// TestRetriesMaskLossyLinks runs write transactions over links that drop
+// requests and lose replies; the controller's bounded retries plus
+// client-level retry of cleanly aborted transactions must land every
+// transaction exactly once on both replicas.
+func TestRetriesMaskLossyLinks(t *testing.T) {
+	opts, n := netOpts(42)
+	c := newTestCluster(t, 2, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+
+	n.SetDefaults(netsim.Faults{DropProb: 0.15, ReplyLossProb: 0.1, DupProb: 0.2})
+	const rows = 30
+	for i := 1; i <= rows; i++ {
+		committed := false
+		for attempt := 0; attempt < 50 && !committed; attempt++ {
+			tx, err := c.Begin("app")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.Exec("INSERT INTO t VALUES (?, ?)", intv(int64(i)), intv(int64(i))); err != nil {
+				if IsRetryable(err) {
+					continue // Exec aborted the transaction
+				}
+				t.Fatalf("insert %d: %v", i, err)
+			}
+			err = tx.Commit()
+			switch {
+			case err == nil:
+				committed = true
+			case errors.Is(err, sqldb.ErrDuplicateKey):
+				// A lost COMMIT reply can leave the client unsure; the row
+				// landing proves the earlier attempt committed.
+				committed = true
+			case IsRetryable(err):
+			default:
+				t.Fatalf("commit %d: %v", i, err)
+			}
+		}
+		if !committed {
+			t.Fatalf("row %d never committed", i)
+		}
+	}
+	n.Quiesce()
+	c.DrainResolvers()
+
+	// Both replicas converged on exactly `rows` rows.
+	for _, id := range c.MachineIDs() {
+		m, _ := c.Machine(id)
+		if got := tableCount(t, m, "app", "t"); got != rows {
+			t.Errorf("%s: %d rows, want %d", id, got, rows)
+		}
+		if locks := m.Engine().Stats().LocksHeld; locks != 0 {
+			t.Errorf("%s: %d locks held after quiesce, want 0", id, locks)
+		}
+	}
+	if got := c.metrics.netRetry.With("prepare").Value() +
+		c.metrics.netRetry.With("commit").Value() +
+		c.metrics.netRetry.With("exec").Value(); got == 0 {
+		t.Error("no retries recorded under 15% drop rate")
+	}
+}
+
+// TestPrepareTimeoutPresumedAbort delays one participant's link past the
+// coordinator's vote deadline: the transaction must abort by presumed
+// abort, release every lock, and leave no trace of its writes.
+func TestPrepareTimeoutPresumedAbort(t *testing.T) {
+	opts, n := netOpts(7)
+	c := newTestCluster(t, 2, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+
+	tx, err := c.Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (1, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	// Slow the controller's link to every replica after the writes landed,
+	// so the PREPARE deliveries (not the inserts) blow the 50ms deadline.
+	for _, id := range c.MachineIDs() {
+		n.SetFaults(c.Endpoint(), id, netsim.Faults{Latency: 250 * time.Millisecond})
+	}
+	err = tx.Commit()
+	if !errors.Is(err, ErrPrepareTimeout) {
+		t.Fatalf("commit error = %v, want ErrPrepareTimeout", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("presumed-abort error should be retryable")
+	}
+	n.Quiesce()
+	c.DrainResolvers()
+
+	if got := c.metrics.twopcTimeout.With("prepare").Value(); got == 0 {
+		t.Error("twopc_timeout_total{phase=prepare} = 0")
+	}
+	if got := c.metrics.presumedAbort.Value(); got != 1 {
+		t.Errorf("presumed aborts = %d, want 1", got)
+	}
+	for _, id := range c.MachineIDs() {
+		m, _ := c.Machine(id)
+		if locks := m.Engine().Stats().LocksHeld; locks != 0 {
+			t.Errorf("%s: %d locks held after presumed abort", id, locks)
+		}
+		if got := tableCount(t, m, "app", "t"); got != 0 {
+			t.Errorf("%s: aborted insert visible (%d rows)", id, got)
+		}
+	}
+	// The cluster serves normally once the links recover.
+	clusterExec(t, c, "INSERT INTO t VALUES (2, 2)")
+}
+
+// TestCommitDeliveryLostBackgroundResolution loses every COMMIT reply on one
+// participant's link: the coordinator's decision stands (commit), the
+// participant's prepared branch is handed to a background resolver, and once
+// the fault clears the branch commits — no lock leaks, replicas identical.
+func TestCommitDeliveryLostBackgroundResolution(t *testing.T) {
+	opts, n := netOpts(11)
+	opts.RetryLimit = 2 // exhaust in-band retries quickly
+	c := newTestCluster(t, 2, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+
+	reps, err := c.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := reps[1]
+
+	tx, err := c.Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (1, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	// After the victim's PREPARE executes (vote delivered), start losing all
+	// replies on the controller→victim link: the COMMIT decision executes
+	// but the coordinator can never observe it in-band.
+	n.OnDeliver(func(ci netsim.CallInfo) {
+		if ci.Op == "prepare" && ci.To == victim {
+			n.SetFaults(c.Endpoint(), victim, netsim.Faults{ReplyLossProb: 1})
+		}
+	})
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err) // the decision was commit; Commit succeeds
+	}
+	if got := c.metrics.twopcTimeout.With("commit").Value(); got == 0 {
+		t.Fatal("twopc_timeout_total{phase=commit} = 0, want >= 1")
+	}
+
+	n.Quiesce()
+	c.DrainResolvers()
+	if got := c.metrics.bgResolved.With("delivered").Value(); got == 0 {
+		t.Error("background resolver delivered nothing")
+	}
+	for _, id := range reps {
+		m, _ := c.Machine(id)
+		if got := tableCount(t, m, "app", "t"); got != 1 {
+			t.Errorf("%s: %d rows, want 1", id, got)
+		}
+		if locks := m.Engine().Stats().LocksHeld; locks != 0 {
+			t.Errorf("%s: %d locks held, want 0", id, locks)
+		}
+	}
+}
+
+// TestParticipantCrashBetweenPrepareAndCommit crashes a participant in the
+// exact window after it acked PREPARE and before the coordinator's COMMIT
+// arrives (via a netsim delivery hook). The surviving replica commits; the
+// crashed machine restarts with an in-doubt branch that presumed abort
+// resolves, recovery catches its tables up, and no locks leak anywhere.
+func TestParticipantCrashBetweenPrepareAndCommit(t *testing.T) {
+	opts, n := netOpts(13)
+	opts.WAL = walOpts().WAL
+	c := newTestCluster(t, 2, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 1)")
+
+	reps, err := c.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := reps[1]
+	n.OnDeliver(func(ci netsim.CallInfo) {
+		if ci.Op == "prepare" && ci.To == victim {
+			// Crash-at-phase: the participant prepared (forced to its log)
+			// and acked, but dies before COMMIT reaches it.
+			if _, ferr := c.FailMachine(victim); ferr != nil {
+				t.Errorf("FailMachine: %v", ferr)
+			}
+		}
+	})
+
+	tx, err := c.Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (2, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err) // decision reached; survivor commits
+	}
+	n.ClearHooks()
+
+	survivor, _ := c.Machine(reps[0])
+	if got := tableCount(t, survivor, "app", "t"); got != 2 {
+		t.Fatalf("survivor rows = %d, want 2", got)
+	}
+
+	// Restart: the in-doubt branch must surface and resolve by presumed
+	// abort, then delta catch-up repairs the table from the survivor.
+	stats, err := c.RestartMachine(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InDoubt == 0 {
+		t.Fatal("restart found no in-doubt transaction; crash missed the 2PC window")
+	}
+	report := c.RecoverDatabases([]string{"app"}, 1)
+	if len(report.Failed) != 0 {
+		t.Fatalf("recovery failures: %v", report.Failed)
+	}
+	c.DrainResolvers()
+
+	vm, _ := c.Machine(victim)
+	for _, m := range []*Machine{survivor, vm} {
+		if got := tableCount(t, m, "app", "t"); got != 2 {
+			t.Errorf("%s rows = %d, want 2", m.ID(), got)
+		}
+		if locks := m.Engine().Stats().LocksHeld; locks != 0 {
+			t.Errorf("%s: %d locks held after recovery, want 0", m.ID(), locks)
+		}
+	}
+}
+
+// TestReadDegradationRoutesAroundPartition partitions the controller's link
+// to the read home of an Option 1 database: reads must degrade to the other
+// replica (counted), keep the home assignment, and return to the home once
+// the partition heals.
+func TestReadDegradationRoutesAroundPartition(t *testing.T) {
+	opts, n := netOpts(3)
+	opts.ReadOption = ReadOption1
+	c := newTestCluster(t, 2, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 42)")
+
+	c.mu.Lock()
+	home := c.dbs["app"].readHome
+	c.mu.Unlock()
+
+	n.Partition(c.Endpoint(), home)
+	if h := c.Health(); h.DegradedLinks != 1 {
+		t.Fatalf("DegradedLinks = %d, want 1", h.DegradedLinks)
+	}
+	for i := 0; i < 5; i++ {
+		res := clusterExec(t, c, "SELECT n FROM t WHERE id = 1")
+		if res.Rows[0][0].Int != 42 {
+			t.Fatalf("degraded read %d: %v", i, res.Rows)
+		}
+	}
+	if got := c.metrics.readDegraded.Value(); got != 5 {
+		t.Errorf("degraded reads = %d, want 5", got)
+	}
+
+	n.Heal(c.Endpoint(), home)
+	if h := c.Health(); h.DegradedLinks != 0 {
+		t.Fatalf("DegradedLinks after heal = %d, want 0", h.DegradedLinks)
+	}
+	clusterExec(t, c, "SELECT n FROM t WHERE id = 1")
+	c.mu.Lock()
+	stillHome := c.dbs["app"].readHome
+	c.mu.Unlock()
+	if stillHome != home {
+		t.Errorf("read home reassigned to %s during partition, want %s kept", stillHome, home)
+	}
+	if got := c.metrics.readDegraded.Value(); got != 5 {
+		t.Errorf("healed read still counted degraded (total %d)", got)
+	}
+}
+
+// TestAllReplicasUnreachable partitions every controller→replica link: reads
+// must fail with ErrUnreachable (retryable) rather than hang or panic, and
+// service must resume after healing.
+func TestAllReplicasUnreachable(t *testing.T) {
+	opts, n := netOpts(5)
+	c := newTestCluster(t, 2, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 1)")
+
+	for _, id := range c.MachineIDs() {
+		n.Partition(c.Endpoint(), id)
+	}
+	_, err := c.Exec("app", "SELECT n FROM t WHERE id = 1")
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("read error = %v, want ErrUnreachable", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("ErrUnreachable should be retryable")
+	}
+	n.HealAll()
+	clusterExec(t, c, "SELECT n FROM t WHERE id = 1")
+}
+
+// TestCopyAbortedWhenTargetFails starts an Algorithm 1 copy whose target is
+// failed mid-copy: CreateReplica must abort (not register a half-copied
+// replica), and the replica set must stay clean.
+func TestCopyAbortedWhenTargetFails(t *testing.T) {
+	opts, n := netOpts(9)
+	c := newTestCluster(t, 3, opts)
+	clusterExec(t, c, "CREATE TABLE a (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "CREATE TABLE b (id INT PRIMARY KEY, n INT)")
+	for i := 1; i <= 50; i++ {
+		clusterExec(t, c, "INSERT INTO a VALUES (?, ?)", intv(int64(i)), intv(int64(i)))
+		clusterExec(t, c, "INSERT INTO b VALUES (?, ?)", intv(int64(i)), intv(int64(i)))
+	}
+	reps, err := c.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	for _, id := range c.MachineIDs() {
+		if !contains(reps, id) {
+			target = id
+		}
+	}
+
+	// Fail the target the moment the first table lands on it.
+	n.OnDeliver(func(ci netsim.CallInfo) {
+		if ci.Op == "copy_apply" && ci.To == target {
+			tm, _ := c.Machine(target)
+			if !tm.Failed() {
+				if _, ferr := c.FailMachine(target); ferr != nil {
+					t.Errorf("FailMachine: %v", ferr)
+				}
+			}
+		}
+	})
+	err = c.CreateReplica("app", target)
+	if err == nil {
+		t.Fatal("CreateReplica succeeded with a failed target")
+	}
+	n.ClearHooks()
+
+	after, err := c.Replicas("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(after, target) {
+		t.Fatalf("failed target %s registered as replica: %v", target, after)
+	}
+	if len(after) != 2 {
+		t.Fatalf("replicas after aborted copy = %v", after)
+	}
+	// Writes flow again (no stale in-flight rejection).
+	clusterExec(t, c, "INSERT INTO a VALUES (51, 51)")
+}

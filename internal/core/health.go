@@ -17,6 +17,11 @@ type ClusterHealth struct {
 	ActiveCopies int `json:"active_copies"`
 	// Replicas is the configured replication degree new databases get.
 	Replicas int `json:"replicas"`
+	// DegradedLinks counts live machines the controller currently cannot
+	// reach over the simulated network (asymmetric partitions count when
+	// the controller→machine direction is cut). Always zero without a
+	// fault-injecting network.
+	DegradedLinks int `json:"degraded_links,omitempty"`
 }
 
 // Health captures the cluster's current liveness in one pass under the
@@ -33,6 +38,9 @@ func (c *Cluster) Health() ClusterHealth {
 	for _, id := range c.order {
 		if !c.machines[id].Failed() {
 			h.LiveMachines++
+			if !c.reachable(id) {
+				h.DegradedLinks++
+			}
 		}
 	}
 	for _, ds := range c.dbs {

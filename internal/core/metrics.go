@@ -48,6 +48,15 @@ type clusterMetrics struct {
 	slaProbes     *obs.Counter
 	slaPlacements *obs.CounterVec
 
+	// Failure-aware controller: deadline expiries, retries, presumed
+	// aborts, degraded read routing, and out-of-band outcome resolution
+	// (all zero unless a simulated network injects faults).
+	twopcTimeout  *obs.CounterVec
+	presumedAbort *obs.Counter
+	netRetry      *obs.CounterVec
+	readDegraded  *obs.Counter
+	bgResolved    *obs.CounterVec
+
 	// Gauges refreshed by the snapshot hook.
 	machineUtil *obs.GaugeVec
 	machineDBs  *obs.GaugeVec
@@ -81,8 +90,8 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 
 		readRoute1: reg.CounterVec("core_read_route_total",
 			"Read operations routed, by read option", "option").With("option1"),
-		readRoute2: reg.CounterVec("core_read_route_total", "", "option").With("option2"),
-		readRoute3: reg.CounterVec("core_read_route_total", "", "option").With("option3"),
+		readRoute2:    reg.CounterVec("core_read_route_total", "", "option").With("option2"),
+		readRoute3:    reg.CounterVec("core_read_route_total", "", "option").With("option3"),
 		readRoutePart: reg.CounterVec("core_read_route_total", "", "option").With("partitioned"),
 
 		copyPhase: reg.CounterVec("core_copy_phase_total",
@@ -98,6 +107,17 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 			"Per-database re-replication duration during recovery", nil),
 		walRecovery: reg.CounterVec("wal_recovery_total",
 			"Databases recovered after a machine restart, by path: fast (log replay + delta catch-up) or full (Algorithm-1 copy)", "path"),
+
+		twopcTimeout: reg.CounterVec("twopc_timeout_total",
+			"2PC deliveries that exceeded the coordinator's deadline or exhausted retries, by phase (prepare: vote missing, presumed abort; commit: decision delivery handed to a background resolver)", "phase"),
+		presumedAbort: reg.Counter("core_2pc_presumed_abort_total",
+			"Transactions aborted by the presumed-abort rule after a PREPARE vote timeout"),
+		netRetry: reg.CounterVec("core_net_retry_total",
+			"Machine-call retries after a transient network fault, by operation", "op"),
+		readDegraded: reg.Counter("core_read_route_degraded_total",
+			"Reads routed away from their preferred replica because the controller link to it is partitioned"),
+		bgResolved: reg.CounterVec("core_2pc_background_resolution_total",
+			"Out-of-band 2PC outcome deliveries after in-band delivery failed, by result", "result"),
 
 		slaProbes: reg.Counter("core_sla_probe_total",
 			"First-Fit machine probes during SLA placement (Algorithm 2)"),

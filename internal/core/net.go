@@ -1,0 +1,69 @@
+package core
+
+import (
+	"time"
+
+	"sdp/internal/netsim"
+)
+
+// Background 2PC outcome resolution: when an in-band commit or rollback
+// delivery fails on network faults, the decision still must reach the
+// participant or its branch would hold locks indefinitely. A resolver
+// keeps re-delivering with capped exponential backoff; delivery is
+// idempotent at the engine. Bounded attempts keep a permanently
+// partitioned machine from leaking goroutines — such a machine is
+// eventually declared failed and repaired by recovery instead.
+const (
+	resolveAttempts   = 64
+	resolveBackoffCap = 100 * time.Millisecond
+)
+
+// resolveOutcome re-delivers a 2PC decision (commit=true → COMMIT, false →
+// ABORT) to one participant out-of-band, in a tracked goroutine (see
+// DrainResolvers). The session's queue may already be closed; the resolver
+// bypasses it and calls the engine branch through the link directly.
+func (c *Cluster) resolveOutcome(s *replicaSession, gid uint64, commit bool) {
+	c.resolvers.Add(1)
+	go func() {
+		defer c.resolvers.Done()
+		op := "resolve_rollback"
+		deliver := s.txn.Rollback
+		if commit {
+			op = "resolve_commit"
+			deliver = func() error { return alreadyDone(s.txn.CommitPrepared()) }
+		}
+		backoff := c.opts.RetryBackoff
+		for attempt := 0; attempt < resolveAttempts; attempt++ {
+			if s.machine.Failed() {
+				// The participant died: restart-time recovery resolves its
+				// in-doubt branch by presumed abort and delta catch-up
+				// repairs any divergence, so there is nothing to deliver.
+				c.metrics.bgResolved.With("machine_failed").Inc()
+				return
+			}
+			err := callLink(s.link, op, true, deliver)
+			if err == nil || !netsim.IsTransient(err) {
+				c.metrics.bgResolved.With("delivered").Inc()
+				c.metrics.reg.TraceEvent("2pc", gidString(gid), op, s.machine.ID())
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < resolveBackoffCap {
+				backoff *= 2
+			}
+		}
+		c.metrics.bgResolved.With("abandoned").Inc()
+	}()
+}
+
+// netCall delivers fn across the simulated link from→to, or runs it
+// directly when the cluster has no network. The Algorithm 1 copy path uses
+// it for its dump (controller→source) and apply (source→target) steps; a
+// faulted step fails the copy, which abandons cleanly and is requeued by
+// recovery rather than retried in place.
+func (c *Cluster) netCall(from, to, op string, fn func() error) error {
+	if c.opts.Network == nil {
+		return fn()
+	}
+	return c.opts.Network.Link(from, to).Call(op, false, fn)
+}

@@ -8,7 +8,10 @@
 package core
 
 import (
+	"time"
+
 	"sdp/internal/history"
+	"sdp/internal/netsim"
 	"sdp/internal/obs"
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
@@ -104,6 +107,27 @@ type Options struct {
 	// acknowledgement, and a failed machine can Restart and recover its
 	// state by log replay instead of a full Algorithm-1 copy.
 	WAL *wal.Config
+	// Network, when non-nil, interposes a simulated network on every
+	// controller→machine call (statement execution, 2PC phases, Algorithm 1
+	// dump/apply): faults injected on its links surface as call errors, and
+	// the controller becomes failure-aware — per-call deadlines, bounded
+	// retries of idempotent phases, presumed abort on prepare timeouts, and
+	// read routing around partitioned replicas. Nil keeps calls as direct
+	// in-process invocations with zero overhead.
+	Network *netsim.Network
+	// CallTimeout bounds how long the coordinator waits for one machine's
+	// 2PC PREPARE vote before presuming abort. Zero defaults to 2 seconds
+	// when a Network is set and disables the deadline otherwise (an
+	// in-process call cannot stall indefinitely; lock waits are bounded by
+	// the engine's own lock timeout).
+	CallTimeout time.Duration
+	// RetryLimit is the maximum number of retries of one faulted machine
+	// call (idempotent phases retry on any transient fault; non-idempotent
+	// calls only when the request provably never executed). Default 4.
+	RetryLimit int
+	// RetryBackoff is the initial retry backoff, doubling per attempt.
+	// Default 1ms.
+	RetryBackoff time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -117,6 +141,15 @@ func (o Options) withDefaults() Options {
 	zero := sqldb.Config{}
 	if o.EngineConfig == zero {
 		o.EngineConfig = sqldb.DefaultConfig()
+	}
+	if o.Network != nil && o.CallTimeout == 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+	if o.RetryLimit <= 0 {
+		o.RetryLimit = 4
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
 	}
 	return o
 }

@@ -157,7 +157,7 @@ func (c *Cluster) catchUpReplica(db string, target *Machine) error {
 	}
 	sourceID := ds.replicas[0]
 	source := c.machines[sourceID]
-	cs := &copyState{target: targetID, copied: make(map[string]bool)}
+	cs := &copyState{source: sourceID, target: targetID, copied: make(map[string]bool)}
 	// A table whose write counter did not move while the machine was down
 	// was fully recovered by log replay: mark it copied up front, so it is
 	// never dumped and new writes route to the target immediately. (Counters
@@ -194,6 +194,13 @@ func (c *Cluster) catchUpReplica(db string, target *Machine) error {
 	}
 
 	c.mu.Lock()
+	// Same guard as CreateReplica: a target (or source) that failed while
+	// the catch-up ran must not register the half-caught-up destination.
+	if cs.aborted || target.Failed() {
+		c.mu.Unlock()
+		c.abandonCopy(ds)
+		return fmt.Errorf("%w: %s -> %s", ErrCopyAborted, sourceID, targetID)
+	}
 	ds.replicas = append(ds.replicas, targetID)
 	ds.copying = nil
 	c.mu.Unlock()
@@ -387,7 +394,17 @@ func (c *Cluster) RestartMachine(id string) (*sqldb.RecoveryStats, error) {
 	}
 	var orphans []string
 	for _, db := range eng.Databases() {
-		if _, exists := c.dbs[db]; !exists {
+		ds, exists := c.dbs[db]
+		if !exists {
+			orphans = append(orphans, db)
+			continue
+		}
+		// A half-copied database left behind by an Algorithm 1 copy that
+		// aborted when this machine failed mid-copy: the machine never
+		// joined the replica set and has no catch-up marks (a failed
+		// replica always gets marks at FailMachine), so the partial state
+		// is useless and would block a future copy onto this machine.
+		if !contains(ds.replicas, id) && !m.hasMarks(db) {
 			orphans = append(orphans, db)
 		}
 	}

@@ -57,6 +57,7 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	sourceID := ds.replicas[0]
 	source := c.machines[sourceID]
 	cs := &copyState{
+		source:  sourceID,
 		target:  targetID,
 		wholeDB: c.opts.CopyGranularity == sqldb.GranularityDatabase,
 		copied:  make(map[string]bool),
@@ -70,14 +71,25 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	defer m.copiesRunning.Dec()
 	m.reg.TraceEvent("copy", db, "start", fmt.Sprintf("%s -> %s", sourceID, targetID))
 
-	if err := target.Engine().CreateDatabase(db); err != nil {
+	if err := c.netCall(c.endpoint, targetID, "copy_create_db", func() error {
+		// The target may hold a stale copy of db left by an earlier copy
+		// that aborted mid-flight (it is guaranteed not to be a current
+		// replica — that was checked above): discard it and start clean.
+		if contains(target.Engine().Databases(), db) {
+			if derr := target.Engine().DropDatabase(db); derr != nil {
+				return derr
+			}
+			target.dbCount.Add(-1)
+		}
+		return target.Engine().CreateDatabase(db)
+	}); err != nil {
 		c.abandonCopy(ds)
 		return err
 	}
 
 	var err error
 	if cs.wholeDB {
-		err = c.copyWholeDB(ds, source, target, db)
+		err = c.copyWholeDB(ds, cs, source, target, db)
 	} else {
 		err = c.copyTableByTable(ds, cs, source, target, db)
 	}
@@ -99,6 +111,15 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	}
 
 	c.mu.Lock()
+	// A copy whose source or target failed mid-flight must not register the
+	// half-copied destination (the FailMachine race: the target can die
+	// after the last table landed but before this registration).
+	if cs.aborted || target.Failed() {
+		c.mu.Unlock()
+		c.abandonCopy(ds)
+		_ = target.Engine().DropDatabase(db)
+		return fmt.Errorf("%w: %s -> %s", ErrCopyAborted, sourceID, targetID)
+	}
 	ds.replicas = append(ds.replicas, targetID)
 	ds.copying = nil
 	c.mu.Unlock()
@@ -111,7 +132,7 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 // copyWholeDB performs a database-granularity copy: the dump transaction
 // holds read locks on every table until the whole database is copied, and
 // each table is restored on the target while the locks are held.
-func (c *Cluster) copyWholeDB(ds *dbState, source, target *Machine, db string) error {
+func (c *Cluster) copyWholeDB(ds *dbState, cs *copyState, source, target *Machine, db string) error {
 	// Writes already enqueued before the copy state was installed must
 	// finish before the dump locks the tables. New writes are rejected
 	// (wholeDB), so every table's counter strictly drains.
@@ -127,16 +148,29 @@ func (c *Cluster) copyWholeDB(ds *dbState, source, target *Machine, db string) e
 	c.metrics.reg.TraceEvent("copy", db, "db_locked", "")
 	dumpStart := time.Now()
 	defer func() { c.metrics.copyDump.ObserveDuration(time.Since(dumpStart)) }()
-	_, err := source.Engine().DumpDatabase(db, sqldb.GranularityDatabase, sqldb.DumpObserver{
-		TableDone: func(_ string, d sqldb.TableDump) {
-			// Errors surface via the outer dump error path below: a failed
-			// restore leaves the target incomplete, and the final verify
-			// catches it.
-			_ = target.Engine().RestoreTable(db, d)
-		},
+	err := c.netCall(c.endpoint, source.ID(), "copy_dump", func() error {
+		_, derr := source.Engine().DumpDatabase(db, sqldb.GranularityDatabase, sqldb.DumpObserver{
+			TableDone: func(_ string, d sqldb.TableDump) {
+				// Errors surface via the outer dump error path below: a failed
+				// restore leaves the target incomplete, and the final verify
+				// catches it. The apply step crosses the source→target link;
+				// RestoreTable is not idempotent (duplicate tables fail), so
+				// the delivery is declared non-idempotent and never retried.
+				_ = c.netCall(source.ID(), target.ID(), "copy_apply", func() error {
+					return target.Engine().RestoreTable(db, d)
+				})
+			},
+		})
+		return derr
 	})
 	if err != nil {
 		return err
+	}
+	c.mu.Lock()
+	aborted := cs.aborted
+	c.mu.Unlock()
+	if aborted {
+		return fmt.Errorf("%w: %s", ErrCopyAborted, db)
 	}
 	// Verify every table arrived.
 	for _, tbl := range source.Engine().Tables(db) {
@@ -157,6 +191,10 @@ func (c *Cluster) copyTableByTable(ds *dbState, cs *copyState, source, target *M
 		// that already hold their locks (and strict 2PL orders us after
 		// them).
 		c.mu.Lock()
+		if cs.aborted {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrCopyAborted, db)
+		}
 		cs.inFlight = tbl
 		d := ds.pendingFor(lowerName(tbl))
 		c.mu.Unlock()
@@ -166,8 +204,12 @@ func (c *Cluster) copyTableByTable(ds *dbState, cs *copyState, source, target *M
 		d.wait()
 
 		dumpStart := time.Now()
-		err := source.Engine().DumpTableWith(db, tbl, func(d sqldb.TableDump) error {
-			return target.Engine().RestoreTable(db, d)
+		err := c.netCall(c.endpoint, source.ID(), "copy_dump", func() error {
+			return source.Engine().DumpTableWith(db, tbl, func(d sqldb.TableDump) error {
+				return c.netCall(source.ID(), target.ID(), "copy_apply", func() error {
+					return target.Engine().RestoreTable(db, d)
+				})
+			})
 		})
 		c.metrics.copyDump.ObserveDuration(time.Since(dumpStart))
 		if err != nil {

@@ -1,6 +1,11 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdp/internal/netsim"
 	"sdp/internal/sqldb"
 )
 
@@ -42,6 +47,28 @@ func (f *future) poll() (opResult, bool) {
 	}
 }
 
+// waitTimeout blocks until the operation finishes or d elapses, reporting
+// whether an outcome arrived in time. A non-positive d waits forever — the
+// no-network configuration, where an in-process call cannot stall.
+func (f *future) waitTimeout(d time.Duration) (opResult, bool) {
+	if d <= 0 {
+		return f.wait(), true
+	}
+	select {
+	case <-f.done:
+		return f.res, true
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.done:
+		return f.res, true
+	case <-t.C:
+		return opResult{}, false
+	}
+}
+
 // waitAny blocks until one of the futures resolves and returns its outcome —
 // the aggressive controller's "return as soon as one machine answers".
 func waitAny(futs []*future) opResult {
@@ -60,32 +87,99 @@ func waitAny(futs []*future) opResult {
 // by a dedicated goroutine, exactly like statements written down one JDBC
 // connection: per-machine order is preserved, but machines run independently
 // of each other — the property that makes the aggressive controller's
-// anomaly (Table 1) possible.
+// anomaly (Table 1) possible. When the cluster runs with a simulated
+// network, every operation crosses the session's controller→machine link
+// inside the queue worker, so injected latency delays subsequent operations
+// on the same machine exactly as a slow connection would.
 type replicaSession struct {
+	c       *Cluster
 	machine *Machine
 	txn     *sqldb.Txn
+	link    *netsim.Link // nil without a simulated network
 	ops     chan func()
 	closed  chan struct{}
 }
 
-// newReplicaSession begins a transaction branch on the machine and starts
-// its queue worker.
-func newReplicaSession(m *Machine, db string, globalID uint64) (*replicaSession, error) {
+// newReplicaSession begins a transaction branch on the machine (across the
+// controller's link to it, when a network is simulated) and starts the
+// session's queue worker.
+func newReplicaSession(c *Cluster, m *Machine, db string, globalID uint64) (*replicaSession, error) {
 	if m.Failed() {
 		return nil, ErrMachineFailed
 	}
-	txn, err := m.Engine().BeginWithID(db, globalID)
+	link := c.opts.Network.Link(c.endpoint, m.ID())
+	var txn *sqldb.Txn
+	err := callLink(link, "begin", false, func() error {
+		var berr error
+		txn, berr = m.Engine().BeginWithID(db, globalID)
+		return berr
+	})
 	if err != nil {
+		if txn != nil {
+			// Reply lost after the branch began: roll the orphan back so a
+			// begin the controller never learned of cannot hold locks.
+			_ = txn.Rollback()
+		}
+		if errors.Is(err, sqldb.ErrNoTable) {
+			// The route said this machine hosts the database but its engine
+			// disagrees: an aborted replica copy dropped its half-copied
+			// destination between routing and begin. Retryable, not a
+			// schema error.
+			return nil, fmt.Errorf("%w: %s has no %s (%v)", ErrStaleRoute, m.ID(), db, err)
+		}
 		return nil, err
 	}
 	s := &replicaSession{
+		c:       c,
 		machine: m,
 		txn:     txn,
+		link:    link,
 		ops:     make(chan func(), 64),
 		closed:  make(chan struct{}),
 	}
 	go s.run()
 	return s, nil
+}
+
+// callLink delivers fn across link, or runs it directly on a nil link.
+func callLink(link *netsim.Link, op string, idempotent bool, fn func() error) error {
+	if link == nil {
+		return fn()
+	}
+	return link.Call(op, idempotent, fn)
+}
+
+// call delivers fn across the session's link with bounded
+// exponential-backoff retries. Idempotent operations (PREPARE, COMMIT,
+// ROLLBACK — all safe to re-deliver, see their engine-side no-op behaviour
+// on repeated application) retry on any transient network fault;
+// non-idempotent operations (statement execution) retry only when the
+// request provably never executed (a dropped request or a partitioned
+// link), never on a lost reply, whose outcome is ambiguous.
+func (s *replicaSession) call(op string, idempotent bool, fn func() error) error {
+	if s.link == nil {
+		return fn()
+	}
+	backoff := s.c.opts.RetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.link.Call(op, idempotent, fn)
+		if err == nil || !netsim.IsTransient(err) {
+			return err
+		}
+		if !idempotent && netsim.Executed(err) {
+			return err
+		}
+		if attempt >= s.c.opts.RetryLimit {
+			return err
+		}
+		if s.machine.Failed() {
+			return ErrMachineFailed
+		}
+		s.c.metrics.netRetry.With(op).Inc()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 func (s *replicaSession) run() {
@@ -114,38 +208,57 @@ func (s *replicaSession) guard(fn func() opResult) opResult {
 // execStmt enqueues a statement execution.
 func (s *replicaSession) execStmt(stmt sqldb.Statement, params []sqldb.Value) *future {
 	return s.enqueue(func() opResult {
-		res, err := s.txn.ExecStmt(stmt, params...)
+		var res *sqldb.Result
+		err := s.call("exec", false, func() error {
+			var xerr error
+			res, xerr = s.txn.ExecStmt(stmt, params...)
+			return xerr
+		})
 		return opResult{res: res, err: err}
 	})
 }
 
 // prepare enqueues the PREPARE action of 2PC. It runs after all previously
 // enqueued operations on this machine (FIFO), but independently of the
-// transaction's pending operations on other machines.
+// transaction's pending operations on other machines. PREPARE is
+// idempotent at the engine (a prepared transaction re-prepares as a no-op),
+// so lost votes are retried.
 func (s *replicaSession) prepare() *future {
 	return s.enqueue(func() opResult {
-		return opResult{err: s.txn.Prepare()}
+		return opResult{err: s.call("prepare", true, s.txn.Prepare)}
 	})
 }
 
-// commitPrepared enqueues the COMMIT action of 2PC.
+// commitPrepared enqueues the COMMIT action of 2PC. Idempotent: a second
+// delivery finds the transaction committed and returns ErrTxnDone, which
+// is normalised to success here so duplicated deliveries are transparent.
 func (s *replicaSession) commitPrepared() *future {
 	return s.enqueue(func() opResult {
-		return opResult{err: s.txn.CommitPrepared()}
+		return opResult{err: alreadyDone(s.call("commit", true, s.txn.CommitPrepared))}
 	})
 }
 
 // commit enqueues a one-phase commit (read-only branches).
 func (s *replicaSession) commit() *future {
 	return s.enqueue(func() opResult {
-		return opResult{err: s.txn.Commit()}
+		return opResult{err: alreadyDone(s.call("commit1p", true, s.txn.Commit))}
 	})
 }
 
-// rollback enqueues a rollback.
+// alreadyDone maps the engine's "transaction already committed" answer to
+// success: it is the expected result of re-delivering a commit.
+func alreadyDone(err error) error {
+	if errors.Is(err, sqldb.ErrTxnDone) {
+		return nil
+	}
+	return err
+}
+
+// rollback enqueues a rollback. Idempotent: rolling back an aborted
+// transaction is a no-op.
 func (s *replicaSession) rollback() *future {
 	return s.enqueue(func() opResult {
-		return opResult{err: s.txn.Rollback()}
+		return opResult{err: s.call("rollback", true, s.txn.Rollback)}
 	})
 }
 

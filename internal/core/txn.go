@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sdp/internal/netsim"
 	"sdp/internal/sqldb"
 )
 
@@ -48,7 +49,7 @@ func (t *Txn) session(id string) (*replicaSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := newReplicaSession(m, t.db, t.gid)
+	s, err := newReplicaSession(t.c, m, t.db, t.gid)
 	if err != nil {
 		return nil, err
 	}
@@ -226,8 +227,20 @@ func (t *Txn) Commit() error {
 	if !t.wrote {
 		var firstErr error
 		for _, s := range t.sessions {
-			if r := s.commit().wait(); r.err != nil && firstErr == nil {
+			r := s.commit().wait()
+			if r.err == nil {
+				continue
+			}
+			if firstErr == nil {
 				firstErr = r.err
+			}
+			if netsim.IsTransient(r.err) {
+				// The one-phase commit never reached a live machine: its
+				// branch still holds read locks. Re-deliver the release in
+				// the background (as a rollback — equivalent for a branch
+				// with no writes) so the locks cannot leak.
+				m.twopcTimeout.With("commit1p").Inc()
+				t.c.resolveOutcome(s, t.gid, false)
 			}
 		}
 		t.cleanup()
@@ -264,9 +277,25 @@ func (t *Txn) Commit() error {
 	for id, s := range t.sessions {
 		votes[id] = s.prepare()
 	}
+	// Collect votes under the per-call deadline. A missing vote is a NO by
+	// the presumed-abort rule: the coordinator logs nothing for aborts, so
+	// deciding abort on a timeout is always safe — a participant that did
+	// prepare will be rolled back by the abort phase (or, if it crashed, by
+	// restart-time presumed abort).
+	deadline := t.c.opts.CallTimeout
 	var voteErr error
+	timedOut := false
 	for _, f := range votes {
-		if r := f.wait(); r.err != nil && voteErr == nil {
+		r, ok := f.waitTimeout(deadline)
+		if !ok {
+			timedOut = true
+			m.twopcTimeout.With("prepare").Inc()
+			if voteErr == nil {
+				voteErr = ErrPrepareTimeout
+			}
+			continue
+		}
+		if r.err != nil && voteErr == nil {
 			voteErr = r.err
 		}
 	}
@@ -280,6 +309,10 @@ func (t *Txn) Commit() error {
 	if voteErr != nil {
 		// Phase 2 (abort): roll everyone back.
 		m.voteNoTotal.Inc()
+		if timedOut {
+			m.presumedAbort.Inc()
+			m.reg.TraceEvent("2pc", gid, "presumed_abort", voteErr.Error())
+		}
 		m.reg.TraceEvent("2pc", gid, "abort", voteErr.Error())
 		t.c.pair.finish(rec)
 		t.rollbackAll()
@@ -299,14 +332,21 @@ func (t *Txn) Commit() error {
 
 	// Phase 2 (commit).
 	commitStart := time.Now()
-	commits := make([]*future, 0, len(t.sessions))
-	for _, s := range t.sessions {
-		commits = append(commits, s.commitPrepared())
+	commits := make(map[string]*future, len(t.sessions))
+	for id, s := range t.sessions {
+		commits[id] = s.commitPrepared()
 	}
-	for _, f := range commits {
+	for id, f := range commits {
 		// A machine that dies between prepare and commit is repaired by
-		// recovery (re-replication), not by blocking the commit.
-		_ = f.wait()
+		// recovery (re-replication), not by blocking the commit. A live
+		// machine whose commit delivery failed on network faults keeps a
+		// prepared branch holding locks — hand it to a background resolver
+		// that re-delivers the decision until it lands.
+		r := f.wait()
+		if r.err != nil && netsim.IsTransient(r.err) {
+			m.twopcTimeout.With("commit").Inc()
+			t.c.resolveOutcome(t.sessions[id], t.gid, true)
+		}
 	}
 	m.commitSeconds.ObserveDuration(time.Since(commitStart))
 	m.reg.TraceEvent("2pc", gid, "commit", "")
@@ -353,10 +393,15 @@ func (t *Txn) rollbackAll() {
 	var wg sync.WaitGroup
 	for _, s := range t.sessions {
 		wg.Add(1)
-		go func(f *future) {
+		go func(s *replicaSession, f *future) {
 			defer wg.Done()
-			_ = f.wait()
-		}(s.rollback())
+			r := f.wait()
+			if r.err != nil && netsim.IsTransient(r.err) {
+				// The abort decision must still reach this participant or
+				// its prepared/active branch would hold locks forever.
+				t.c.resolveOutcome(s, t.gid, false)
+			}
+		}(s, s.rollback())
 	}
 	wg.Wait()
 }
@@ -374,13 +419,19 @@ func IsRejection(err error) bool { return errors.Is(err, ErrRejected) }
 
 // IsRetryable reports whether the error is transient from the client's
 // perspective: deadlock victim, lock timeout, rejection during copy, a
-// machine failure mid-transaction, or a branch abort surfacing through a
-// 2PC vote (the aggressive controller learns of an asynchronous write
-// failure only when the prepare vote comes back).
+// machine failure mid-transaction, a branch abort surfacing through a 2PC
+// vote (the aggressive controller learns of an asynchronous write failure
+// only when the prepare vote comes back), or any simulated-network fault —
+// dropped or delayed messages, lost replies, partitioned or timed-out
+// calls all abort the transaction cleanly and invite a retry.
 func IsRetryable(err error) bool {
 	return errors.Is(err, sqldb.ErrDeadlock) ||
 		errors.Is(err, sqldb.ErrLockTimeout) ||
 		errors.Is(err, sqldb.ErrTxnAborted) ||
 		errors.Is(err, ErrRejected) ||
-		errors.Is(err, ErrMachineFailed)
+		errors.Is(err, ErrMachineFailed) ||
+		errors.Is(err, ErrPrepareTimeout) ||
+		errors.Is(err, ErrUnreachable) ||
+		errors.Is(err, ErrStaleRoute) ||
+		netsim.IsTransient(err)
 }

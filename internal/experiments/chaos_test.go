@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestChaosQuick runs one short chaos soak — TPC-W traffic under randomized
+// network faults, partitions, and machine crashes — and fails on any
+// invariant violation (serialization-graph cycle, replica divergence, leaked
+// locks, or a fatal error surfaced to a client). The seed comes from
+// SDP_CHAOS_SEED so the nightly soak can sweep a seed matrix; a failing seed
+// reproduces the exact fault schedule.
+func TestChaosQuick(t *testing.T) {
+	seed := int64(1)
+	if v := os.Getenv("SDP_CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SDP_CHAOS_SEED %q: %v", v, err)
+		}
+		seed = n
+	}
+	rep, err := RunChaos(ChaosConfig{Seed: seed, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Verbose() || !rep.Passed() {
+		rep.WriteText(os.Stderr)
+	}
+	if !rep.Passed() {
+		t.Fatalf("chaos seed %d: %d invariant violations", seed, len(rep.Violations))
+	}
+}

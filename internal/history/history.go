@@ -17,6 +17,14 @@ import (
 
 // Op is one recorded data access on one site (machine). Seq orders events
 // within a site; events on different sites are never directly ordered.
+//
+// Seq is assigned by the Recorder at record time rather than taken from the
+// engine's own counter: a machine restart replaces the engine and would
+// restart its counter at zero, scrambling the site's conflict order across
+// crash epochs. Under strict two-phase locking an operation is recorded
+// while its lock is held, so for two conflicting operations the record
+// calls themselves happen in conflict order and a recorder-global monotonic
+// stamp preserves it.
 type Op struct {
 	Site   string
 	Seq    uint64
@@ -29,6 +37,7 @@ type Op struct {
 // transaction outcomes. It is safe for concurrent use.
 type Recorder struct {
 	mu        sync.Mutex
+	seq       uint64 // recorder-global Op.Seq stamp, survives engine restarts
 	ops       []Op
 	committed map[uint64]bool
 }
@@ -55,9 +64,10 @@ func (s *siteRecorder) RecordOp(ev sqldb.OpEvent) {
 		return
 	}
 	s.r.mu.Lock()
+	s.r.seq++
 	s.r.ops = append(s.r.ops, Op{
 		Site:   s.site,
-		Seq:    ev.Seq,
+		Seq:    s.r.seq,
 		Txn:    ev.GlobalTxn,
 		Write:  ev.Write,
 		Object: ev.Object,
@@ -96,6 +106,7 @@ func (r *Recorder) Committed() map[uint64]bool {
 // Reset clears all recorded state.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
+	r.seq = 0
 	r.ops = nil
 	r.committed = make(map[uint64]bool)
 	r.mu.Unlock()

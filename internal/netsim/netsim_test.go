@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sdp/internal/obs"
+)
+
+// runSchedule drives a fixed call pattern and records which faults fired.
+func runSchedule(t *testing.T, seed int64) []string {
+	t.Helper()
+	n := New(seed, nil)
+	n.sleep = func(time.Duration) {}
+	n.SetDefaults(Faults{DropProb: 0.3, ReplyLossProb: 0.2, DupProb: 0.2, Latency: time.Millisecond, Jitter: time.Millisecond})
+	l := n.Link("ctl", "m1")
+	var out []string
+	for i := 0; i < 200; i++ {
+		ran := 0
+		err := l.Call("op", true, func() error { ran++; return nil })
+		switch {
+		case errors.Is(err, ErrDropped):
+			out = append(out, "drop")
+		case errors.Is(err, ErrReplyLost):
+			out = append(out, "replylost")
+		case err == nil && ran == 2:
+			out = append(out, "dup")
+		case err == nil:
+			out = append(out, "ok")
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	return out
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a := runSchedule(t, 7)
+	b := runSchedule(t, 7)
+	c := runSchedule(t, 8)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 200-call fault schedule")
+	}
+}
+
+func TestDropDoesNotExecute(t *testing.T) {
+	n := New(1, nil)
+	n.sleep = func(time.Duration) {}
+	n.SetFaults("ctl", "m1", Faults{DropProb: 1})
+	ran := false
+	err := n.Link("ctl", "m1").Call("exec", false, func() error { ran = true; return nil })
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	if ran {
+		t.Fatal("dropped request executed")
+	}
+	if !IsTransient(err) || Executed(err) {
+		t.Fatal("drop must be transient and not-executed")
+	}
+}
+
+func TestReplyLossExecutes(t *testing.T) {
+	n := New(1, nil)
+	n.sleep = func(time.Duration) {}
+	n.SetFaults("ctl", "m1", Faults{ReplyLossProb: 1})
+	ran := 0
+	err := n.Link("ctl", "m1").Call("prepare", true, func() error { ran++; return nil })
+	if !errors.Is(err, ErrReplyLost) {
+		t.Fatalf("want ErrReplyLost, got %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("call ran %d times, want 1", ran)
+	}
+	if !Executed(err) {
+		t.Fatal("reply loss must report the call as executed")
+	}
+}
+
+func TestDuplicationOnlyWhenIdempotent(t *testing.T) {
+	n := New(1, nil)
+	n.sleep = func(time.Duration) {}
+	n.SetFaults("ctl", "m1", Faults{DupProb: 1})
+	l := n.Link("ctl", "m1")
+	ran := 0
+	if err := l.Call("commit", true, func() error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("idempotent call ran %d times, want 2", ran)
+	}
+	ran = 0
+	if err := l.Call("exec", false, func() error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("non-idempotent call ran %d times, want 1 (must never duplicate)", ran)
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	n := New(1, nil)
+	n.sleep = func(time.Duration) {}
+	n.Partition("ctl", "m1")
+	if !n.Partitioned("ctl", "m1") {
+		t.Fatal("ctl→m1 should be partitioned")
+	}
+	if n.Partitioned("m1", "ctl") {
+		t.Fatal("partition must be asymmetric: m1→ctl should be open")
+	}
+	err := n.Link("ctl", "m1").Call("exec", false, func() error { return nil })
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	if err := n.Link("m1", "ctl").Call("exec", false, func() error { return nil }); err != nil {
+		t.Fatalf("reverse direction failed: %v", err)
+	}
+	n.Heal("ctl", "m1")
+	if err := n.Link("ctl", "m1").Call("exec", false, func() error { return nil }); err != nil {
+		t.Fatalf("healed link failed: %v", err)
+	}
+}
+
+func TestDeliveryHookFiresAfterExecution(t *testing.T) {
+	n := New(1, nil)
+	n.sleep = func(time.Duration) {}
+	var order []string
+	n.OnDeliver(func(info CallInfo) {
+		order = append(order, "hook:"+info.Op+"->"+info.To)
+	})
+	err := n.Link("ctl", "m2").Call("prepare", true, func() error {
+		order = append(order, "exec")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "exec" || order[1] != "hook:prepare->m2" {
+		t.Fatalf("hook did not fire after execution: %v", order)
+	}
+	n.ClearHooks()
+	order = nil
+	_ = n.Link("ctl", "m2").Call("prepare", true, func() error { return nil })
+	if len(order) != 0 {
+		t.Fatal("cleared hook still fired")
+	}
+}
+
+func TestHookNotCalledOnDrop(t *testing.T) {
+	n := New(1, nil)
+	n.sleep = func(time.Duration) {}
+	n.SetFaults("ctl", "m1", Faults{DropProb: 1})
+	fired := false
+	n.OnDeliver(func(CallInfo) { fired = true })
+	_ = n.Link("ctl", "m1").Call("exec", false, func() error { return nil })
+	if fired {
+		t.Fatal("hook fired for a dropped request that never executed")
+	}
+}
+
+func TestQuiesce(t *testing.T) {
+	n := New(1, nil)
+	n.sleep = func(time.Duration) {}
+	n.SetDefaults(Faults{DropProb: 1})
+	n.SetFaults("ctl", "m1", Faults{DropProb: 1})
+	n.PartitionPair("ctl", "m2")
+	n.OnDeliver(func(CallInfo) { t.Fatal("hook survived Quiesce") })
+	n.Quiesce()
+	for _, to := range []string{"m1", "m2"} {
+		if err := n.Link("ctl", to).Call("exec", false, func() error { return nil }); err != nil {
+			t.Fatalf("link ctl→%s still faulty after Quiesce: %v", to, err)
+		}
+	}
+	if n.partitions.Value() != 0 {
+		t.Fatalf("partition gauge not zero after Quiesce: %v", n.partitions.Value())
+	}
+}
+
+func TestNilNetworkAndLink(t *testing.T) {
+	var n *Network
+	if n.Partitioned("a", "b") {
+		t.Fatal("nil network reported a partition")
+	}
+	n.SetDefaults(Faults{DropProb: 1}) // must not panic
+	n.Quiesce()
+	l := n.Link("a", "b")
+	if l != nil {
+		t.Fatal("nil network must return nil links")
+	}
+	ran := false
+	if err := l.Call("exec", false, func() error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("nil link must run fn directly: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	n := New(3, reg)
+	n.sleep = func(time.Duration) {}
+	n.SetFaults("ctl", "m1", Faults{DropProb: 1})
+	_ = n.Link("ctl", "m1").Call("exec", false, func() error { return nil })
+	if n.calls.Value() != 1 || n.dropped.Value() != 1 {
+		t.Fatalf("counters not updated: calls=%d dropped=%d", n.calls.Value(), n.dropped.Value())
+	}
+}

@@ -70,11 +70,15 @@ type Recorder interface {
 	RecordOp(OpEvent)
 }
 
-// Stats are cumulative engine counters.
+// Stats are cumulative engine counters, plus LocksHeld, the one
+// instantaneous value: the number of lock holds granted right now. A
+// quiescent engine reports LocksHeld zero; the 2PC failure tests assert it
+// to prove coordinator-timeout paths leak no locks.
 type Stats struct {
 	Commits   uint64
 	Aborts    uint64
 	Deadlocks uint64
+	LocksHeld uint64
 	Pool      PoolStats
 	PlanCache PlanCacheStats
 }
@@ -137,8 +141,16 @@ func (e *Engine) SetRecorder(r Recorder) {
 	e.recorder.Store(&recorderBox{r: r})
 }
 
-// record emits an operation event if a recorder is installed.
+// record emits an operation event if a recorder is installed. Log replay is
+// never recorded: it re-applies operations that were recorded when they
+// first executed, and re-recording them would give the replayed
+// transactions a second, later position in the site's conflict order —
+// manufacturing serialization-graph edges that contradict the real
+// execution.
 func (e *Engine) record(t *Txn, write bool, object string) {
+	if e.recovering.Load() {
+		return
+	}
 	box := e.recorder.Load()
 	if box == nil || box.r == nil {
 		return
@@ -178,6 +190,7 @@ func (e *Engine) Stats() Stats {
 		Commits:   commits,
 		Aborts:    aborts,
 		Deadlocks: e.locks.deadlockCount(),
+		LocksHeld: e.locks.heldCount(),
 		Pool:      e.pool.Stats(),
 		PlanCache: e.plans.stats(),
 	}

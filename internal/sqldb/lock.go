@@ -353,6 +353,20 @@ func (lm *lockManager) deadlockCount() uint64 {
 	return lm.deadlocks
 }
 
+// heldCount returns the number of (transaction, resource) lock holds
+// currently granted. A quiescent engine must report zero — the invariant
+// the 2PC timeout tests assert to prove no coordinator failure path leaks
+// locks.
+func (lm *lockManager) heldCount() uint64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	var n uint64
+	for _, e := range lm.locks {
+		n += uint64(len(e.granted))
+	}
+	return n
+}
+
 // upgradeMode returns the weakest mode at least as strong as both a and b.
 func upgradeMode(a, b LockMode) LockMode {
 	if a == b {

@@ -42,7 +42,7 @@ func TestRangeScanMatchesFullScan(t *testing.T) {
 		"%s BETWEEN 10 AND 14",
 		"%s > 7 AND %s < 12",
 		"%s >= 7 AND %s <= 12",
-		"5 < %s AND 10 > %s", // constant-first comparisons flip correctly
+		"5 < %s AND 10 > %s",  // constant-first comparisons flip correctly
 		"%s BETWEEN 12 AND 3", // empty (inverted) range
 		"%s > 100",
 		"%s < 0",

@@ -147,6 +147,15 @@ func (t *Txn) execPlanned(stmt Statement, plan *stmtPlan, params []Value) (*Resu
 	if err := t.checkActive(); err != nil {
 		return nil, err
 	}
+	if !t.engine.HasDatabase(t.db) {
+		// The database was dropped underneath the transaction (e.g. an
+		// aborted replica copy discarding its half-copied destination while
+		// branches were still routed there). The branch cannot proceed:
+		// abort it so the client sees a retryable abort rather than a
+		// missing-schema error.
+		t.rollbackLocked()
+		return nil, fmt.Errorf("%w: database %s was dropped", ErrTxnAborted, t.db)
+	}
 	res, err := t.engine.execute(t, stmt, plan, params)
 	if err != nil && isAbortError(err) {
 		// Deadlock victims and lock-wait timeouts roll the whole
