@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo bench bench-sqldb bench-wal experiments clean
+.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo bench bench-sqldb bench-wal bench-gate experiments clean
 
 all: build test
 
@@ -11,11 +11,12 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with lock-sensitive hot paths: the
-# query engine (plan cache, striped buffer pool, lock manager), the cluster
-# controller (2PC, replica management), and the write-ahead log's
-# group-commit pipeline.
+# query engine (plan cache, striped buffer pool, lock manager, optimistic
+# read validation), the cluster controller (2PC, replica management), the
+# write-ahead log's group-commit pipeline, and the TPC-W client whose
+# read-only profiles drive the optimistic path concurrently.
 race:
-	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/wal/...
+	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/wal/... ./internal/tpcw/...
 
 # vet also smoke-tests the wait-free metrics instruments, the SLA monitor's
 # epoch-recycled windows, the admin plane, and the write-ahead log under the
@@ -81,6 +82,11 @@ bench-sqldb:
 # vs full-copy comparison).
 bench-wal:
 	$(GO) run ./cmd/experiments -bench-wal
+
+# Quick perf regression gate: fail if the measured point-read latency is more
+# than 20% above the committed BENCH_sqldb.json baseline.
+bench-gate:
+	$(GO) run ./cmd/experiments -bench-gate
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

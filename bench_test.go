@@ -231,10 +231,14 @@ func BenchmarkSQLPointRead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var res sqldb.Result
+	params := []sqldb.Value{sqldb.NewInt(0)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tx, _ := e.Begin("app")
-		if _, err := tx.ExecStmt(stmt, sqldb.NewInt(int64(i%1000))); err != nil {
+		tx, _ := e.BeginReadOnly("app")
+		params[0] = sqldb.NewInt(int64(i % 1000))
+		if err := tx.ExecStmtInto(&res, stmt, params...); err != nil {
 			b.Fatal(err)
 		}
 		_ = tx.Commit()
@@ -284,6 +288,7 @@ func BenchmarkTPCWMixSingleEngine(b *testing.B) {
 	client := &tpcw.Client{DB: db, Mix: tpcw.ShoppingMix, Workload: w}
 	// Warm the buffer pool and plan caches before timing.
 	_ = client.RunN(1, 200)
+	b.ReportAllocs()
 	b.ResetTimer()
 	st := client.RunN(42, b.N)
 	b.StopTimer()
@@ -393,6 +398,10 @@ type engineDB struct {
 }
 
 func (d engineDB) Begin() (tpcw.Txn, error) { return d.e.Begin(d.db) }
+
+// BeginReadOnly lets the TPC-W client run its read-only profiles on the
+// engine's optimistic lock-free fast path.
+func (d engineDB) BeginReadOnly() (tpcw.Txn, error) { return d.e.BeginReadOnly(d.db) }
 
 // runAnomalyTrials runs adversarial transaction pairs against a 2-machine
 // aggressive Option-3 cluster and returns the number of serializability

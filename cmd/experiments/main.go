@@ -24,6 +24,12 @@
 // plus machine-restart recovery by log replay versus a full Algorithm-1
 // copy — and writes the results to BENCH_wal.json (or -bench-wal-out).
 //
+// -bench-gate re-runs the point-read benchmark at the committed baseline's
+// iteration count and compares the measured latency against the baseline in
+// the file given by -bench-baseline (default BENCH_sqldb.json), exiting 1 if
+// it regressed by more than -bench-gate-pct percent. CI runs this on every
+// push.
+//
 // -metrics drives a TPC-W mix with a replica creation mid-run and dumps the
 // platform's unified observability snapshot — every family described in
 // OBSERVABILITY.md — as text (default) or JSON (-format json). -trace-scope
@@ -66,6 +72,9 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_sqldb.json", "output path for -bench-sqldb results")
 	benchWAL := flag.Bool("bench-wal", false, "run the durability benchmarks (group commit scaling, log-replay vs full-copy recovery) and write JSON results")
 	benchWALOut := flag.String("bench-wal-out", "BENCH_wal.json", "output path for -bench-wal results")
+	benchGate := flag.Bool("bench-gate", false, "re-run the point-read bench and fail if it regressed vs the committed baseline")
+	benchBaseline := flag.String("bench-baseline", "BENCH_sqldb.json", "baseline file for -bench-gate")
+	benchGatePct := flag.Float64("bench-gate-pct", 20, "allowed point-read regression for -bench-gate, in percent")
 	metrics := flag.Bool("metrics", false, "run a TPC-W mix with a mid-run replica copy and dump the unified metrics snapshot")
 	traceScope := flag.String("trace-scope", "", "with -metrics: only print trace events of this scope (2pc, copy, recovery, repl, dr, sla)")
 	slaReport := flag.Bool("sla-report", false, "with -metrics or -admin: print the SLA compliance report")
@@ -160,6 +169,14 @@ func main() {
 			res.GroupCommit[last].Committers, res.GroupCommit[last].FlushesPerCommit,
 			res.NoGroupCommit[last].FlushesPerCommit,
 			res.RecoveryRows, res.FastRecoveryMs, res.FullRecoveryMs, res.FastSpeedupRatio)
+		return
+	}
+
+	if *benchGate {
+		if err := runBenchGate(*benchBaseline, *benchGatePct, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

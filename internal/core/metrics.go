@@ -129,7 +129,7 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 		machineDBs: reg.GaugeVec("core_machine_dbs",
 			"Databases hosted per machine", "machine"),
 		engineStat: reg.GaugeVec("sqldb_engine_stat",
-			"Per-engine DBMS counters aggregated over a cluster's machines (commits, aborts, deadlocks, pool and plan-cache activity)", "cluster", "stat"),
+			"Per-engine DBMS counters aggregated over a cluster's machines (commits, aborts, deadlocks, pool and plan-cache activity, compiled-execution and optimistic read-path counters)", "cluster", "stat"),
 	}
 }
 
@@ -171,6 +171,8 @@ func (c *Cluster) bridgeStats() {
 	var commits, aborts, deadlocks uint64
 	var poolHits, poolMisses, poolEvict uint64
 	var planHits, planMisses uint64
+	var planCompiles, compiledExecs, stmtExecs uint64
+	var optHits, optRetries, optFallbacks, optConflicts uint64
 	for _, mach := range ms {
 		m.machineDBs.With(mach.ID()).Set(float64(mach.dbCount.Load()))
 		used, capacity := mach.Used(), mach.Capacity()
@@ -201,6 +203,13 @@ func (c *Cluster) bridgeStats() {
 		poolEvict += st.Pool.Evictions
 		planHits += st.PlanCache.Hits
 		planMisses += st.PlanCache.Misses
+		planCompiles += st.PlanCompiles
+		compiledExecs += st.CompiledExecs
+		stmtExecs += st.StmtExecs
+		optHits += st.OptimisticHits
+		optRetries += st.OptimisticRetries
+		optFallbacks += st.OptimisticFallbacks
+		optConflicts += st.OptimisticConflicts
 	}
 	set := func(stat string, v float64) { m.engineStat.With(c.name, stat).Set(v) }
 	set("commits", float64(commits))
@@ -213,6 +222,13 @@ func (c *Cluster) bridgeStats() {
 	set("plan_cache_hits", float64(planHits))
 	set("plan_cache_misses", float64(planMisses))
 	set("plan_cache_hit_rate", ratio(planHits, planMisses))
+	set("plan_compile_total", float64(planCompiles))
+	set("compiled_exec_total", float64(compiledExecs))
+	set("stmt_exec_total", float64(stmtExecs))
+	set("readpath_optimistic_hits", float64(optHits))
+	set("readpath_optimistic_retries", float64(optRetries))
+	set("readpath_optimistic_fallbacks", float64(optFallbacks))
+	set("readpath_optimistic_conflicts", float64(optConflicts))
 }
 
 // ratio returns hits/(hits+misses), or 0 with no accesses.

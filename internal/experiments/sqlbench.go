@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"sdp/internal/core"
@@ -17,11 +18,15 @@ import (
 // form is what cmd/experiments -bench-sqldb writes to BENCH_sqldb.json.
 type SQLBench struct {
 	PointReadNsPerOp       float64 `json:"point_read_ns_per_op"`
+	PointReadAllocsPerOp   float64 `json:"point_read_allocs_per_op"`
 	ReplicatedWriteNsPerOp float64 `json:"replicated_write_ns_per_op"`
 	TPCWMixNsPerOp         float64 `json:"tpcw_mix_ns_per_op"`
 	TPCWMixTPS             float64 `json:"tpcw_mix_tps"`
 	PlanCacheHitRate       float64 `json:"plan_cache_hit_rate"`
-	Iterations             int     `json:"iterations"`
+	// CompiledFraction is the share of statements served by the compiled
+	// executor across the bench engines (compiled_exec_total/stmt_exec_total).
+	CompiledFraction float64 `json:"compiled_fraction"`
+	Iterations       int     `json:"iterations"`
 }
 
 // benchEngineDB adapts one database of a single engine to tpcw.DB.
@@ -31,6 +36,10 @@ type benchEngineDB struct {
 }
 
 func (d benchEngineDB) Begin() (tpcw.Txn, error) { return d.e.Begin(d.db) }
+
+// BeginReadOnly routes the read-only TPC-W profiles onto the engine's
+// optimistic lock-free read path, as the benchmark harness does.
+func (d benchEngineDB) BeginReadOnly() (tpcw.Txn, error) { return d.e.BeginReadOnly(d.db) }
 
 // sqlBenchIters picks the per-benchmark iteration count.
 func (c Config) sqlBenchIters() int {
@@ -66,12 +75,19 @@ func RunSQLBench(cfg Config) (SQLBench, obs.Snapshot, error) {
 			return res, obs.Snapshot{}, err
 		}
 	}
+	stmt, err := sqldb.Parse("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		return res, obs.Snapshot{}, err
+	}
+	var pointRes sqldb.Result
+	params := []sqldb.Value{sqldb.NewInt(0)}
 	point := func(i int) error {
-		tx, err := e.Begin("app")
+		tx, err := e.BeginReadOnly("app")
 		if err != nil {
 			return err
 		}
-		if _, err := tx.Exec("SELECT v FROM t WHERE id = ?", sqldb.NewInt(int64(i%1000))); err != nil {
+		params[0] = sqldb.NewInt(int64(i % 1000))
+		if err := tx.ExecStmtInto(&pointRes, stmt, params...); err != nil {
 			return err
 		}
 		return tx.Commit()
@@ -81,6 +97,8 @@ func RunSQLBench(cfg Config) (SQLBench, obs.Snapshot, error) {
 			return res, obs.Snapshot{}, err
 		}
 	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		if err := point(i); err != nil {
@@ -88,6 +106,8 @@ func RunSQLBench(cfg Config) (SQLBench, obs.Snapshot, error) {
 		}
 	}
 	res.PointReadNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	runtime.ReadMemStats(&msAfter)
+	res.PointReadAllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(iters)
 	st := e.Stats().PlanCache
 	res.PlanCacheHitRate = st.HitRate()
 
@@ -139,5 +159,9 @@ func RunSQLBench(cfg Config) (SQLBench, obs.Snapshot, error) {
 	}
 	res.TPCWMixNsPerOp = float64(stats.Elapsed.Nanoseconds()) / float64(mixIters)
 	res.TPCWMixTPS = stats.TPS()
+	pointStats, tpcwStats := e.Stats(), te.Stats()
+	if total := pointStats.StmtExecs + tpcwStats.StmtExecs; total > 0 {
+		res.CompiledFraction = float64(pointStats.CompiledExecs+tpcwStats.CompiledExecs) / float64(total)
+	}
 	return res, reg.Snapshot(), nil
 }

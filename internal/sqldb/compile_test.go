@@ -1,0 +1,505 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// diffEngine builds the table the differential tests run against: mixed
+// types, NULLs, negative keys, quoted text, and two secondary indexes so
+// every access path (point, index-eq, index-range, scan) is reachable.
+func diffEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := newTestDB(t)
+	mustExec(t, e, `CREATE TABLE item (id INT PRIMARY KEY, title TEXT NOT NULL, cost FLOAT, qty INT, subject TEXT)`)
+	mustExec(t, e, `CREATE INDEX idx_subject ON item (subject)`)
+	mustExec(t, e, `CREATE INDEX idx_qty ON item (qty)`)
+	rows := []string{
+		`(-3, 'neg', 1.5, 7, 'HISTORY')`,
+		`(0, 'zero', NULL, 0, 'ART')`,
+		`(1, 'alpha', 9.99, 3, 'HISTORY')`,
+		`(2, 'it''s', 2.25, NULL, 'COOKING')`,
+		`(3, 'beta', 0.5, 3, NULL)`,
+		`(4, 'Alpha', 12.0, 5, 'ART')`,
+		`(5, 'gamma ray', 7.75, 2, 'HISTORY')`,
+		`(6, '', 3.0, 9, 'COOKING')`,
+		`(7, 'delta', NULL, NULL, NULL)`,
+		`(8, '%wild%', 4.5, 1, 'ART')`,
+		`(9, 'omega', 100.25, 12, 'SCIENCE')`,
+		`(10, 'alphabet', 6.0, 3, 'SCIENCE')`,
+	}
+	mustExec(t, e, "INSERT INTO item VALUES "+strings.Join(rows, ", "))
+	return e
+}
+
+// runPlanned executes one planned statement in its own transaction and
+// returns the result, rolling back on error exactly like Engine.Exec.
+func runPlanned(e *Engine, readOnly bool, stmt Statement, plan *stmtPlan, params []Value) (*Result, error) {
+	var tx *Txn
+	var err error
+	if readOnly {
+		tx, err = e.BeginReadOnly("app")
+	} else {
+		tx, err = e.Begin("app")
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := tx.execPlanned(stmt, plan, params, nil)
+	if err != nil {
+		_ = tx.Rollback()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// assertDiff runs one SELECT through the tree-walking interpreter, the
+// compiled locking path, and the compiled optimistic read-only path, and
+// requires all three to agree on columns, rows, and errors.
+func assertDiff(t *testing.T, e *Engine, sql string, params ...Value) {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	plan, _ := planStatement(e, "app", stmt)
+	if plan == nil {
+		t.Fatalf("no plan for %q", sql)
+	}
+	interp := *plan
+	interp.compiled = nil
+
+	wantRes, wantErr := runPlanned(e, false, stmt, &interp, params)
+	for _, mode := range []struct {
+		name     string
+		readOnly bool
+	}{{"compiled-locking", false}, {"compiled-optimistic", true}} {
+		got, gotErr := runPlanned(e, mode.readOnly, stmt, plan, params)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("%s %q: err=%v, interpreter err=%v", mode.name, sql, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("%s %q: err=%q, interpreter err=%q", mode.name, sql, gotErr, wantErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got.Cols, wantRes.Cols) {
+			t.Fatalf("%s %q: cols=%v, interpreter cols=%v", mode.name, sql, got.Cols, wantRes.Cols)
+		}
+		if len(got.Rows) != len(wantRes.Rows) {
+			t.Fatalf("%s %q: %d rows, interpreter %d rows\n got: %v\nwant: %v",
+				mode.name, sql, len(got.Rows), len(wantRes.Rows), got.Rows, wantRes.Rows)
+		}
+		for i := range got.Rows {
+			if !reflect.DeepEqual(got.Rows[i], wantRes.Rows[i]) {
+				t.Fatalf("%s %q: row %d = %v, interpreter %v", mode.name, sql, i, got.Rows[i], wantRes.Rows[i])
+			}
+		}
+	}
+}
+
+// TestCompiledDifferentialCorpus pins the compiled executor to the
+// interpreter across a hand-written corpus covering every access path,
+// projection shape, ORDER BY/LIMIT/OFFSET combination, and error case.
+func TestCompiledDifferentialCorpus(t *testing.T) {
+	e := diffEngine(t)
+	defer e.Close()
+	one := []Value{NewInt(1)}
+	corpus := []struct {
+		sql    string
+		params []Value
+	}{
+		// Point reads, hit and miss, with and without residuals.
+		{"SELECT * FROM item WHERE id = 1", nil},
+		{"SELECT * FROM item WHERE id = -3", nil},
+		{"SELECT * FROM item WHERE id = 999", nil},
+		{"SELECT title FROM item WHERE id = ?", one},
+		{"SELECT title, cost FROM item WHERE id = 1 AND qty > 2", nil},
+		{"SELECT title FROM item WHERE id = 1 AND qty > 100", nil},
+		{"SELECT id FROM item WHERE id = 2 AND title = 'it''s'", nil},
+		// Index equality, with residuals and projections.
+		{"SELECT id, title FROM item WHERE subject = 'HISTORY'", nil},
+		{"SELECT id FROM item WHERE subject = 'ART' AND cost > 5.0", nil},
+		{"SELECT id, qty FROM item WHERE qty = 3", nil},
+		{"SELECT id FROM item WHERE subject = 'MISSING'", nil},
+		{"SELECT id FROM item WHERE subject = ?", []Value{NewText("SCIENCE")}},
+		// Ranges on the primary key and on a secondary index.
+		{"SELECT id FROM item WHERE id > 3", nil},
+		{"SELECT id FROM item WHERE id >= -3 AND id < 4", nil},
+		{"SELECT id, title FROM item WHERE id BETWEEN 2 AND 6", nil},
+		{"SELECT id FROM item WHERE qty > 2 AND qty <= 7", nil},
+		{"SELECT id FROM item WHERE qty BETWEEN ? AND ?", []Value{NewInt(1), NewInt(5)}},
+		// Scans: LIKE, IN, IS NULL, boolean structure, expressions.
+		{"SELECT id FROM item WHERE title LIKE 'alpha%'", nil},
+		{"SELECT id FROM item WHERE title LIKE '%a%'", nil},
+		{"SELECT id FROM item WHERE title NOT LIKE '%a%'", nil},
+		{"SELECT id FROM item WHERE title LIKE ?", []Value{NewText("%wild%")}},
+		{"SELECT id FROM item WHERE cost IS NULL", nil},
+		{"SELECT id FROM item WHERE subject IS NOT NULL AND qty IS NULL", nil},
+		{"SELECT id FROM item WHERE id IN (1, 3, 5, 99)", nil},
+		{"SELECT id FROM item WHERE subject IN ('ART', 'SCIENCE')", nil},
+		{"SELECT id FROM item WHERE qty NOT IN (3, NULL)", nil},
+		{"SELECT id FROM item WHERE cost * 2.0 > 10.0", nil},
+		{"SELECT id FROM item WHERE NOT (qty > 3)", nil},
+		{"SELECT id FROM item WHERE qty > 2 OR subject = 'ART'", nil},
+		{"SELECT id FROM item WHERE -id = 3", nil},
+		// Projection shapes: *, flat columns, computed expressions, aliases.
+		{"SELECT * FROM item WHERE subject = 'ART'", nil},
+		{"SELECT cost, id, title FROM item WHERE id < 4", nil},
+		{"SELECT id, cost * 2.0 AS double_cost FROM item WHERE id BETWEEN 1 AND 5", nil},
+		{"SELECT id + qty AS s FROM item WHERE id > 5", nil},
+		{"SELECT title, qty FROM item WHERE qty = 3", nil},
+		// ORDER BY on projected and non-projected keys, DESC, multi-key.
+		{"SELECT id, title FROM item WHERE id > 0 ORDER BY title", nil},
+		{"SELECT id FROM item WHERE id > 0 ORDER BY cost DESC", nil},
+		{"SELECT id, qty FROM item WHERE subject IS NOT NULL ORDER BY qty DESC, id", nil},
+		{"SELECT title FROM item WHERE id > -5 ORDER BY id DESC", nil},
+		// LIMIT and OFFSET, including past-the-end values.
+		{"SELECT id FROM item WHERE id > 0 ORDER BY id LIMIT 3", nil},
+		{"SELECT id FROM item WHERE id > 0 ORDER BY id LIMIT 3 OFFSET 2", nil},
+		{"SELECT id FROM item WHERE id > 0 ORDER BY id LIMIT 100 OFFSET 11", nil},
+		{"SELECT id FROM item ORDER BY id LIMIT 0", nil},
+		// Statements the compiler rejects: both paths interpret, must agree.
+		{"SELECT DISTINCT subject FROM item WHERE subject IS NOT NULL ORDER BY subject", nil},
+		{"SELECT subject, COUNT(*) AS n FROM item GROUP BY subject ORDER BY subject", nil},
+		{"SELECT MAX(cost) AS top FROM item", nil},
+		// Error cases: identical error text on every path.
+		{"SELECT id FROM item WHERE title > 5", nil},
+		{"SELECT id FROM item WHERE qty + title = 3", nil},
+		{"SELECT id FROM item WHERE id = ?", nil}, // missing parameter
+		{"SELECT id FROM item WHERE subject LIKE 5", nil},
+	}
+	for _, c := range corpus {
+		assertDiff(t, e, c.sql, c.params...)
+	}
+}
+
+// TestCompiledDifferentialRandom fuzzes randomly generated WHERE clauses and
+// projections through all three execution paths with a deterministic seed.
+func TestCompiledDifferentialRandom(t *testing.T) {
+	e := diffEngine(t)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+
+	cols := []string{"id", "title", "cost", "qty", "subject"}
+	consts := []string{"0", "3", "-3", "5.0", "'HISTORY'", "'alpha'", "''", "NULL", "100.25", "9"}
+	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
+
+	var genPred func(depth int) string
+	genPred = func(depth int) string {
+		if depth > 2 || rng.Intn(3) == 0 {
+			col := cols[rng.Intn(len(cols))]
+			switch rng.Intn(6) {
+			case 0:
+				return fmt.Sprintf("%s %s %s", col, cmps[rng.Intn(len(cmps))], consts[rng.Intn(len(consts))])
+			case 1:
+				return fmt.Sprintf("%s IS NULL", col)
+			case 2:
+				return fmt.Sprintf("%s IS NOT NULL", col)
+			case 3:
+				return fmt.Sprintf("%s BETWEEN %d AND %d", col, rng.Intn(6)-3, rng.Intn(10))
+			case 4:
+				return fmt.Sprintf("%s IN (%s, %s)", col, consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+			default:
+				return fmt.Sprintf("title LIKE '%%%c%%'", 'a'+rune(rng.Intn(26)))
+			}
+		}
+		op := "AND"
+		if rng.Intn(2) == 0 {
+			op = "OR"
+		}
+		l, r := genPred(depth+1), genPred(depth+1)
+		if rng.Intn(4) == 0 {
+			return fmt.Sprintf("NOT (%s %s %s)", l, op, r)
+		}
+		return fmt.Sprintf("(%s %s %s)", l, op, r)
+	}
+
+	genProj := func() string {
+		switch rng.Intn(4) {
+		case 0:
+			return "*"
+		case 1:
+			return cols[rng.Intn(len(cols))]
+		case 2:
+			a, b := cols[rng.Intn(len(cols))], cols[rng.Intn(len(cols))]
+			return fmt.Sprintf("%s, %s", a, b)
+		default:
+			return "id, cost * 2.0 AS c2, qty"
+		}
+	}
+
+	for i := 0; i < 400; i++ {
+		sql := fmt.Sprintf("SELECT %s FROM item WHERE %s", genProj(), genPred(0))
+		if rng.Intn(2) == 0 {
+			sql += " ORDER BY id"
+			if rng.Intn(2) == 0 {
+				sql += " DESC"
+			}
+		}
+		if rng.Intn(3) == 0 {
+			sql += fmt.Sprintf(" LIMIT %d", rng.Intn(6))
+			if rng.Intn(2) == 0 {
+				sql += fmt.Sprintf(" OFFSET %d", rng.Intn(4))
+			}
+		}
+		assertDiff(t, e, sql)
+	}
+}
+
+// TestCompiledPointReadZeroAllocs enforces the allocation budget of the
+// tentpole: a compiled point read through a recycled read-only transaction
+// must not allocate at all in steady state.
+func TestCompiledPointReadZeroAllocs(t *testing.T) {
+	e := diffEngine(t)
+	defer e.Close()
+	stmt, err := Parse("SELECT title FROM item WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	params := []Value{NewInt(1)}
+	run := func() {
+		tx, err := e.BeginReadOnly("app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.ExecStmtInto(&res, stmt, params...); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ { // warm plan memo, txn pool, scratch buffers
+		run()
+	}
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Fatalf("compiled point read allocates %.1f objects/op, budget is 0", allocs)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "alpha" {
+		t.Fatalf("unexpected result %v", res.Rows)
+	}
+}
+
+// TestCompiledExplainExecMode checks that EXPLAIN reports the executor that
+// will actually serve the statement.
+func TestCompiledExplainExecMode(t *testing.T) {
+	e := diffEngine(t)
+	defer e.Close()
+	cases := []struct {
+		sql    string
+		access string
+		exec   string
+	}{
+		{"EXPLAIN SELECT title FROM item WHERE id = 1", "point", "exec=compiled"},
+		{"EXPLAIN SELECT id FROM item WHERE subject = 'ART'", "index", "exec=compiled"},
+		{"EXPLAIN SELECT id FROM item WHERE id > 3", "range", "exec=compiled"},
+		{"EXPLAIN SELECT id FROM item WHERE title LIKE '%a%'", "scan", "exec=compiled"},
+		{"EXPLAIN SELECT subject, COUNT(*) AS n FROM item GROUP BY subject", "", "exec=interpreted"},
+	}
+	for _, c := range cases {
+		res := mustExec(t, e, c.sql)
+		if len(res.Rows) == 0 {
+			t.Fatalf("%q: no explain rows", c.sql)
+		}
+		row := fmt.Sprint(res.Rows[0])
+		if c.access != "" && !strings.Contains(row, c.access) {
+			t.Errorf("%q: access %q not in %s", c.sql, c.access, row)
+		}
+		if !strings.Contains(row, c.exec) {
+			t.Errorf("%q: %q not in %s", c.sql, c.exec, row)
+		}
+	}
+}
+
+// TestCompiledStatementCounters checks the observability wiring: compiling a
+// plan bumps plan_compile_total, compiled execution bumps compiled_exec_total
+// and the optimistic hit counter.
+func TestCompiledStatementCounters(t *testing.T) {
+	e := diffEngine(t)
+	defer e.Close()
+	before := e.Stats()
+	tx, err := e.BeginReadOnly("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("SELECT title FROM item WHERE id = 4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats()
+	if after.CompiledExecs <= before.CompiledExecs {
+		t.Errorf("compiled_exec_total did not advance: %d -> %d", before.CompiledExecs, after.CompiledExecs)
+	}
+	if after.OptimisticHits <= before.OptimisticHits {
+		t.Errorf("readpath_optimistic_hits did not advance: %d -> %d", before.OptimisticHits, after.OptimisticHits)
+	}
+	if after.PlanCompiles == 0 {
+		t.Error("plan_compile_total is zero after compiling plans")
+	}
+	if after.StmtExecs <= before.StmtExecs {
+		t.Errorf("stmt_exec_total did not advance: %d -> %d", before.StmtExecs, after.StmtExecs)
+	}
+}
+
+// TestReadOnlyTxnRejectsWrites pins the read-only transaction contract.
+func TestReadOnlyTxnRejectsWrites(t *testing.T) {
+	e := diffEngine(t)
+	defer e.Close()
+	tx, err := e.BeginReadOnly("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tx.Rollback() }()
+	if _, err := tx.Exec("UPDATE item SET qty = 1 WHERE id = 1"); !errors.Is(err, ErrReadOnlyTxn) {
+		t.Fatalf("UPDATE in read-only txn: err=%v, want ErrReadOnlyTxn", err)
+	}
+	if _, err := tx.Exec("SELECT id FROM item WHERE id = 1"); err != nil {
+		t.Fatalf("SELECT after rejected write: %v", err)
+	}
+}
+
+// TestOptimisticReadRaceStress races optimistic read-only transactions
+// against writers that continuously update, insert, and delete rows. Run
+// with -race this exercises the epoch/dirty validation protocol: readers
+// must always observe committed images (qty is only ever written as an even
+// number, so an odd qty means a torn or uncommitted read).
+func TestOptimisticReadRaceStress(t *testing.T) {
+	e := newTestDB(t)
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE acct (id INT PRIMARY KEY, qty INT, tag TEXT)")
+	mustExec(t, e, "CREATE INDEX idx_tag ON acct (tag)")
+	const nRows = 32
+	for i := 0; i < nRows; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO acct VALUES (%d, 0, 'tag%d')", i, i%4))
+	}
+
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	var conflicts, reads atomic.Uint64
+
+	// Writers: bump qty by 2 (keeping it even), plus insert/delete churn in
+	// a high key range the readers' range queries cover.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 99))
+			for i := 0; i < iters; i++ {
+				id := rng.Intn(nRows)
+				if _, err := e.Exec("app",
+					"UPDATE acct SET qty = qty + 2 WHERE id = ?", NewInt(int64(id))); err != nil && !isAbortError(err) {
+					t.Errorf("writer: %v", err)
+					return
+				}
+				hi := int64(1000 + rng.Intn(16))
+				_, _ = e.Exec("app", "INSERT INTO acct VALUES (?, 2, 'hot')", NewInt(hi))
+				_, _ = e.Exec("app", "DELETE FROM acct WHERE id = ?", NewInt(hi))
+			}
+		}(w)
+	}
+
+	// Readers: point, index-eq, and range statements on the optimistic path.
+	queries := []string{
+		"SELECT qty FROM acct WHERE id = 5",
+		"SELECT id, qty FROM acct WHERE tag = 'tag1'",
+		"SELECT id, qty FROM acct WHERE id >= 0 AND id < 2000 ORDER BY id",
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := e.BeginReadOnly("app")
+				if err != nil {
+					t.Errorf("reader begin: %v", err)
+					return
+				}
+				res, err := tx.Exec(queries[r%len(queries)])
+				if err != nil {
+					_ = tx.Rollback()
+					if errors.Is(err, ErrOptimisticConflict) {
+						conflicts.Add(1)
+						continue
+					}
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("reader commit: %v", err)
+					return
+				}
+				reads.Add(1)
+				for _, row := range res.Rows {
+					qty := row[len(row)-1]
+					if qty.Typ == TypeInt && qty.Int%2 != 0 {
+						t.Errorf("reader observed odd qty %d: torn or uncommitted read", qty.Int)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// One DDL goroutine invalidates cached plans underneath the readers.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		if _, err := e.Exec("app", "CREATE INDEX idx_qty ON acct (qty)"); err != nil {
+			t.Errorf("ddl: %v", err)
+			return
+		}
+		for i := 0; i < iters/100; i++ {
+			if _, err := e.Exec("app", "CREATE TABLE scratch (id INT PRIMARY KEY)"); err != nil {
+				t.Errorf("ddl: %v", err)
+				return
+			}
+			if _, err := e.Exec("app", "DROP TABLE scratch"); err != nil {
+				t.Errorf("ddl: %v", err)
+				return
+			}
+			if _, err := e.Exec("app", "SELECT id FROM acct WHERE qty = 0"); err != nil {
+				t.Errorf("ddl probe: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writers and DDL run a fixed iteration count; readers loop until told
+	// to stop, so they overlap every write and every invalidation.
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if reads.Load() == 0 {
+		t.Fatal("no successful optimistic reads")
+	}
+	st := e.Stats()
+	if st.OptimisticHits == 0 {
+		t.Error("stress run never took the optimistic fast path")
+	}
+	t.Logf("reads=%d conflicts=%d hits=%d retries=%d fallbacks=%d",
+		reads.Load(), conflicts.Load(), st.OptimisticHits, st.OptimisticRetries, st.OptimisticFallbacks)
+}

@@ -52,28 +52,7 @@ func evalExpr(e Expr, ctx *evalCtx) (Value, error) {
 		if err != nil {
 			return Null, err
 		}
-		switch ex.Op {
-		case OpNot:
-			if v.IsNull() {
-				return Null, nil
-			}
-			if v.Typ != TypeBool {
-				return Null, fmt.Errorf("%w: NOT applied to %s", ErrTypeMismatch, v.Typ)
-			}
-			return NewBool(!v.Bool), nil
-		case OpNeg:
-			switch v.Typ {
-			case TypeNull:
-				return Null, nil
-			case TypeInt:
-				return NewInt(-v.Int), nil
-			case TypeFloat:
-				return NewFloat(-v.Float), nil
-			default:
-				return Null, fmt.Errorf("%w: unary minus applied to %s", ErrTypeMismatch, v.Typ)
-			}
-		}
-		return Null, fmt.Errorf("sqldb: unknown unary operator")
+		return applyUnary(ex.Op, v)
 	case *InExpr:
 		v, err := evalExpr(ex.E, ctx)
 		if err != nil {
@@ -113,14 +92,7 @@ func evalExpr(e Expr, ctx *evalCtx) (Value, error) {
 		if err != nil {
 			return Null, err
 		}
-		if v.IsNull() || lo.IsNull() || hi.IsNull() {
-			return Null, nil
-		}
-		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
-		if ex.Negate {
-			in = !in
-		}
-		return NewBool(in), nil
+		return applyBetween(v, lo, hi, ex.Negate), nil
 	case *LikeExpr:
 		v, err := evalExpr(ex.E, ctx)
 		if err != nil {
@@ -130,17 +102,7 @@ func evalExpr(e Expr, ctx *evalCtx) (Value, error) {
 		if err != nil {
 			return Null, err
 		}
-		if v.IsNull() || p.IsNull() {
-			return Null, nil
-		}
-		if v.Typ != TypeText || p.Typ != TypeText {
-			return Null, fmt.Errorf("%w: LIKE wants TEXT operands", ErrTypeMismatch)
-		}
-		m := likeMatch(v.Str, p.Str)
-		if ex.Negate {
-			m = !m
-		}
-		return NewBool(m), nil
+		return applyLike(v, p, ex.Negate)
 	case *IsNullExpr:
 		v, err := evalExpr(ex.E, ctx)
 		if err != nil {
@@ -159,41 +121,6 @@ func evalExpr(e Expr, ctx *evalCtx) (Value, error) {
 }
 
 func evalBinary(ex *BinaryExpr, ctx *evalCtx) (Value, error) {
-	// AND/OR need lazy three-valued evaluation.
-	if ex.Op == OpAnd || ex.Op == OpOr {
-		l, err := evalExpr(ex.L, ctx)
-		if err != nil {
-			return Null, err
-		}
-		r, err := evalExpr(ex.R, ctx)
-		if err != nil {
-			return Null, err
-		}
-		lt, lk := boolState(l)
-		rt, rk := boolState(r)
-		if !lk || !rk {
-			return Null, fmt.Errorf("%w: %s applied to non-boolean", ErrTypeMismatch, ex.Op)
-		}
-		if ex.Op == OpAnd {
-			switch {
-			case lt == tvFalse || rt == tvFalse:
-				return NewBool(false), nil
-			case lt == tvNull || rt == tvNull:
-				return Null, nil
-			default:
-				return NewBool(true), nil
-			}
-		}
-		switch {
-		case lt == tvTrue || rt == tvTrue:
-			return NewBool(true), nil
-		case lt == tvNull || rt == tvNull:
-			return Null, nil
-		default:
-			return NewBool(false), nil
-		}
-	}
-
 	l, err := evalExpr(ex.L, ctx)
 	if err != nil {
 		return Null, err
@@ -202,18 +129,58 @@ func evalBinary(ex *BinaryExpr, ctx *evalCtx) (Value, error) {
 	if err != nil {
 		return Null, err
 	}
+	// AND/OR need three-valued evaluation before the NULL short-circuit.
+	if ex.Op == OpAnd || ex.Op == OpOr {
+		return applyBoolPair(ex.Op, l, r)
+	}
+	return applyBinary(ex.Op, l, r)
+}
+
+// applyBoolPair combines two already-evaluated operands under AND/OR
+// three-valued logic. Shared by the tree-walking evaluator and the compiled
+// expression closures so both paths have identical semantics.
+func applyBoolPair(op BinOp, l, r Value) (Value, error) {
+	lt, lk := boolState(l)
+	rt, rk := boolState(r)
+	if !lk || !rk {
+		return Null, fmt.Errorf("%w: %s applied to non-boolean", ErrTypeMismatch, op)
+	}
+	if op == OpAnd {
+		switch {
+		case lt == tvFalse || rt == tvFalse:
+			return NewBool(false), nil
+		case lt == tvNull || rt == tvNull:
+			return Null, nil
+		default:
+			return NewBool(true), nil
+		}
+	}
+	switch {
+	case lt == tvTrue || rt == tvTrue:
+		return NewBool(true), nil
+	case lt == tvNull || rt == tvNull:
+		return Null, nil
+	default:
+		return NewBool(false), nil
+	}
+}
+
+// applyBinary applies a comparison or arithmetic operator to two
+// already-evaluated operands. Shared by the tree-walking evaluator and the
+// compiled expression closures.
+func applyBinary(op BinOp, l, r Value) (Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return Null, nil
 	}
 
-	switch ex.Op {
+	switch op {
 	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
 		if !comparable(l, r) {
 			return Null, fmt.Errorf("%w: cannot compare %s with %s", ErrTypeMismatch, l.Typ, r.Typ)
 		}
 		c := Compare(l, r)
 		var out bool
-		switch ex.Op {
+		switch op {
 		case OpEq:
 			out = c == 0
 		case OpNe:
@@ -232,8 +199,8 @@ func evalBinary(ex *BinaryExpr, ctx *evalCtx) (Value, error) {
 		if !l.numeric() || !r.numeric() {
 			return Null, fmt.Errorf("%w: arithmetic on %s and %s", ErrTypeMismatch, l.Typ, r.Typ)
 		}
-		if l.Typ == TypeInt && r.Typ == TypeInt && ex.Op != OpDiv {
-			switch ex.Op {
+		if l.Typ == TypeInt && r.Typ == TypeInt && op != OpDiv {
+			switch op {
 			case OpAdd:
 				return NewInt(l.Int + r.Int), nil
 			case OpSub:
@@ -243,7 +210,7 @@ func evalBinary(ex *BinaryExpr, ctx *evalCtx) (Value, error) {
 			}
 		}
 		lf, rf := l.AsFloat(), r.AsFloat()
-		switch ex.Op {
+		switch op {
 		case OpAdd:
 			return NewFloat(lf + rf), nil
 		case OpSub:
@@ -257,7 +224,61 @@ func evalBinary(ex *BinaryExpr, ctx *evalCtx) (Value, error) {
 			return NewFloat(lf / rf), nil
 		}
 	}
-	return Null, fmt.Errorf("sqldb: unknown binary operator %s", ex.Op)
+	return Null, fmt.Errorf("sqldb: unknown binary operator %s", op)
+}
+
+// applyUnary applies NOT or unary minus to an already-evaluated operand.
+// Shared by the tree-walking evaluator and the compiled expression closures.
+func applyUnary(op UnOp, v Value) (Value, error) {
+	switch op {
+	case OpNot:
+		if v.IsNull() {
+			return Null, nil
+		}
+		if v.Typ != TypeBool {
+			return Null, fmt.Errorf("%w: NOT applied to %s", ErrTypeMismatch, v.Typ)
+		}
+		return NewBool(!v.Bool), nil
+	case OpNeg:
+		switch v.Typ {
+		case TypeNull:
+			return Null, nil
+		case TypeInt:
+			return NewInt(-v.Int), nil
+		case TypeFloat:
+			return NewFloat(-v.Float), nil
+		default:
+			return Null, fmt.Errorf("%w: unary minus applied to %s", ErrTypeMismatch, v.Typ)
+		}
+	}
+	return Null, fmt.Errorf("sqldb: unknown unary operator")
+}
+
+// applyBetween applies BETWEEN three-valued logic to evaluated operands.
+func applyBetween(v, lo, hi Value, negate bool) Value {
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return Null
+	}
+	in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+	if negate {
+		in = !in
+	}
+	return NewBool(in)
+}
+
+// applyLike applies LIKE three-valued logic to evaluated operands.
+func applyLike(v, p Value, negate bool) (Value, error) {
+	if v.IsNull() || p.IsNull() {
+		return Null, nil
+	}
+	if v.Typ != TypeText || p.Typ != TypeText {
+		return Null, fmt.Errorf("%w: LIKE wants TEXT operands", ErrTypeMismatch)
+	}
+	m := likeMatch(v.Str, p.Str)
+	if negate {
+		m = !m
+	}
+	return NewBool(m), nil
 }
 
 // comparable reports whether two non-null values can be ordered.

@@ -27,8 +27,19 @@ func (t *Txn) lockRow(tbl *Table, key string, mode LockMode) error {
 // execute dispatches a parsed statement. The transaction's state has already
 // been validated by the caller. plan, when non-nil, carries the cached
 // access-path plan for the statement; executors re-validate it against the
-// resolved table and re-plan ad hoc if it is stale.
-func (e *Engine) execute(t *Txn, stmt Statement, plan *stmtPlan, params []Value) (*Result, error) {
+// resolved table and re-plan ad hoc if it is stale. reuse, when non-nil, is a
+// caller-owned Result the compiled path may fill in place.
+func (e *Engine) execute(t *Txn, stmt Statement, plan *stmtPlan, params []Value, reuse *Result) (*Result, error) {
+	if !e.recovering.Load() {
+		e.statStmtExecs.Add(1)
+	}
+	if t.readOnly {
+		switch stmt.(type) {
+		case *SelectStmt, *ExplainStmt, *BeginStmt, *CommitStmt, *RollbackStmt:
+		default:
+			return nil, fmt.Errorf("%w: %T", ErrReadOnlyTxn, stmt)
+		}
+	}
 	var access *accessPath
 	if plan != nil {
 		access = plan.access
@@ -59,6 +70,15 @@ func (e *Engine) execute(t *Txn, stmt Statement, plan *stmtPlan, params []Value)
 		var sel *selPlan
 		if plan != nil {
 			sel = plan.sel
+		}
+		if plan != nil && plan.compiled != nil {
+			res, handled, err := e.execCompiled(t, plan.compiled, params, reuse)
+			if handled {
+				if err == nil {
+					e.statCompiledExecs.Add(1)
+				}
+				return res, err
+			}
 		}
 		return e.execSelect(t, s, access, sel, params)
 	case *ExplainStmt:
@@ -217,6 +237,9 @@ func (e *Engine) execInsert(t *Txn, s *InsertStmt, params []Value) (*Result, err
 	if err := t.lockTable(tbl, tableMode); err != nil {
 		return nil, err
 	}
+	// Raise the dirty-writer mark before the first physical change so
+	// optimistic readers never trust row images this transaction is adding.
+	t.touchWrite(tbl)
 
 	ctx := &evalCtx{params: params}
 	affected := 0
@@ -288,6 +311,9 @@ func (e *Engine) execUpdate(t *Txn, s *UpdateStmt, access *accessPath, params []
 	if err != nil {
 		return nil, err
 	}
+	if len(targets) > 0 {
+		t.touchWrite(tbl)
+	}
 
 	affected := 0
 	for _, target := range targets {
@@ -332,6 +358,9 @@ func (e *Engine) execDelete(t *Txn, s *DeleteStmt, access *accessPath, params []
 	targets, err := e.writeTargets(t, tbl, s.Where, params, bindings, access)
 	if err != nil {
 		return nil, err
+	}
+	if len(targets) > 0 {
+		t.touchWrite(tbl)
 	}
 	for _, target := range targets {
 		tbl.deleteRowPhysical(target.rowID)
@@ -675,7 +704,11 @@ func (e *Engine) selectSource(t *Txn, s *SelectStmt, access *accessPath, params 
 	}
 	consumed := make([]bool, len(conjuncts))
 
-	current, err := e.readScan(t, baseTbl, pushdownFilter(conjuncts, consumed, baseBind), params, baseBind)
+	// Each pushed filter goes through the access-path planner, so an
+	// equality on an indexed column reads only the matching rows instead of
+	// scanning the table (the order_line side of TPC-W's order-status join).
+	basePush := pushdownFilter(conjuncts, consumed, baseBind)
+	current, err := e.readTableRows(t, baseTbl, basePush, params, baseBind, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -691,7 +724,7 @@ func (e *Engine) selectSource(t *Txn, s *SelectStmt, access *accessPath, params 
 		if !j.Left {
 			rightFilter = pushdownFilter(conjuncts, consumed, rightBind)
 		}
-		right, err := e.readScan(t, jt, rightFilter, params, rightBind)
+		right, err := e.readTableRows(t, jt, rightFilter, params, rightBind, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -806,8 +839,71 @@ func (e *Engine) readTableRows(t *Txn, tbl *Table, where Expr, params []Value, b
 	return e.readScan(t, tbl, where, params, bindings)
 }
 
+// rowCheck re-validates a candidate row after its lock was acquired,
+// reporting whether the row should be kept.
+type rowCheck func(Row) (bool, error)
+
+// fetchCheckedRow fetches a row by ID (after its lock is held) and applies
+// check. keep=false when the row vanished or no longer matches.
+func fetchCheckedRow(tbl *Table, id uint64, check rowCheck) (row Row, keep bool, err error) {
+	row, found := tbl.getRow(id)
+	if !found {
+		return nil, false, nil
+	}
+	if check != nil {
+		ok, err := check(row)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	return row, true, nil
+}
+
+// collectLockedRows is the shared row-collection loop of the index-equality,
+// index-range and compiled read paths: S-lock each candidate by its primary
+// key, re-fetch under the lock (the row may have changed or vanished while
+// unlocked), and keep the rows that still pass check.
+func (e *Engine) collectLockedRows(t *Txn, tbl *Table, ids []uint64, check rowCheck) ([]Row, error) {
+	pkIdx := tbl.schema.PKIdx
+	var out []Row
+	for _, id := range ids {
+		row, found := tbl.getRow(id)
+		if !found {
+			continue
+		}
+		key := keyString(row[pkIdx])
+		if err := t.lockRow(tbl, key, LockS); err != nil {
+			return nil, err
+		}
+		e.record(t, false, tbl.qname+":"+key)
+		row, keep, err := fetchCheckedRow(tbl, id, check)
+		if err != nil {
+			return nil, err
+		}
+		if !keep {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// residualCheck builds a rowCheck for an access path's residual predicate,
+// or nil when there is none.
+func residualCheck(path *accessPath, bindings []colBinding, params []Value) rowCheck {
+	if path.residual == nil {
+		return nil
+	}
+	ctx := &evalCtx{bindings: bindings, params: params}
+	return func(row Row) (bool, error) {
+		ctx.row = row
+		return predTrue(path.residual, ctx)
+	}
+}
+
 // readPoint serves a primary-key equality read: IS table lock plus one row
-// S lock.
+// S lock. The key itself is locked (not the row ID), so the lock also guards
+// the key's absence against concurrent inserts.
 func (e *Engine) readPoint(t *Txn, tbl *Table, params []Value, bindings []colBinding, path *accessPath) ([]Row, error) {
 	pkVal, err := evalConst(path.eq, params)
 	if err != nil {
@@ -825,18 +921,9 @@ func (e *Engine) readPoint(t *Txn, tbl *Table, params []Value, bindings []colBin
 	if !found {
 		return nil, nil
 	}
-	row, found := tbl.getRow(rowID)
-	if !found {
-		return nil, nil
-	}
-	if path.residual != nil {
-		match, err := predTrue(path.residual, &evalCtx{bindings: bindings, row: row, params: params})
-		if err != nil {
-			return nil, err
-		}
-		if !match {
-			return nil, nil
-		}
+	row, keep, err := fetchCheckedRow(tbl, rowID, residualCheck(path, bindings, params))
+	if err != nil || !keep {
+		return nil, err
 	}
 	return []Row{row}, nil
 }
@@ -852,40 +939,16 @@ func (e *Engine) readIndexEq(t *Txn, tbl *Table, params []Value, bindings []colB
 		return nil, err
 	}
 	ids, _ := tbl.lookupIndex(path.col, val)
-	pkIdx := tbl.schema.PKIdx
-	ctx := &evalCtx{bindings: bindings, params: params}
-	var out []Row
-	for _, id := range ids {
-		row, found := tbl.getRow(id)
-		if !found {
-			continue
-		}
-		key := keyString(row[pkIdx])
-		if err := t.lockRow(tbl, key, LockS); err != nil {
-			return nil, err
-		}
-		e.record(t, false, tbl.qname+":"+key)
-		// Re-fetch after locking; the row may have changed.
-		row, found = tbl.getRow(id)
-		if !found {
-			continue
-		}
+	residual := residualCheck(path, bindings, params)
+	return e.collectLockedRows(t, tbl, ids, func(row Row) (bool, error) {
 		if !Equal(row[path.colIdx], val) {
-			continue
+			return false, nil
 		}
-		if path.residual != nil {
-			ctx.row = row
-			match, err := predTrue(path.residual, ctx)
-			if err != nil {
-				return nil, err
-			}
-			if !match {
-				continue
-			}
+		if residual != nil {
+			return residual(row)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return true, nil
+	})
 }
 
 // readIndexRange serves a range read over the primary key or a secondary
@@ -901,39 +964,16 @@ func (e *Engine) readIndexRange(t *Txn, tbl *Table, b rangeBounds, params []Valu
 	} else {
 		ids, _ = tbl.lookupIndexRange(path.col, b)
 	}
-	pkIdx := tbl.schema.PKIdx
-	ctx := &evalCtx{bindings: bindings, params: params}
-	var out []Row
-	for _, id := range ids {
-		row, found := tbl.getRow(id)
-		if !found {
-			continue
-		}
-		key := keyString(row[pkIdx])
-		if err := t.lockRow(tbl, key, LockS); err != nil {
-			return nil, err
-		}
-		e.record(t, false, tbl.qname+":"+key)
-		row, found = tbl.getRow(id)
-		if !found {
-			continue
-		}
+	residual := residualCheck(path, bindings, params)
+	return e.collectLockedRows(t, tbl, ids, func(row Row) (bool, error) {
 		if !b.match(row[path.colIdx]) {
-			continue
+			return false, nil
 		}
-		if path.residual != nil {
-			ctx.row = row
-			match, err := predTrue(path.residual, ctx)
-			if err != nil {
-				return nil, err
-			}
-			if !match {
-				continue
-			}
+		if residual != nil {
+			return residual(row)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return true, nil
+	})
 }
 
 // readScan reads every row matching where under a shared table lock, with

@@ -29,7 +29,7 @@ func (e *Engine) execExplain(t *Txn, s *ExplainStmt, params []Value) (*Result, e
 		}
 		if len(inner.Joins) == 0 {
 			access, detail := e.explainAccess(tbl, inner.Where, params)
-			add(tbl.Name(), access, detail)
+			add(tbl.Name(), access, detail+" exec="+explainExecMode(tbl, inner))
 			return res, nil
 		}
 		add(tbl.Name(), "scan", "join build side")
@@ -87,6 +87,22 @@ func (e *Engine) execExplain(t *Txn, s *ExplainStmt, params []Value) (*Result, e
 	default:
 		return nil, fmt.Errorf("sqldb: EXPLAIN supports SELECT/INSERT/UPDATE/DELETE, not %T", s.Inner)
 	}
+}
+
+// explainExecMode reports whether a single-table SELECT would execute on the
+// compiled closure pipeline or fall back to the tree-walking interpreter, by
+// attempting the same compilation the planner performs.
+func explainExecMode(tbl *Table, s *SelectStmt) string {
+	bind := bindingsFor(tbl.schema, s.From.Name())
+	if validateSelect(s, bind) == nil {
+		if items, cols, err := expandStars(s.Items, bind); err == nil {
+			sel := &selPlan{items: items, cols: cols}
+			if compileSelect(tbl, s, sel, planWhere(tbl, s.Where)) != nil {
+				return "compiled"
+			}
+		}
+	}
+	return "interpreted"
 }
 
 // explainAccess mirrors the executor's access-path choice for one table by

@@ -75,6 +75,12 @@ type stmtPlan struct {
 	tables []string // lower-cased referenced table names
 	access *accessPath
 	sel    *selPlan
+
+	// compiled is the closure-compiled form of a single-table SELECT, nil
+	// when the statement is outside the compiler's coverage. It lives and
+	// dies with the plan: DDL bumps the cache generation, the stale plan is
+	// re-derived, and the compiled form is rebuilt against the new schema.
+	compiled *compiledSelect
 }
 
 // selPlan is the reusable projection of a single-table SELECT: the statement
@@ -116,6 +122,10 @@ func planStatement(e *Engine, db string, stmt Statement) (*stmtPlan, bool) {
 			if validateSelect(s, bind) == nil {
 				if items, cols, err := expandStars(s.Items, bind); err == nil {
 					plan.sel = &selPlan{items: items, cols: cols}
+					if cs := compileSelect(tbl, s, plan.sel, plan.access); cs != nil {
+						plan.compiled = cs
+						e.statPlanCompiles.Add(1)
+					}
 				}
 			}
 		}

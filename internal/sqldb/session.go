@@ -57,7 +57,7 @@ func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
 	}
 
 	if s.txn != nil {
-		res, err := s.txn.execPlanned(stmt, plan, params)
+		res, err := s.txn.execPlanned(stmt, plan, params, nil)
 		if err != nil && isAbortError(err) {
 			// The engine rolled the transaction back (deadlock victim or
 			// timeout); the session's transaction is gone.
@@ -66,12 +66,20 @@ func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
 		return res, err
 	}
 
-	// Autocommit.
-	txn, err := s.engine.Begin(s.db)
+	// Autocommit. A single SELECT (or EXPLAIN) is its own read-only
+	// transaction, so it may use the optimistic lock-free read path; with no
+	// other statement in the transaction its validation cannot conflict.
+	var txn *Txn
+	switch stmt.(type) {
+	case *SelectStmt, *ExplainStmt:
+		txn, err = s.engine.BeginReadOnly(s.db)
+	default:
+		txn, err = s.engine.Begin(s.db)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := txn.execPlanned(stmt, plan, params)
+	res, err := txn.execPlanned(stmt, plan, params, nil)
 	if err != nil {
 		_ = txn.Rollback()
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,6 +59,20 @@ type Table struct {
 	liveRows  int
 	byteSize  int64
 	version   uint64 // bumped on every page rewrite, for pool coherence
+
+	// epoch counts physical row mutations (insert/delete/update). Optimistic
+	// readers load it before and after their latched reads: an unchanged
+	// epoch proves no writer committed a row change in between, so the reads
+	// are consistent without lock-manager involvement. Bumped with t.mu held;
+	// read without it.
+	epoch atomic.Uint64
+
+	// dirty counts transactions holding uncommitted physical changes to this
+	// table (raised before a transaction's first change, dropped once its
+	// outcome — including any undo — is fully applied). Optimistic readers
+	// require dirty == 0 before trusting an epoch-validated read: physical
+	// row images with a writer in flight may be uncommitted.
+	dirty atomic.Int64
 }
 
 func newTable(e *Engine, qname string, schema *Schema) *Table {
@@ -257,6 +272,7 @@ func (t *Table) allocRowID() uint64 {
 func (t *Table) insertRowPhysical(rowID uint64, r Row) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.epoch.Add(1)
 	t.tail = append(t.tail, pageSlot{rowID: rowID, row: r.Clone()})
 	t.loc[rowID] = rowLoc{page: -1, slot: len(t.tail) - 1}
 	if t.pk != nil {
@@ -305,6 +321,7 @@ func (t *Table) deleteRowPhysical(rowID uint64) {
 	if !ok {
 		return
 	}
+	t.epoch.Add(1)
 	var old Row
 	if l.page == -1 {
 		old = t.tail[l.slot].row
@@ -342,6 +359,7 @@ func (t *Table) updateRowPhysical(rowID uint64, newRow Row) {
 	if !ok {
 		return
 	}
+	t.epoch.Add(1)
 	var old Row
 	if l.page == -1 {
 		old = t.tail[l.slot].row
@@ -395,6 +413,86 @@ func (t *Table) rewritePageLocked(page int, slots []pageSlot) {
 		t.loc[s.rowID] = rowLoc{page: page, slot: i}
 	}
 	t.engine.pool.Put(t.pageKey(page), slots)
+}
+
+// appendKey appends keyString(v) to buf, avoiding allocation for the common
+// integer- and text-valued cases so hot paths can reuse one scratch buffer.
+func appendKey(buf []byte, v Value) []byte {
+	switch v.Typ {
+	case TypeInt:
+		if v.Int >= -maxExactInt && v.Int <= maxExactInt {
+			return strconv.AppendInt(buf, v.Int, 10)
+		}
+	case TypeFloat:
+		if i := int64(v.Float); float64(i) == v.Float && i >= -maxExactInt && i <= maxExactInt {
+			return strconv.AppendInt(buf, i, 10)
+		}
+	case TypeText:
+		if !containsQuote(v.Str) {
+			buf = append(buf, '\'')
+			buf = append(buf, v.Str...)
+			return append(buf, '\'')
+		}
+	}
+	return append(buf, keyString(v)...)
+}
+
+func containsQuote(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			return true
+		}
+	}
+	return false
+}
+
+// readPKRowInto looks up a primary-key row and copies its values into dst
+// under a single latch acquisition, returning the (possibly grown)
+// destination slice, the rowID, and whether the key exists. key is the
+// canonical keyString form as raw bytes so hot callers can reuse one scratch
+// buffer — indexing the map with string(key) does not allocate.
+func (t *Table) readPKRowInto(key []byte, dst Row) (Row, uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pk == nil {
+		return dst, 0, false
+	}
+	id, ok := t.pk[string(key)]
+	if !ok {
+		return dst, 0, false
+	}
+	l, ok := t.loc[id]
+	if !ok {
+		return dst, 0, false
+	}
+	var src Row
+	if l.page == -1 {
+		src = t.tail[l.slot].row
+	} else {
+		src = t.decodePageLocked(l.page)[l.slot].row
+	}
+	return append(dst[:0], src...), id, true
+}
+
+// getRowsBatch appends clones of the rows with the given IDs to dst under a
+// single latch acquisition, skipping IDs that no longer exist. Optimistic
+// readers pair it with an epoch validation; locking readers call it only
+// after the row locks are held.
+func (t *Table) getRowsBatch(ids []uint64, dst []Row) []Row {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, id := range ids {
+		l, ok := t.loc[id]
+		if !ok {
+			continue
+		}
+		if l.page == -1 {
+			dst = append(dst, t.tail[l.slot].row.Clone())
+		} else {
+			dst = append(dst, t.decodePageLocked(l.page)[l.slot].row.Clone())
+		}
+	}
+	return dst
 }
 
 // getRow returns a copy of the row with the given ID, or ok=false.
