@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo bench bench-sqldb bench-wal bench-gate experiments clean
+.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo net-demo bench bench-sqldb bench-wal bench-net bench-gate experiments clean
 
 all: build test
 
@@ -13,10 +13,11 @@ test:
 # Race-detector pass over the packages with lock-sensitive hot paths: the
 # query engine (plan cache, striped buffer pool, lock manager, optimistic
 # read validation), the cluster controller (2PC, replica management), the
-# write-ahead log's group-commit pipeline, and the TPC-W client whose
-# read-only profiles drive the optimistic path concurrently.
+# write-ahead log's group-commit pipeline, the TPC-W client whose
+# read-only profiles drive the optimistic path concurrently, and the wire
+# protocol's pipelined sessions (multiplexed client pool vs concurrent DDL).
 race:
-	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/wal/... ./internal/tpcw/...
+	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/wal/... ./internal/tpcw/... ./internal/wire/...
 
 # vet also smoke-tests the wait-free metrics instruments, the SLA monitor's
 # epoch-recycled windows, the admin plane, and the write-ahead log under the
@@ -25,11 +26,12 @@ vet:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/ ./internal/sla/ ./internal/admin/ ./internal/wal/
 
-# Verify every exported identifier in the controller, durability, and engine
-# packages carries a doc comment (see OBSERVABILITY.md and the package docs
-# citing paper sections).
+# Verify every exported identifier in the controller, durability, engine,
+# and wire packages carries a doc comment, and that PROTOCOL.md names
+# exactly the Msg*/ErrCode* constants internal/wire declares (see
+# OBSERVABILITY.md and the package docs citing paper sections).
 doc-check:
-	$(GO) run ./cmd/doccheck ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb
+	$(GO) run ./cmd/doccheck -proto PROTOCOL.md ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb ./internal/wire
 
 # Crash-recovery soak: the randomized log-cut property test, 20 runs with
 # distinct injection seeds. Any failure reproduces with
@@ -70,6 +72,12 @@ admin-demo:
 	curl -fsS 'http://127.0.0.1:8344/slaz?format=text'; \
 	wait $$pid
 
+# Boot a wire server with a seeded demo database and print connection
+# instructions; point `go run ./cmd/sdpsh -connect 127.0.0.1:8346 -db app
+# -token demo` at it from another terminal. Ctrl-C drains gracefully.
+net-demo:
+	$(GO) run ./cmd/experiments -serve 127.0.0.1:8346
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
@@ -82,6 +90,11 @@ bench-sqldb:
 # vs full-copy comparison).
 bench-wal:
 	$(GO) run ./cmd/experiments -bench-wal
+
+# Regenerate BENCH_net.json (wire-protocol latency and throughput vs
+# connection count, up to 10k+ concurrent connections).
+bench-net:
+	$(GO) run ./cmd/experiments -bench-net
 
 # Quick perf regression gate: fail if the measured point-read latency is more
 # than 20% above the committed BENCH_sqldb.json baseline.

@@ -5,9 +5,16 @@
 // undocumented identifiers, so `make doc-check` fails when documentation
 // regresses.
 //
+// With -proto FILE it additionally cross-checks the wire-protocol spec
+// against the code: every Msg* and ErrCode* constant declared in the given
+// packages must be named in FILE, and every Msg*/ErrCode* token in FILE
+// must exist as a constant — so PROTOCOL.md cannot drift from
+// internal/wire.
+//
 // Usage:
 //
 //	doccheck ./internal/core ./internal/system
+//	doccheck -proto PROTOCOL.md ./internal/wire ./internal/core
 package main
 
 import (
@@ -17,18 +24,27 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
 	"strings"
 )
 
 func main() {
-	dirs := os.Args[1:]
+	args := os.Args[1:]
+	protoFile := ""
+	if len(args) >= 2 && args[0] == "-proto" {
+		protoFile = args[1]
+		args = args[2:]
+	}
+	dirs := args
 	if len(dirs) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> ...")
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-proto FILE] <package dir> ...")
 		os.Exit(2)
 	}
 	var missing []string
+	protoConsts := map[string]bool{}
 	for _, dir := range dirs {
-		m, err := checkDir(dir)
+		m, err := checkDir(dir, protoConsts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 			os.Exit(2)
@@ -42,12 +58,55 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if protoFile != "" {
+		if drift := checkProto(protoFile, protoConsts); len(drift) > 0 {
+			fmt.Fprintf(os.Stderr, "doccheck: %s drifted from the wire constants:\n", protoFile)
+			for _, d := range drift {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("doccheck: %s matches %d wire constants\n", protoFile, len(protoConsts))
+	}
 	fmt.Printf("doccheck: ok (%d packages)\n", len(dirs))
 }
 
+// protoName matches wire message-type and error-code identifiers, both in
+// Go source (constant names) and in prose (PROTOCOL.md backtick spans).
+var protoName = regexp.MustCompile(`\b(Msg[A-Z]\w*|ErrCode[A-Z]\w*)\b`)
+
+// checkProto compares the Msg*/ErrCode* constants collected from the
+// scanned packages against the names used in the protocol spec, reporting
+// drift in either direction.
+func checkProto(file string, consts map[string]bool) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	inDoc := map[string]bool{}
+	for _, m := range protoName.FindAllString(string(data), -1) {
+		inDoc[m] = true
+	}
+	var drift []string
+	for name := range consts {
+		if !inDoc[name] {
+			drift = append(drift, fmt.Sprintf("constant %s is not documented in %s", name, file))
+		}
+	}
+	for name := range inDoc {
+		if !consts[name] {
+			drift = append(drift, fmt.Sprintf("%s names %s, which no scanned package declares", file, name))
+		}
+	}
+	sort.Strings(drift)
+	return drift
+}
+
 // checkDir parses every non-test .go file in dir and returns the exported
-// identifiers lacking documentation, as "file:line: name" strings.
-func checkDir(dir string) ([]string, error) {
+// identifiers lacking documentation, as "file:line: name" strings. Along
+// the way it records every Msg*/ErrCode* constant into protoConsts for the
+// -proto cross-check.
+func checkDir(dir string, protoConsts map[string]bool) ([]string, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -70,6 +129,19 @@ func checkDir(dir string) ([]string, error) {
 					}
 				case *ast.GenDecl:
 					checkGenDecl(d, report)
+					if d.Tok == token.CONST {
+						for _, spec := range d.Specs {
+							vs, ok := spec.(*ast.ValueSpec)
+							if !ok {
+								continue
+							}
+							for _, name := range vs.Names {
+								if protoName.MatchString(name.Name) {
+									protoConsts[name.Name] = true
+								}
+							}
+						}
+					}
 				}
 			}
 		}

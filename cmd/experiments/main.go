@@ -13,11 +13,22 @@
 //
 // -quick shrinks the data sizes and durations for a fast pass.
 //
-// -bench-sqldb runs the hot-path query-engine microbenchmarks (point read,
-// replicated write, TPC-W mix) and writes the results to BENCH_sqldb.json
-// (or the path given by -bench-out) instead of running the figure suite; a
-// unified metrics snapshot of the bench run lands next to it with a
-// .metrics.txt suffix.
+// -bench-sqldb runs the hot-path query-engine microbenchmarks (compiled
+// point read, replicated write, TPC-W mix — see EXPERIMENTS.md "Hot-path
+// engine latencies" for current numbers: ~467 ns point reads at 0
+// allocs/op, ~52k TPS mix, compiled_fraction ~0.82) and writes the results
+// to BENCH_sqldb.json (or the path given by -bench-out) instead of running
+// the figure suite; a unified metrics snapshot of the bench run lands next
+// to it with a .metrics.txt suffix.
+//
+// -bench-net runs the wire-protocol benchmark — single-connection prepared
+// vs simple point-read round trips over loopback (with the EXPLAIN
+// executor check) and a throughput curve up to >10k concurrent
+// connections — and writes BENCH_net.json (or -bench-net-out).
+//
+// -serve boots a platform with one demo database ("app", token "demo"),
+// serves the wire protocol on the given address until interrupted, and
+// prints the matching sdpsh -connect invocation; `make net-demo` uses it.
 //
 // -bench-wal runs the durability benchmarks — commit latency and flushes
 // per commit as concurrent committers grow, with and without group commit,
@@ -64,6 +75,16 @@ import (
 )
 
 func main() {
+	// Child half of the split-process network bench (-bench-net at full
+	// scale re-executes this binary with the env set; see
+	// experiments.RunNetBenchServer).
+	if os.Getenv("SDP_NETBENCH_SERVER") == "1" {
+		if err := experiments.RunNetBenchServer(); err != nil {
+			fmt.Fprintln(os.Stderr, "netbench server:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exp := flag.String("exp", "all", "experiment to run: table1, fig2..fig9, table2, all")
 	quick := flag.Bool("quick", false, "shrink sizes and durations")
 	seed := flag.Int64("seed", 42, "workload seed")
@@ -72,6 +93,9 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_sqldb.json", "output path for -bench-sqldb results")
 	benchWAL := flag.Bool("bench-wal", false, "run the durability benchmarks (group commit scaling, log-replay vs full-copy recovery) and write JSON results")
 	benchWALOut := flag.String("bench-wal-out", "BENCH_wal.json", "output path for -bench-wal results")
+	benchNet := flag.Bool("bench-net", false, "run the wire-protocol benchmarks (loopback latency, throughput vs connection count) and write JSON results")
+	benchNetOut := flag.String("bench-net-out", "BENCH_net.json", "output path for -bench-net results")
+	serveAddr := flag.String("serve", "", "serve the wire protocol with a demo database on this address (e.g. 127.0.0.1:8346) until interrupted")
 	benchGate := flag.Bool("bench-gate", false, "re-run the point-read bench and fail if it regressed vs the committed baseline")
 	benchBaseline := flag.String("bench-baseline", "BENCH_sqldb.json", "baseline file for -bench-gate")
 	benchGatePct := flag.Float64("bench-gate-pct", 20, "allowed point-read regression for -bench-gate, in percent")
@@ -145,6 +169,36 @@ func main() {
 			fmt.Println()
 			rep.WriteText(os.Stdout)
 		}
+		return
+	}
+
+	if *serveAddr != "" {
+		if err := runWireDemo(*serveAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchNet {
+		res, err := experiments.RunNetBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-net: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-net: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchNetOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-net: %v\n", err)
+			os.Exit(1)
+		}
+		last := res.Points[len(res.Points)-1]
+		fmt.Printf("wrote %s: prepared read %.0f ns/op vs simple %.0f ns/op (EXPLAIN exec=%s); at %d conns %.0f tps, p99 %.0f µs, %.0f bytes/op, %d sustained\n",
+			*benchNetOut, res.PreparedReadNsPerOp, res.SimpleReadNsPerOp, res.ExplainExec,
+			last.Conns, last.TPS, last.P99Us, last.BytesPerOp, res.MaxConnsSustained)
 		return
 	}
 

@@ -1,9 +1,16 @@
-// Command sdpsh is an interactive SQL shell against an in-process data
-// platform. It boots a colo with a configurable number of machines, lets
-// you create databases with SLAs, run SQL, and inject machine failures to
-// watch recovery — a sandbox for the whole system.
+// Command sdpsh is an interactive SQL shell against the data platform. By
+// default it boots an in-process colo with a configurable number of
+// machines, lets you create databases with SLAs, run SQL, and inject
+// machine failures to watch recovery — a sandbox for the whole system.
 //
 //	sdpsh -machines 6
+//
+// With -listen it additionally serves the wire protocol (PROTOCOL.md), so
+// other processes can connect; with -connect it is a pure network client
+// of such a server and boots nothing locally:
+//
+//	sdpsh -machines 6 -listen 127.0.0.1:8346     # server + local shell
+//	sdpsh -connect 127.0.0.1:8346 -db app1       # remote shell
 //
 // Shell commands (everything else is SQL sent to the current database):
 //
@@ -33,19 +40,38 @@ import (
 	"strings"
 
 	"sdp"
+	"sdp/internal/wire"
 )
 
 func main() {
 	machines := flag.Int("machines", 6, "free machines in the colo")
 	durable := flag.Bool("wal", true, "write-ahead logging: group commit, \\crash/\\restart recovery")
+	listen := flag.String("listen", "", "also serve the wire protocol on this address (e.g. 127.0.0.1:8346)")
+	connect := flag.String("connect", "", "connect to a wire server at this address instead of booting a platform")
+	dbFlag := flag.String("db", "", "database to bind the -connect session to")
+	token := flag.String("token", "", "auth token for -connect")
 	flag.Parse()
 
-	cfg := sdp.Config{ClusterSize: 4}
+	if *connect != "" {
+		remoteShell(*connect, *dbFlag, *token)
+		return
+	}
+
+	cfg := sdp.Config{ClusterSize: 4, Listen: *listen}
 	if *durable {
 		cfg.WAL = &sdp.WALConfig{Compact: true}
 	}
 	p := sdp.New(cfg)
 	west := p.AddColo("local", "local", *machines)
+	if *listen != "" {
+		srv, err := p.ServeWire()
+		if err != nil {
+			fmt.Println("listen error:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("wire server on %s — connect with: sdpsh -connect %s -db <db>\n", srv.Addr(), srv.Addr())
+	}
 
 	fmt.Printf("sdp shell — colo %q with %d machines. \\create <db> to begin, \\quit to exit.\n",
 		west.Name(), *machines)
@@ -326,6 +352,96 @@ func command(p *sdp.Platform, line string, current **sdp.Conn, currentName *stri
 		fmt.Println("unknown command", fields[0])
 	}
 	return true
+}
+
+// remoteShell runs the shell as a pure wire-protocol client: SQL and
+// BEGIN/COMMIT/ROLLBACK only, since admin operations (\create, \fail, …)
+// belong to the process hosting the platform.
+func remoteShell(addr, db, token string) {
+	if db == "" {
+		fmt.Println("-connect requires -db <database>")
+		os.Exit(1)
+	}
+	client, err := wire.Dial(wire.ClientConfig{Addr: addr, Database: db, Token: token})
+	if err != nil {
+		fmt.Println("connect error:", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+	fmt.Printf("connected to %s, database %s. SQL only; \\quit to exit.\n", addr, db)
+
+	var tx *wire.Tx
+	scanner := bufio.NewScanner(os.Stdin)
+	prompt := func() {
+		if tx != nil {
+			fmt.Printf("sdp:%s*> ", db)
+		} else {
+			fmt.Printf("sdp:%s> ", db)
+		}
+	}
+	for prompt(); scanner.Scan(); prompt() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "\\quit" || line == "\\q" {
+			return
+		}
+		switch strings.ToUpper(strings.TrimSuffix(line, ";")) {
+		case "BEGIN":
+			if tx != nil {
+				fmt.Println("transaction already open")
+				continue
+			}
+			t, err := client.Begin()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			tx = t
+			fmt.Println("transaction started")
+			continue
+		case "COMMIT":
+			if tx == nil {
+				fmt.Println("no open transaction")
+				continue
+			}
+			if err := tx.Commit(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("committed")
+			}
+			tx = nil
+			continue
+		case "ROLLBACK":
+			if tx == nil {
+				fmt.Println("no open transaction")
+				continue
+			}
+			if err := tx.Rollback(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("rolled back")
+			}
+			tx = nil
+			continue
+		}
+		var res *sdp.Result
+		if tx != nil {
+			res, err = tx.Exec(line)
+		} else {
+			res, err = client.Exec(line)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			if tx != nil && wire.IsRetryable(err) {
+				fmt.Println("transaction aborted; start a new one with BEGIN")
+				tx = nil
+			}
+			continue
+		}
+		printResult(res)
+	}
 }
 
 func printResult(res *sdp.Result) {

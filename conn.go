@@ -1,6 +1,9 @@
 package sdp
 
-import "sdp/internal/core"
+import (
+	"sdp/internal/core"
+	"sdp/internal/sqldb"
+)
 
 // Conn is a client connection to one database. Connections are routed
 // through the controller hierarchy, so the client never learns which
@@ -37,6 +40,7 @@ func (c *Conn) Query(sql string, params ...Value) (*Result, error) {
 type Tx struct {
 	inner interface {
 		Exec(string, ...Value) (*Result, error)
+		ExecStmt(string, sqldb.Statement, ...Value) (*Result, error)
 		Commit() error
 		Rollback() error
 	}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// netServerEnv marks the child half of the split-process network bench.
+// cmd/experiments checks it at startup and calls RunNetBenchServer instead
+// of parsing flags.
+const netServerEnv = "SDP_NETBENCH_SERVER"
+
+// RunNetBenchServer is the server half of the full-scale wire benchmark,
+// run as a child process so the client's and server's socket tables live
+// in separate fd limits (10k+ loopback connections need two fds each — one
+// process' RLIMIT_NOFILE often cannot hold both ends). It boots the bench
+// platform, announces "ADDR host:port" on stdout, answers "STATS" lines on
+// stdin with "STATS <bytes_read> <bytes_written> <conns_active>", and
+// drains the server when stdin closes.
+func RunNetBenchServer() error {
+	raiseFDLimit(16384)
+	srv, err := netBenchPlatform()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ADDR %s\n", srv.Addr())
+	counters := srvRegistryCounters(srv)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if sc.Text() == "STATS" {
+			fmt.Printf("STATS %d %d %g\n", counters.read(), counters.written(), counters.active())
+		}
+	}
+	return srv.Close()
+}
+
+// netServerProc drives a RunNetBenchServer child over its stdio: a
+// line-oriented control channel standing in for the in-process registry.
+type netServerProc struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Reader
+
+	mu            sync.Mutex // serializes STATS round trips
+	read, written uint64     // last good counter values
+	active        float64
+}
+
+// startNetServerProc re-executes this binary with netServerEnv set and
+// waits for its ADDR announcement. Only cmd/experiments installs the env
+// hook; any other binary (a test runner, say) prints something else first,
+// so a non-ADDR first line kills the child and reports an error — callers
+// fall back to the in-process server.
+func startNetServerProc() (*netServerProc, string, error) {
+	if os.Getenv(netServerEnv) == "1" {
+		return nil, "", errors.New("netbench: already the server child")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), netServerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	p := &netServerProc{cmd: cmd, in: in, out: bufio.NewReader(stdout)}
+	line, err := p.out.ReadString('\n')
+	var addr string
+	if err == nil {
+		if _, serr := fmt.Sscanf(line, "ADDR %s", &addr); serr != nil {
+			err = fmt.Errorf("netbench: child announced %q, want ADDR", line)
+		}
+	}
+	if err != nil {
+		p.stop()
+		return nil, "", err
+	}
+	return p, addr, nil
+}
+
+// stats runs one STATS round trip, keeping the last good values on error.
+func (p *netServerProc) stats() (read, written uint64, active float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := fmt.Fprintln(p.in, "STATS"); err == nil {
+		if line, err := p.out.ReadString('\n'); err == nil {
+			var r, w uint64
+			var a float64
+			if _, err := fmt.Sscanf(line, "STATS %d %d %g", &r, &w, &a); err == nil {
+				p.read, p.written, p.active = r, w, a
+			}
+		}
+	}
+	return p.read, p.written, p.active
+}
+
+// counters exposes the child's wire_* metrics through the netCounters
+// readers the in-process path uses.
+func (p *netServerProc) counters() netCounters {
+	return netCounters{
+		read:    func() uint64 { r, _, _ := p.stats(); return r },
+		written: func() uint64 { _, w, _ := p.stats(); return w },
+		active:  func() float64 { _, _, a := p.stats(); return a },
+	}
+}
+
+// stop closes the control channel (draining the child's server) and kills
+// the child if it does not exit promptly.
+func (p *netServerProc) stop() {
+	_ = p.in.Close()
+	done := make(chan struct{})
+	go func() { _ = p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-done
+	}
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package experiments
+
+import "syscall"
+
+// raiseFDLimit lifts RLIMIT_NOFILE so the connection-scaling benchmark can
+// hold >10k client sockets plus the server's matching accept sockets in one
+// process. Best effort: without privileges the soft limit still rises to
+// the hard limit.
+func raiseFDLimit(want uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= want {
+		return
+	}
+	raised := lim
+	raised.Cur = want
+	if raised.Max < want {
+		raised.Max = want // only root may raise the hard limit
+	}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err != nil {
+		// Fall back to maxing out the soft limit under the existing hard cap.
+		lim.Cur = lim.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package experiments
+
+// raiseFDLimit is a no-op on platforms without RLIMIT_NOFILE syscalls; the
+// connection-scaling benchmark then runs at whatever limit the OS grants.
+func raiseFDLimit(uint64) {}

@@ -338,6 +338,14 @@ func (t *Txn) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return t.ExecStmt(sql, stmt, params...)
+}
+
+// ExecStmt executes an already-parsed statement at the primary, skipping
+// the parse on the hot path (the wire server's prepared statements land
+// here). The SQL text is still required because DR replication ships text,
+// not parse trees.
+func (t *Txn) ExecStmt(sql string, stmt sqldb.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
 	res, err := t.inner.ExecStmt(stmt, params...)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"time"
+
+	"sdp/internal/obs"
+)
+
+// serverMetrics is the wire_* family the server reports into the platform
+// registry (see OBSERVABILITY.md, "Wire protocol").
+type serverMetrics struct {
+	connsTotal   *obs.Counter
+	connsActive  *obs.Gauge
+	msgs         *obs.CounterVec
+	errs         *obs.CounterVec
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	prepared     *obs.Counter
+	stmtsActive  *obs.Gauge
+	execSeconds  *obs.Histogram
+	drainedConns *obs.Counter
+}
+
+// execBuckets spans 100 ns .. ~100 ms: prepared point reads sit at the
+// bottom, cross-machine 2PC commits near the top.
+var execBuckets = []float64{
+	1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		connsTotal:   reg.Counter("wire_connections_total", "client connections accepted by the wire server"),
+		connsActive:  reg.Gauge("wire_connections_active", "currently open wire connections"),
+		msgs:         reg.CounterVec("wire_msgs_total", "frames processed by the wire server, by message type", "type"),
+		errs:         reg.CounterVec("wire_errors_total", "MsgError frames sent, by error code class", "code"),
+		bytesRead:    reg.Counter("wire_bytes_read_total", "payload bytes read from wire clients (frames included)"),
+		bytesWritten: reg.Counter("wire_bytes_written_total", "payload bytes written to wire clients (frames included)"),
+		prepared:     reg.Counter("wire_prepared_total", "MsgPrepare statements parsed and registered"),
+		stmtsActive:  reg.Gauge("wire_stmts_active", "prepared statements currently registered across sessions"),
+		execSeconds:  reg.Histogram("wire_exec_seconds", "server-side latency of MsgQuery/MsgExec execution", execBuckets),
+		drainedConns: reg.Counter("wire_drained_total", "connections closed by graceful drain"),
+	}
+}
+
+// observeExec records one statement execution's server-side latency.
+func (m *serverMetrics) observeExec(start time.Time) {
+	m.execSeconds.ObserveDuration(time.Since(start))
+}
+
+// msgName renders a message-type byte as its metric label.
+func msgName(typ byte) string {
+	switch typ {
+	case MsgHello:
+		return "hello"
+	case MsgQuery:
+		return "query"
+	case MsgPrepare:
+		return "prepare"
+	case MsgExec:
+		return "exec"
+	case MsgBegin:
+		return "begin"
+	case MsgCommit:
+		return "commit"
+	case MsgRollback:
+		return "rollback"
+	case MsgCloseStmt:
+		return "close_stmt"
+	case MsgPing:
+		return "ping"
+	case MsgQuit:
+		return "quit"
+	default:
+		return "unknown"
+	}
+}
+
+// codeName renders an error code as its metric label.
+func codeName(code uint16) string {
+	switch code {
+	case ErrCodeProtocol:
+		return "protocol"
+	case ErrCodeAuth:
+		return "auth"
+	case ErrCodeParse:
+		return "parse"
+	case ErrCodeDatabase:
+		return "database"
+	case ErrCodeTxnState:
+		return "txn_state"
+	case ErrCodeStmt:
+		return "stmt"
+	case ErrCodeExec:
+		return "exec"
+	case ErrCodeRejected:
+		return "rejected"
+	case ErrCodeDeadlock:
+		return "deadlock"
+	case ErrCodeLockTimeout:
+		return "lock_timeout"
+	case ErrCodeOptimisticConflict:
+		return "optimistic_conflict"
+	case ErrCodeStaleRoute:
+		return "stale_route"
+	case ErrCodeMachineFailed:
+		return "machine_failed"
+	case ErrCodeUnavailable:
+		return "unavailable"
+	case ErrCodeShutdown:
+		return "shutdown"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,577 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdp/internal/obs"
+	"sdp/internal/sqldb"
+)
+
+// Backend is the platform surface the wire server drives. sdp.Platform
+// adapts itself to this interface; tests implement it directly over a
+// cluster controller.
+type Backend interface {
+	// Authenticate validates a handshake: may this token open sessions on
+	// this database? A nil error admits the session.
+	Authenticate(database, token string) error
+	// Begin opens a transaction on the database. The server calls it once
+	// per explicit BEGIN and once per autocommitted statement.
+	Begin(database string) (Txn, error)
+}
+
+// Txn is one open backend transaction. ExecStmt receives both the SQL text
+// (for layers that capture writes, e.g. DR replication) and the pre-parsed
+// statement, so the engine's plan cache is hit without a re-parse.
+type Txn interface {
+	// ExecStmt executes one pre-parsed statement.
+	ExecStmt(sql string, stmt sqldb.Statement, params ...sqldb.Value) (*sqldb.Result, error)
+	// Commit makes the transaction durable.
+	Commit() error
+	// Rollback aborts the transaction.
+	Rollback() error
+}
+
+// ServerConfig tunes a wire server.
+type ServerConfig struct {
+	// Backend executes sessions' statements. Required.
+	Backend Backend
+	// Metrics receives the wire_* family; nil creates a private registry.
+	Metrics *obs.Registry
+	// Banner is the server identification sent in MsgWelcome.
+	Banner string
+	// QueueDepth bounds each connection's pipelined-request queue; a full
+	// queue blocks the connection's reader, pushing backpressure into the
+	// client's TCP window (default 64).
+	QueueDepth int
+	// DrainTimeout bounds graceful shutdown: how long Close waits for
+	// in-flight and queued requests to finish before force-closing
+	// connections (default 5s).
+	DrainTimeout time.Duration
+	// StmtCacheSize caps the server's shared text→AST statement cache
+	// (default 512; see sqldb.NewStmtCache).
+	StmtCacheSize int
+}
+
+// Server is a TCP wire-protocol server in front of a Backend. Start one
+// with Serve, stop it with Close.
+type Server struct {
+	cfg     ServerConfig
+	metrics *serverMetrics
+	stmts   *sqldb.StmtCache
+	lis     net.Listener
+
+	mu       sync.Mutex
+	conns    map[*session]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// Serve binds addr (e.g. "127.0.0.1:8346", or ":0" for an ephemeral port)
+// and serves the wire protocol on it in the background until Close.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("wire: ServerConfig.Backend is required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.Banner == "" {
+		cfg.Banner = "sdp"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: newServerMetrics(cfg.Metrics),
+		stmts:   sqldb.NewStmtCache(cfg.StmtCacheSize),
+		lis:     lis,
+		conns:   make(map[*session]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Metrics returns the registry the server's wire_* family reports into.
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		sess := newSession(s, c)
+		s.conns[sess] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.connsTotal.Inc()
+		s.metrics.connsActive.Inc()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.serve()
+			s.mu.Lock()
+			delete(s.conns, sess)
+			s.mu.Unlock()
+			s.metrics.connsActive.Dec()
+		}()
+	}
+}
+
+// Close gracefully drains the server: it stops accepting, lets every
+// connection finish its in-flight and queued requests, sends each client a
+// MsgBye, and force-closes whatever remains after DrainTimeout.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	conns := make([]*session, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.lis.Close()
+	for _, c := range conns {
+		c.startDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.forceClose()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// request is one decoded frame queued for the session executor.
+type request struct {
+	f frame
+}
+
+// preparedStmt is one session-registered statement.
+type preparedStmt struct {
+	sql  string
+	stmt sqldb.Statement
+}
+
+// session serves one client connection: a reader goroutine decodes frames
+// into a bounded queue (backpressure = blocked reads = client's TCP
+// window), and one executor goroutine runs them strictly in order and
+// writes responses tagged with the request's sequence ID. Responses are
+// flushed when the queue runs empty, so pipelined bursts are answered in
+// batched writes.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	reqs chan request
+
+	closeOnce sync.Once
+
+	db     string
+	authed bool
+	txn    Txn
+	stmts  map[uint32]preparedStmt
+	nextID uint32
+
+	draining atomic.Bool // set by startDrain; executor sends MsgBye when idle
+}
+
+func newSession(s *Server, c net.Conn) *session {
+	return &session{
+		srv:   s,
+		conn:  c,
+		br:    bufio.NewReaderSize(c, 4096),
+		bw:    bufio.NewWriterSize(c, 4096),
+		reqs:  make(chan request, s.cfg.QueueDepth),
+		stmts: make(map[uint32]preparedStmt),
+	}
+}
+
+// startDrain asks the session to finish queued work and say goodbye: the
+// read side is unblocked by an immediate deadline, so the reader exits
+// after at most one more frame and the executor drains what is queued.
+func (c *session) startDrain() {
+	c.draining.Store(true)
+	_ = c.conn.SetReadDeadline(time.Now())
+}
+
+// forceClose tears the connection down, unblocking both goroutines.
+func (c *session) forceClose() {
+	c.closeOnce.Do(func() { _ = c.conn.Close() })
+}
+
+func (c *session) serve() {
+	defer c.forceClose()
+	defer func() {
+		if c.txn != nil {
+			_ = c.txn.Rollback()
+			c.txn = nil
+		}
+		c.srv.metrics.stmtsActive.Add(-float64(len(c.stmts)))
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.execLoop()
+	}()
+
+	for {
+		f, n, err := readFrame(c.br)
+		if err != nil {
+			if errors.Is(err, errProtocol) {
+				// A malformed frame is unrecoverable: framing sync is lost.
+				// Report once (seq 0: the request's seq is unknowable) and
+				// hang up.
+				c.reqs <- request{f: frame{typ: 0, seq: 0, payload: []byte(err.Error())}}
+			}
+			break
+		}
+		c.srv.metrics.bytesRead.Add(uint64(n))
+		c.reqs <- request{f: f}
+		if f.typ == MsgQuit {
+			break
+		}
+	}
+	close(c.reqs)
+	<-done
+}
+
+// execLoop drains the request queue in order.
+func (c *session) execLoop() {
+	for req := range c.reqs {
+		if !c.handle(req.f) {
+			break
+		}
+		if len(c.reqs) == 0 {
+			c.flush()
+			if c.draining.Load() && c.txn == nil {
+				break
+			}
+		}
+	}
+	if c.srv.isDraining() || c.draining.Load() {
+		c.send(MsgBye, 0, nil)
+		c.srv.metrics.drainedConns.Inc()
+	}
+	c.flush()
+	c.forceClose()
+	// The reader may still be pushing requests; drain them so it cannot
+	// block forever on a full queue.
+	for range c.reqs {
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handle executes one frame; a false return closes the session.
+func (c *session) handle(f frame) bool {
+	c.srv.metrics.msgs.With(msgName(f.typ)).Inc()
+	switch f.typ {
+	case 0:
+		// Synthetic frame from the reader: a framing error already rendered
+		// into the payload.
+		c.sendError(0, ErrCodeProtocol, string(f.payload))
+		return false
+	case MsgHello:
+		return c.handleHello(f)
+	case MsgPing:
+		c.send(MsgPong, f.seq, nil)
+		return true
+	case MsgQuit:
+		c.send(MsgBye, f.seq, nil)
+		return false
+	}
+	if !c.authed {
+		c.sendError(f.seq, ErrCodeProtocol, "handshake required before any other message")
+		return false
+	}
+	switch f.typ {
+	case MsgQuery:
+		return c.handleQuery(f)
+	case MsgPrepare:
+		return c.handlePrepare(f)
+	case MsgExec:
+		return c.handleExec(f)
+	case MsgBegin:
+		return c.handleBegin(f)
+	case MsgCommit:
+		return c.handleCommit(f)
+	case MsgRollback:
+		return c.handleRollback(f)
+	case MsgCloseStmt:
+		return c.handleCloseStmt(f)
+	default:
+		c.sendError(f.seq, ErrCodeProtocol, fmt.Sprintf("unknown message type 0x%02x", f.typ))
+		return false
+	}
+}
+
+func (c *session) handleHello(f frame) bool {
+	r := &reader{buf: f.payload}
+	ver := r.u8()
+	db := r.str()
+	token := r.str()
+	if err := r.done(); err != nil {
+		c.sendError(f.seq, ErrCodeProtocol, err.Error())
+		return false
+	}
+	if c.authed {
+		c.sendError(f.seq, ErrCodeProtocol, "duplicate handshake")
+		return false
+	}
+	if ver != ProtoVersion {
+		c.sendError(f.seq, ErrCodeProtocol, fmt.Sprintf("protocol version %d not supported (server speaks %d)", ver, ProtoVersion))
+		return false
+	}
+	if db == "" {
+		c.sendError(f.seq, ErrCodeProtocol, "handshake names no database")
+		return false
+	}
+	if err := c.srv.cfg.Backend.Authenticate(db, token); err != nil {
+		c.sendError(f.seq, ErrCodeAuth, err.Error())
+		return false
+	}
+	c.db = db
+	c.authed = true
+	c.send(MsgWelcome, f.seq, appendString([]byte{ProtoVersion}, c.srv.cfg.Banner))
+	return true
+}
+
+func (c *session) handleQuery(f frame) bool {
+	r := &reader{buf: f.payload}
+	sql := r.str()
+	params := r.params()
+	if err := r.done(); err != nil {
+		c.sendError(f.seq, ErrCodeProtocol, err.Error())
+		return false
+	}
+	stmt, err := c.srv.stmts.Parse(sql)
+	if err != nil {
+		c.sendErr(f.seq, err)
+		return true
+	}
+	c.runStmt(f.seq, sql, stmt, params)
+	return true
+}
+
+func (c *session) handlePrepare(f frame) bool {
+	r := &reader{buf: f.payload}
+	sql := r.str()
+	if err := r.done(); err != nil {
+		c.sendError(f.seq, ErrCodeProtocol, err.Error())
+		return false
+	}
+	stmt, err := c.srv.stmts.Parse(sql)
+	if err != nil {
+		c.sendErr(f.seq, err)
+		return true
+	}
+	c.nextID++
+	id := c.nextID
+	c.stmts[id] = preparedStmt{sql: sql, stmt: stmt}
+	c.srv.metrics.prepared.Inc()
+	c.srv.metrics.stmtsActive.Inc()
+	c.send(MsgStmt, f.seq, appendU32(nil, id))
+	return true
+}
+
+func (c *session) handleExec(f frame) bool {
+	r := &reader{buf: f.payload}
+	id := r.u32()
+	params := r.params()
+	if err := r.done(); err != nil {
+		c.sendError(f.seq, ErrCodeProtocol, err.Error())
+		return false
+	}
+	ps, ok := c.stmts[id]
+	if !ok {
+		c.sendError(f.seq, ErrCodeStmt, fmt.Sprintf("unknown prepared statement %d", id))
+		return true
+	}
+	c.runStmt(f.seq, ps.sql, ps.stmt, params)
+	return true
+}
+
+// runStmt executes one statement in the open transaction, or in a
+// single-statement autocommit transaction when none is open.
+func (c *session) runStmt(seq uint64, sql string, stmt sqldb.Statement, params []sqldb.Value) {
+	start := time.Now()
+	if c.txn != nil {
+		res, err := c.txn.ExecStmt(sql, stmt, params...)
+		c.srv.metrics.observeExec(start)
+		if err != nil {
+			// The controller aborts the distributed transaction on any
+			// statement error; reflect that in session state so a
+			// subsequent COMMIT reports the txn gone rather than hanging.
+			c.txn = nil
+			c.sendErr(seq, err)
+			return
+		}
+		c.sendResult(seq, res)
+		return
+	}
+	txn, err := c.srv.cfg.Backend.Begin(c.db)
+	if err != nil {
+		c.sendErr(seq, err)
+		return
+	}
+	res, err := txn.ExecStmt(sql, stmt, params...)
+	if err != nil {
+		_ = txn.Rollback()
+		c.srv.metrics.observeExec(start)
+		c.sendErr(seq, err)
+		return
+	}
+	if err := txn.Commit(); err != nil {
+		c.srv.metrics.observeExec(start)
+		c.sendErr(seq, err)
+		return
+	}
+	c.srv.metrics.observeExec(start)
+	c.sendResult(seq, res)
+}
+
+func (c *session) handleBegin(f frame) bool {
+	if c.txn != nil {
+		c.sendError(f.seq, ErrCodeTxnState, "transaction already open")
+		return true
+	}
+	txn, err := c.srv.cfg.Backend.Begin(c.db)
+	if err != nil {
+		c.sendErr(f.seq, err)
+		return true
+	}
+	c.txn = txn
+	c.sendResult(f.seq, nil)
+	return true
+}
+
+func (c *session) handleCommit(f frame) bool {
+	if c.txn == nil {
+		c.sendError(f.seq, ErrCodeTxnState, "no open transaction")
+		return true
+	}
+	err := c.txn.Commit()
+	c.txn = nil
+	if err != nil {
+		c.sendErr(f.seq, err)
+		return true
+	}
+	c.sendResult(f.seq, nil)
+	return true
+}
+
+func (c *session) handleRollback(f frame) bool {
+	if c.txn == nil {
+		c.sendError(f.seq, ErrCodeTxnState, "no open transaction")
+		return true
+	}
+	err := c.txn.Rollback()
+	c.txn = nil
+	if err != nil {
+		c.sendErr(f.seq, err)
+		return true
+	}
+	c.sendResult(f.seq, nil)
+	return true
+}
+
+func (c *session) handleCloseStmt(f frame) bool {
+	r := &reader{buf: f.payload}
+	id := r.u32()
+	if err := r.done(); err != nil {
+		c.sendError(f.seq, ErrCodeProtocol, err.Error())
+		return false
+	}
+	if _, ok := c.stmts[id]; ok {
+		delete(c.stmts, id)
+		c.srv.metrics.stmtsActive.Dec()
+	}
+	c.sendResult(f.seq, nil)
+	return true
+}
+
+// sendResult encodes and sends a MsgResult.
+func (c *session) sendResult(seq uint64, res *sqldb.Result) {
+	payload, err := encodeResult(nil, res)
+	if err != nil {
+		c.sendError(seq, ErrCodeProtocol, err.Error())
+		return
+	}
+	c.send(MsgResult, seq, payload)
+}
+
+// sendErr classifies a backend error and sends the MsgError.
+func (c *session) sendErr(seq uint64, err error) {
+	c.sendError(seq, codeFor(err), err.Error())
+}
+
+func (c *session) sendError(seq uint64, code uint16, msg string) {
+	c.srv.metrics.errs.With(codeName(code)).Inc()
+	c.send(MsgError, seq, encodeError(nil, code, msg))
+}
+
+func (c *session) send(typ byte, seq uint64, payload []byte) {
+	n, err := writeFrame(c.bw, typ, seq, payload)
+	if err != nil {
+		c.forceClose()
+		return
+	}
+	c.srv.metrics.bytesWritten.Add(uint64(n))
+}
+
+func (c *session) flush() {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if err := c.bw.Flush(); err != nil && err != io.ErrShortWrite {
+		c.forceClose()
+	}
+	_ = c.conn.SetWriteDeadline(time.Time{})
+}

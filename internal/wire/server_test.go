@@ -1,0 +1,485 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdp/internal/core"
+	"sdp/internal/sqldb"
+)
+
+// clusterBackend adapts a cluster controller to Backend for tests.
+type clusterBackend struct {
+	c     *core.Cluster
+	token string
+}
+
+func (b clusterBackend) Authenticate(db, token string) error {
+	if token != b.token {
+		return errors.New("bad token")
+	}
+	return nil
+}
+
+func (b clusterBackend) Begin(db string) (Txn, error) {
+	t, err := b.c.Begin(db)
+	if err != nil {
+		return nil, err
+	}
+	return clusterTxn{t}, nil
+}
+
+// clusterTxn adapts core.Txn's ExecStmt (no SQL text) to the wire shape.
+type clusterTxn struct{ *core.Txn }
+
+func (t clusterTxn) ExecStmt(sql string, stmt sqldb.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
+	return t.Txn.ExecStmt(stmt, params...)
+}
+
+const testToken = "secret"
+
+// newTestServer boots a 2-replica cluster with database "app" (table t,
+// 100 rows) behind a wire server on an ephemeral port.
+func newTestServer(t *testing.T) (*Server, *core.Cluster) {
+	t.Helper()
+	c := core.NewCluster("wiretest", core.Options{Replicas: 2})
+	if _, err := c.AddMachines(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Exec("app", fmt.Sprintf("INSERT INTO t VALUES (%d, 'v%d')", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Backend:      clusterBackend{c: c, token: testToken},
+		DrainTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, c
+}
+
+func newTestClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	client, err := Dial(ClientConfig{Addr: srv.Addr(), Database: "app", Token: testToken, PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return client
+}
+
+// TestServerQueryRoundTrip covers the simple-query path end to end.
+func TestServerQueryRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := newTestClient(t, srv)
+
+	res, err := client.Query("SELECT v FROM t WHERE id = ?", sqldb.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "v7" {
+		t.Fatalf("got %+v", res.Rows)
+	}
+	if _, err := client.Exec("UPDATE t SET v = 'updated' WHERE id = 7"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = client.Query("SELECT v FROM t WHERE id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str != "updated" {
+		t.Fatalf("update not visible: %+v", res.Rows)
+	}
+	if _, err := client.Query("SELECT nope FROM missing"); err == nil {
+		t.Fatal("query on missing table should fail")
+	}
+	var we *Error
+	if _, err := client.Query("THIS IS NOT SQL"); !errors.As(err, &we) || we.Code != ErrCodeParse {
+		t.Fatalf("parse failure got %v, want ErrCodeParse", err)
+	}
+}
+
+// TestServerPreparedStatements covers PREPARE/EXEC including result
+// correctness across many executions and CloseStmt via client close.
+func TestServerPreparedStatements(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := newTestClient(t, srv)
+
+	stmt, err := client.Prepare("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		res, err := stmt.Exec(sqldb.NewInt(int64(i % 100)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Str != fmt.Sprintf("v%d", i%100) {
+			t.Fatalf("iteration %d: got %+v", i, res.Rows)
+		}
+	}
+	// Preparing the same text again returns the interned handle.
+	again, err := client.Prepare("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != stmt {
+		t.Fatal("Prepare did not intern by SQL text")
+	}
+	// A broken statement surfaces its parse error on first execution.
+	bad, err := client.Prepare("SELEKT broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var we *Error
+	if _, err := bad.Exec(); !errors.As(err, &we) || we.Code != ErrCodeParse {
+		t.Fatalf("got %v, want ErrCodeParse", err)
+	}
+}
+
+// TestServerTransactions covers BEGIN/COMMIT/ROLLBACK over the wire.
+func TestServerTransactions(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := newTestClient(t, srv)
+
+	tx, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE t SET v = 'tx' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str != "tx" {
+		t.Fatalf("committed write lost: %+v", res.Rows)
+	}
+
+	tx, err = client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE t SET v = 'rolled' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = client.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str != "tx" {
+		t.Fatalf("rollback did not restore: %+v", res.Rows)
+	}
+
+	// Double commit reports ErrTxnDone client-side without a round trip.
+	if err := tx.Commit(); !errors.Is(err, sqldb.ErrTxnDone) {
+		t.Fatalf("double finish: got %v", err)
+	}
+}
+
+// TestServerAuth covers the handshake failure paths.
+func TestServerAuth(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	_, err := Dial(ClientConfig{Addr: srv.Addr(), Database: "app", Token: "wrong"})
+	var we *Error
+	if !errors.As(err, &we) || we.Code != ErrCodeAuth {
+		t.Fatalf("bad token: got %v, want ErrCodeAuth", err)
+	}
+
+	// A raw connection must not get past the handshake requirement.
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	payload, _ := appendParams(appendString(nil, "SELECT 1"), nil)
+	if _, err := writeFrame(nc, MsgQuery, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := readFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, derr := decodeError(f.payload)
+	if f.typ != MsgError || derr != nil || e.Code != ErrCodeProtocol {
+		t.Fatalf("pre-handshake query: got frame %v err %v", f.typ, derr)
+	}
+
+	// Wrong protocol version is refused.
+	nc2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	hello := appendString(appendString([]byte{99}, "app"), testToken)
+	if _, err := writeFrame(nc2, MsgHello, 1, hello); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err = readFrame(nc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := decodeError(f.payload); f.typ != MsgError || e == nil || e.Code != ErrCodeProtocol {
+		t.Fatalf("bad version: got frame type %#x", f.typ)
+	}
+}
+
+// TestServerMalformedFrames throws framing garbage at a live server; every
+// torture connection must be rejected cleanly and the server must keep
+// serving well-formed clients afterwards.
+func TestServerMalformedFrames(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	cases := [][]byte{
+		{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0},                  // oversized length
+		{0, 0, 0, 1, MsgHello},                                // length below header size
+		{0, 0, 0, 42},                                         // truncated: length only
+		{0, 0, 0, 13, MsgHello, 0, 0, 0},                      // truncated mid-header
+		[]byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"), // wrong protocol entirely
+	}
+	for i, raw := range cases {
+		nc, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		// Torture payloads that parse as a bogus frame get an error reply;
+		// ones that cut off mid-frame just hang up. Either way the
+		// connection must die promptly.
+		_ = nc.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		f, _, rerr := readFrame(nc)
+		if rerr == nil {
+			if f.typ != MsgError {
+				t.Fatalf("case %d: got frame type %#x, want MsgError or close", i, f.typ)
+			}
+			if e, _ := decodeError(f.payload); e == nil || e.Code != ErrCodeProtocol {
+				t.Fatalf("case %d: want ErrCodeProtocol", i)
+			}
+		}
+		_ = nc.Close()
+	}
+	// Truncated-but-valid-prefix frames: write a good frame minus its tail,
+	// then close; the server must not crash or leak the session.
+	var buf []byte
+	buf = appendString(appendString([]byte{ProtoVersion}, "app"), testToken)
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := make([]byte, 0, 64)
+	whole = appendU32(whole, uint32(frameHeaderSize+len(buf)))
+	whole = append(whole, MsgHello)
+	whole = appendU64(whole, 1)
+	whole = append(whole, buf...)
+	if _, err := nc.Write(whole[:len(whole)-3]); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc.Close()
+
+	// The server still answers a healthy client.
+	client := newTestClient(t, srv)
+	if _, err := client.Query("SELECT v FROM t WHERE id = 0"); err != nil {
+		t.Fatalf("server unhealthy after torture: %v", err)
+	}
+}
+
+// TestServerPipelining issues many concurrent requests over a small shared
+// pool; responses must route back to their callers by sequence ID.
+func TestServerPipelining(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := newTestClient(t, srv) // PoolSize 2: heavy multiplexing
+	stmt, err := client.Prepare("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errsCh := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := (g*50 + i) % 100
+				res, err := stmt.Exec(sqldb.NewInt(int64(id)))
+				if err != nil {
+					errsCh <- err
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0].Str != fmt.Sprintf("v%d", id) {
+					errsCh <- fmt.Errorf("wrong row for id %d: %+v", id, res.Rows)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedClientsVsDDL races pipelined prepared reads against
+// concurrent DDL + writes on other tables (run under -race in CI).
+func TestPipelinedClientsVsDDL(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := newTestClient(t, srv)
+	stmt, err := client.Prepare("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errsCh := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if _, err := stmt.Exec(sqldb.NewInt(int64((g*31 + i) % 100))); err != nil {
+					errsCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	ddl := newTestClient(t, srv)
+	for i := 0; i < 20; i++ {
+		table := fmt.Sprintf("ddl_%d", i)
+		if _, err := ddl.Exec(fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, n INT)", table)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ddl.Exec(fmt.Sprintf("INSERT INTO %s VALUES (1, %d)", table, i)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ddl.Query(fmt.Sprintf("SELECT n FROM %s WHERE id = 1", table))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Int != int64(i) {
+			t.Fatalf("table %s: got %+v", table, res.Rows)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		t.Fatal(err)
+	}
+}
+
+// TestServerGracefulDrain checks Close lets in-flight work finish and says
+// goodbye; later calls on the client fail as server-shutdown.
+func TestServerGracefulDrain(t *testing.T) {
+	srv, _ := newTestServer(t)
+	client := newTestClient(t, srv)
+	if _, err := client.Query("SELECT v FROM t WHERE id = 3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The draining (or drained) server must not accept this operation; any
+	// path — MsgBye-induced conn death or dial refusal — is acceptable, but
+	// it must fail fast, not hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Query("SELECT v FROM t WHERE id = 4")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("query succeeded after drain")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("query hung after drain")
+	}
+}
+
+// TestClientRetry exercises the autocommit retry loop against a backend
+// that fails with retryable errors before succeeding.
+func TestClientRetry(t *testing.T) {
+	fb := &flakyBackend{failFirst: 3}
+	srv, err := Serve("127.0.0.1:0", ServerConfig{Backend: fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(ClientConfig{Addr: srv.Addr(), Database: "app", RetryLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Exec("UPDATE t SET v = 1 WHERE id = 1"); err != nil {
+		t.Fatalf("retry loop gave up: %v", err)
+	}
+	if got := fb.begins.Load(); got != 4 {
+		t.Fatalf("expected 4 attempts (3 failures + success), backend saw %d", got)
+	}
+	// Non-retryable errors must surface immediately.
+	fb.failFirst = 1 << 30
+	fb.hard = true
+	before := fb.begins.Load()
+	if _, err := client.Exec("UPDATE t SET v = 1 WHERE id = 1"); err == nil {
+		t.Fatal("hard error should fail")
+	}
+	if fb.begins.Load() != before+1 {
+		t.Fatal("hard error must not be retried")
+	}
+}
+
+// flakyBackend fails the first N transactions with a retryable conflict.
+type flakyBackend struct {
+	begins    atomic.Int64
+	failFirst int64
+	hard      bool
+}
+
+func (f *flakyBackend) Authenticate(db, token string) error { return nil }
+
+func (f *flakyBackend) Begin(db string) (Txn, error) {
+	n := f.begins.Add(1)
+	return flakyTxn{fail: n <= f.failFirst, hard: f.hard}, nil
+}
+
+type flakyTxn struct{ fail, hard bool }
+
+func (t flakyTxn) ExecStmt(sql string, stmt sqldb.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
+	if t.hard {
+		return nil, errors.New("hard failure")
+	}
+	if t.fail {
+		return nil, sqldb.ErrOptimisticConflict
+	}
+	return &sqldb.Result{Affected: 1}, nil
+}
+
+func (t flakyTxn) Commit() error   { return nil }
+func (t flakyTxn) Rollback() error { return nil }

@@ -107,6 +107,11 @@ type Config struct {
 	// SLAWindow is the SLA compliance monitor's accounting window (default
 	// 1s). Tests shrink it so violations surface quickly.
 	SLAWindow time.Duration
+	// Listen, when non-empty, is the TCP address ServeWire binds the wire
+	// protocol server to (e.g. ":8346", or "127.0.0.1:0" for an ephemeral
+	// port). See PROTOCOL.md for the protocol and internal/wire for the
+	// client.
+	Listen string
 	// WAL, when non-nil, gives every machine a write-ahead log: commits are
 	// forced (with group commit) before acknowledgement, and a crashed
 	// machine can restart and rejoin by log replay plus delta catch-up
@@ -161,10 +166,11 @@ type SLA struct {
 // and every machine's DBMS engine — report into one observability registry
 // (see Metrics and OBSERVABILITY.md).
 type Platform struct {
-	cfg Config
-	reg *obs.Registry
-	sys *system.Controller
-	mon *sla.Monitor
+	cfg  Config
+	reg  *obs.Registry
+	sys  *system.Controller
+	mon  *sla.Monitor
+	auth wireAuth
 }
 
 // New creates an empty platform with the given configuration.
