@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo net-demo bench bench-sqldb bench-wal bench-net bench-gate experiments clean
+.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo net-demo trace-demo bench bench-sqldb bench-wal bench-net bench-gate experiments clean
 
 all: build test
 
@@ -27,11 +27,13 @@ vet:
 	$(GO) test -race ./internal/obs/ ./internal/sla/ ./internal/admin/ ./internal/wal/
 
 # Verify every exported identifier in the controller, durability, engine,
-# and wire packages carries a doc comment, and that PROTOCOL.md names
-# exactly the Msg*/ErrCode* constants internal/wire declares (see
-# OBSERVABILITY.md and the package docs citing paper sections).
+# and wire packages carries a doc comment, that PROTOCOL.md names exactly
+# the Msg*/ErrCode* constants internal/wire declares, and that
+# OBSERVABILITY.md names exactly the metric families a representative
+# platform run registers (see OBSERVABILITY.md and the package docs citing
+# paper sections).
 doc-check:
-	$(GO) run ./cmd/doccheck -proto PROTOCOL.md ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb ./internal/wire
+	$(GO) run ./cmd/doccheck -proto PROTOCOL.md -metrics OBSERVABILITY.md ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb ./internal/wire
 
 # Crash-recovery soak: the randomized log-cut property test, 20 runs with
 # distinct injection seeds. Any failure reproduces with
@@ -77,6 +79,13 @@ admin-demo:
 # -token demo` at it from another terminal. Ctrl-C drains gracefully.
 net-demo:
 	$(GO) run ./cmd/experiments -serve 127.0.0.1:8346
+
+# Boot a fully traced platform, run wire-client calls over a real socket,
+# and print the resulting distributed span trees (client → wire → system →
+# core/sql → wal) plus the slow-query log — the fastest way to see the
+# tracing pipeline end to end (see OBSERVABILITY.md, "Distributed tracing").
+trace-demo:
+	$(GO) run ./cmd/experiments -trace-demo
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

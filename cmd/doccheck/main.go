@@ -11,10 +11,17 @@
 // must exist as a constant — so PROTOCOL.md cannot drift from
 // internal/wire.
 //
+// With -metrics FILE it cross-checks the observability doc against the
+// metric families a representative in-process platform run registers:
+// every family named in FILE (layer-prefixed backtick tokens) must exist
+// in the registry after the run, and every registered family must be
+// named in FILE.
+//
 // Usage:
 //
 //	doccheck ./internal/core ./internal/system
 //	doccheck -proto PROTOCOL.md ./internal/wire ./internal/core
+//	doccheck -metrics OBSERVABILITY.md ./internal/obs
 package main
 
 import (
@@ -32,13 +39,18 @@ import (
 func main() {
 	args := os.Args[1:]
 	protoFile := ""
-	if len(args) >= 2 && args[0] == "-proto" {
-		protoFile = args[1]
+	metricsFile := ""
+	for len(args) >= 2 && (args[0] == "-proto" || args[0] == "-metrics") {
+		if args[0] == "-proto" {
+			protoFile = args[1]
+		} else {
+			metricsFile = args[1]
+		}
 		args = args[2:]
 	}
 	dirs := args
 	if len(dirs) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck [-proto FILE] <package dir> ...")
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-proto FILE] [-metrics FILE] <package dir> ...")
 		os.Exit(2)
 	}
 	var missing []string
@@ -67,6 +79,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("doccheck: %s matches %d wire constants\n", protoFile, len(protoConsts))
+	}
+	if metricsFile != "" {
+		if drift := checkMetrics(metricsFile); len(drift) > 0 {
+			fmt.Fprintf(os.Stderr, "doccheck: %s drifted from the registered metric families:\n", metricsFile)
+			for _, d := range drift {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("doccheck: %s matches the registered metric families\n", metricsFile)
 	}
 	fmt.Printf("doccheck: ok (%d packages)\n", len(dirs))
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"time"
+
+	"sdp"
+	"sdp/internal/netsim"
+	"sdp/internal/wire"
+)
+
+// familyName matches metric-family tokens in OBSERVABILITY.md backtick
+// spans: a layer prefix followed by the family name. Prose fragments like
+// `core_` or `core_net_` (trailing underscore) and engine-stat labels
+// without a layer prefix do not match.
+var familyName = regexp.MustCompile("`((?:core|twopc|netsim|sqldb|wal|colo|system|sla|wire|trace|slowlog)_[a-z0-9_]*[a-z0-9])`")
+
+// notFamilies lists tokens that match familyName but name trace-event
+// phases documented in OBSERVABILITY.md's tracing tables, not families.
+var notFamilies = map[string]bool{"colo_failed": true}
+
+// checkMetrics cross-checks the metric families named in the observability
+// doc against the families a representative platform run registers,
+// reporting drift in either direction — so OBSERVABILITY.md cannot name a
+// renamed-away family, and a new family cannot ship undocumented.
+func checkMetrics(file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	inDoc := map[string]bool{}
+	for _, m := range familyName.FindAllStringSubmatch(string(data), -1) {
+		if !notFamilies[m[1]] {
+			inDoc[m[1]] = true
+		}
+	}
+	families, err := representativeFamilies()
+	if err != nil {
+		return []string{fmt.Sprintf("representative run failed: %v", err)}
+	}
+	var drift []string
+	for name := range families {
+		if !inDoc[name] {
+			drift = append(drift, fmt.Sprintf("family %s is registered but not documented in %s", name, file))
+		}
+	}
+	for name := range inDoc {
+		if _, ok := families[name]; !ok {
+			drift = append(drift, fmt.Sprintf("%s names %s, which a representative run does not register", file, name))
+		}
+	}
+	sort.Strings(drift)
+	return drift
+}
+
+// representativeFamilies boots a small platform that exercises every layer
+// with a registered instrument family — a WAL-backed cluster, the wire
+// server driven by a traced client call, the slow-query log, the SLA
+// monitor, and a simulated network — then returns the registry's families.
+func representativeFamilies() (map[string]string, error) {
+	p := sdp.New(sdp.Config{
+		Listen:      "127.0.0.1:0",
+		WAL:         &sdp.WALConfig{},
+		TraceSample: 1,
+		SlowQuery:   time.Nanosecond,
+	})
+	reg := p.Metrics()
+	netsim.New(0, reg) // netsim_* families register at network construction
+	p.AddColo("local", "local", 4)
+	if err := p.CreateDatabase("app", sdp.SLA{SizeMB: 1, MinTPS: 1, MaxRejectFraction: 1}, "local"); err != nil {
+		return nil, err
+	}
+	srv, err := p.ServeWire()
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	cl, err := wire.Dial(wire.ClientConfig{Addr: srv.Addr(), Database: "app", Metrics: reg, TraceSample: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	for _, stmt := range []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, v TEXT)",
+		"INSERT INTO t VALUES (1, 'x')",
+		"SELECT v FROM t WHERE id = 1",
+	} {
+		if _, err := cl.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	p.SLAReport()
+	reg.Snapshot() // run the snapshot bridges (engine stats, SLA gauges)
+	return reg.Families(), nil
+}

@@ -104,12 +104,22 @@ func main() {
 	slaReport := flag.Bool("sla-report", false, "with -metrics or -admin: print the SLA compliance report")
 	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address (e.g. 127.0.0.1:8344) while driving a demo workload")
 	adminDur := flag.Duration("admin-duration", 10*time.Second, "how long the -admin demo workload runs")
+	traceDemo := flag.Bool("trace-demo", false, "boot a traced platform, run wire-client calls, and print the span trees and slow-query log")
+	slow := flag.Bool("slow", false, "boot a traced platform, run wire-client calls, and print the slow-query log")
 	chaos := flag.Bool("chaos", false, "run a chaos soak (TPC-W under injected faults, partitions, and crashes) and verify serializability")
 	chaosDur := flag.Duration("chaos-duration", 0, "faulted-traffic duration for -chaos (default 10s, 2s with -quick)")
 	chaosClients := flag.Int("chaos-clients", 4, "concurrent TPC-W sessions for -chaos")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	if *traceDemo || *slow {
+		if err := runTraceDemo(*slow && !*traceDemo); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-demo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaos {
 		rep, err := experiments.RunChaos(experiments.ChaosConfig{
@@ -259,6 +269,8 @@ func main() {
 		}
 		fmt.Printf("wrote %s: point read %.0f ns/op, replicated write %.0f ns/op, TPC-W mix %.0f ns/op (%.0f tps)\n",
 			*benchOut, res.PointReadNsPerOp, res.ReplicatedWriteNsPerOp, res.TPCWMixNsPerOp, res.TPCWMixTPS)
+		fmt.Printf("tracing overhead on point reads: off %.0f ns/op, on %.0f ns/op (%.1f%%)\n",
+			res.PointReadTracingOffNsPerOp, res.PointReadTracingOnNsPerOp, res.TraceOverheadPct)
 		fmt.Printf("wrote %s (bench metrics snapshot)\n", metricsOut)
 		return
 	}

@@ -4,15 +4,22 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"sdp"
 )
 
 // runWireDemo boots a platform with one demo database and serves the wire
 // protocol on addr until the process is interrupted — the server half of
-// `make net-demo`.
+// `make net-demo`. The admin plane rides along on an ephemeral port so
+// traced client calls (sdpsh -trace) can be looked up in /tracez and slow
+// statements show up in /slowz.
 func runWireDemo(addr string) error {
-	p := sdp.New(sdp.Config{ClusterSize: 4, Listen: addr})
+	p := sdp.New(sdp.Config{
+		ClusterSize: 4,
+		Listen:      addr,
+		SlowQuery:   25 * time.Millisecond,
+	})
 	p.AddColo("local", "local", 4)
 	if err := p.CreateDatabase("app", sdp.SLA{SizeMB: 100, MinTPS: 1, MaxRejectFraction: 1}, "local"); err != nil {
 		return err
@@ -34,8 +41,14 @@ func runWireDemo(addr string) error {
 		return err
 	}
 	defer srv.Close()
+	adm, err := p.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer adm.Close()
 	fmt.Printf("wire server on %s, database \"app\" (token \"demo\") seeded with table t\n", srv.Addr())
-	fmt.Printf("connect with:  go run ./cmd/sdpsh -connect %s -db app -token demo\n", srv.Addr())
+	fmt.Printf("admin plane on http://%s (/metrics /tracez /slowz /slaz)\n", adm.Addr())
+	fmt.Printf("connect with:  go run ./cmd/sdpsh -connect %s -db app -token demo -trace\n", srv.Addr())
 	fmt.Println("^C to stop (graceful drain)")
 
 	stop := make(chan os.Signal, 1)

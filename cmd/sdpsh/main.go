@@ -11,6 +11,8 @@
 //
 //	sdpsh -machines 6 -listen 127.0.0.1:8346     # server + local shell
 //	sdpsh -connect 127.0.0.1:8346 -db app1       # remote shell
+//	sdpsh -connect ... -db app1 -trace           # remote shell, every
+//	                                             # statement traced end to end
 //
 // Shell commands (everything else is SQL sent to the current database):
 //
@@ -40,6 +42,7 @@ import (
 	"strings"
 
 	"sdp"
+	"sdp/internal/obs"
 	"sdp/internal/wire"
 )
 
@@ -50,10 +53,11 @@ func main() {
 	connect := flag.String("connect", "", "connect to a wire server at this address instead of booting a platform")
 	dbFlag := flag.String("db", "", "database to bind the -connect session to")
 	token := flag.String("token", "", "auth token for -connect")
+	traced := flag.Bool("trace", false, "sample every -connect statement for distributed tracing and print its trace ID")
 	flag.Parse()
 
 	if *connect != "" {
-		remoteShell(*connect, *dbFlag, *token)
+		remoteShell(*connect, *dbFlag, *token, *traced)
 		return
 	}
 
@@ -356,19 +360,46 @@ func command(p *sdp.Platform, line string, current **sdp.Conn, currentName *stri
 
 // remoteShell runs the shell as a pure wire-protocol client: SQL and
 // BEGIN/COMMIT/ROLLBACK only, since admin operations (\create, \fail, …)
-// belong to the process hosting the platform.
-func remoteShell(addr, db, token string) {
+// belong to the process hosting the platform. With traced, every statement
+// carries a sampled trace context over the wire and its trace ID is printed
+// after the result — paste it into the server's /tracez?trace=<id> to see
+// the full cross-process span tree.
+func remoteShell(addr, db, token string, traced bool) {
 	if db == "" {
 		fmt.Println("-connect requires -db <database>")
 		os.Exit(1)
 	}
-	client, err := wire.Dial(wire.ClientConfig{Addr: addr, Database: db, Token: token})
+	ccfg := wire.ClientConfig{Addr: addr, Database: db, Token: token}
+	var reg *obs.Registry
+	if traced {
+		reg = obs.NewRegistry()
+		ccfg.Metrics = reg
+		ccfg.TraceSample = 1
+	}
+	client, err := wire.Dial(ccfg)
 	if err != nil {
 		fmt.Println("connect error:", err)
 		os.Exit(1)
 	}
 	defer client.Close()
-	fmt.Printf("connected to %s, database %s. SQL only; \\quit to exit.\n", addr, db)
+	if traced {
+		fmt.Printf("connected to %s, database %s, tracing on. SQL only; \\quit to exit.\n", addr, db)
+	} else {
+		fmt.Printf("connected to %s, database %s. SQL only; \\quit to exit.\n", addr, db)
+	}
+	lastTrace := func() {
+		if reg == nil {
+			return
+		}
+		spans := reg.Spans().Spans()
+		for i := len(spans) - 1; i >= 0; i-- {
+			if spans[i].Scope == "client" {
+				fmt.Printf("trace %s (server: /tracez?trace=%s&format=text)\n",
+					obs.TraceIDString(spans[i].TraceID), obs.TraceIDString(spans[i].TraceID))
+				return
+			}
+		}
+	}
 
 	var tx *wire.Tx
 	scanner := bufio.NewScanner(os.Stdin)
@@ -441,6 +472,7 @@ func remoteShell(addr, db, token string) {
 			continue
 		}
 		printResult(res)
+		lastTrace()
 	}
 }
 

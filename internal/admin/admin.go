@@ -12,6 +12,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 
 	"sdp/internal/obs"
 	"sdp/internal/sla"
@@ -34,6 +36,13 @@ func Handler(reg *obs.Registry, plat Platform) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", serveIndex)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// OpenMetrics carries histogram→trace exemplars; serve it when the
+		// scraper negotiates for it (Prometheus sends it in Accept).
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+			reg.Snapshot().WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", obs.PrometheusContentType)
 		reg.Snapshot().WritePrometheus(w)
 	})
@@ -45,6 +54,9 @@ func Handler(reg *obs.Registry, plat Platform) http.Handler {
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		serveTracez(w, r, reg)
+	})
+	mux.HandleFunc("/slowz", func(w http.ResponseWriter, r *http.Request) {
+		serveSlowz(w, r, reg)
 	})
 	mux.HandleFunc("/slaz", func(w http.ResponseWriter, r *http.Request) {
 		serveSlaz(w, r, plat)
@@ -69,7 +81,9 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
   /metrics          Prometheus text exposition of the obs registry
   /healthz          liveness: any live machine in any cluster
   /readyz           readiness: colos up, replication degree met, no copies in flight
-  /tracez           trace ring (query: scope=2pc|copy|recovery|repl|dr|sla, gid=<correlation id>)
+  /tracez           trace ring (query: scope=2pc|copy|recovery|repl|dr|sla, gid=<correlation id>;
+                    trace=<16-hex trace id> for the span tree, format=text to render it)
+  /slowz            slow-query log, newest last (query: format=text for the operator rendering)
   /slaz             SLA compliance report (query: format=text for the operator rendering)
   /debug/pprof/     Go runtime profiles
 `)
@@ -165,9 +179,41 @@ type tracezBody struct {
 	Events []obs.Event `json:"events"`
 }
 
+// spanTreeBody is the JSON body of /tracez?trace=<id>.
+type spanTreeBody struct {
+	// TraceID is the requested trace, in 16-hex-digit form.
+	TraceID string `json:"trace_id"`
+	// Count is len(Spans).
+	Count int `json:"count"`
+	// Spans are the trace's spans, oldest first. Parent links reconstruct
+	// the tree; format=text renders it server-side.
+	Spans []obs.Span `json:"spans"`
+}
+
 // serveTracez serves the trace ring, filtered by the scope and gid query
 // parameters using the same predicate as the experiments CLI's -trace-scope.
+// With trace=<16-hex trace id> it instead serves that distributed trace's
+// span tree: JSON spans by default, the indented rendering (children under
+// parents, per-span durations) with format=text.
 func serveTracez(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
+	if tid := r.URL.Query().Get("trace"); tid != "" {
+		id, err := strconv.ParseUint(tid, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id (want 16 hex digits): "+tid, http.StatusBadRequest)
+			return
+		}
+		spans := reg.Spans().ByTrace(id)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			obs.WriteSpanTree(w, spans)
+			return
+		}
+		if spans == nil {
+			spans = []obs.Span{}
+		}
+		writeJSON(w, http.StatusOK, spanTreeBody{TraceID: obs.TraceIDString(id), Count: len(spans), Spans: spans})
+		return
+	}
 	scope := r.URL.Query().Get("scope")
 	id := r.URL.Query().Get("gid")
 	if id == "" {
@@ -178,6 +224,29 @@ func serveTracez(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
 		events = []obs.Event{}
 	}
 	writeJSON(w, http.StatusOK, tracezBody{Scope: scope, ID: id, Count: len(events), Events: events})
+}
+
+// slowzBody is the JSON body of /slowz.
+type slowzBody struct {
+	// Count is len(Entries).
+	Count int `json:"count"`
+	// Entries are the retained slow-query entries, oldest first.
+	Entries []obs.SlowEntry `json:"entries"`
+}
+
+// serveSlowz serves the slow-query log: JSON by default, the operator text
+// rendering (with per-entry span trees) with ?format=text.
+func serveSlowz(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.SlowLog().WriteText(w)
+		return
+	}
+	entries := reg.SlowLog().Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, slowzBody{Count: len(entries), Entries: entries})
 }
 
 // serveSlaz serves the SLA compliance report: JSON by default, the operator

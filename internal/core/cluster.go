@@ -177,6 +177,11 @@ func NewCluster(name string, opts Options) *Cluster {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if opts.EngineConfig.Spans == nil {
+		// Engines record their per-statement and WAL-flush spans into the
+		// same ring the controller uses, so one trace ID finds all layers.
+		opts.EngineConfig.Spans = reg.Spans()
+	}
 	c := &Cluster{
 		name:     name,
 		opts:     opts,

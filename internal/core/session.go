@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sdp/internal/netsim"
+	"sdp/internal/obs"
 	"sdp/internal/sqldb"
 )
 
@@ -203,6 +204,15 @@ func (s *replicaSession) guard(fn func() opResult) opResult {
 		return opResult{err: ErrMachineFailed}
 	}
 	return fn()
+}
+
+// setTrace enqueues a trace-context update for the branch. Routing it
+// through the queue keeps the sqldb transaction single-goroutine (only the
+// session worker touches it) and orders the update behind any operations
+// already in flight, so the context applies exactly to the statements
+// enqueued after it.
+func (s *replicaSession) setTrace(tc obs.SpanContext) {
+	s.ops <- func() { s.txn.SetTraceContext(tc) }
 }
 
 // execStmt enqueues a statement execution.

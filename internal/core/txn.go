@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sdp/internal/netsim"
+	"sdp/internal/obs"
 	"sdp/internal/sqldb"
 )
 
@@ -35,6 +36,41 @@ type Txn struct {
 	// already-resolved ones are checked; unresolved ones are left pending
 	// and ultimately checked by the PREPARE votes.
 	async []*future
+
+	// trace is the distributed-tracing context this transaction's spans
+	// (read routing, 2PC phases) parent under. The zero value disables
+	// recording.
+	trace obs.SpanContext
+}
+
+// SetTraceContext installs (or, with the zero value, clears) the trace
+// context the transaction's core-layer spans parent under. The context is
+// forwarded to every replica session — ordered behind any operations already
+// enqueued there — so engine-side statement and WAL-flush spans join the
+// same trace.
+func (t *Txn) SetTraceContext(tc obs.SpanContext) {
+	if t.trace == tc {
+		return
+	}
+	t.trace = tc
+	for _, s := range t.sessions {
+		s.setTrace(tc)
+	}
+}
+
+// recordSpan records one core-scope span under the transaction's context.
+func (t *Txn) recordSpan(name, detail string, start time.Time) {
+	t.c.metrics.reg.Spans().Record(obs.Span{
+		TraceID:  t.trace.TraceID,
+		SpanID:   obs.NewTraceID(),
+		Parent:   t.trace.SpanID,
+		Scope:    "core",
+		Name:     name,
+		DB:       t.db,
+		Start:    start,
+		Duration: time.Since(start),
+		Detail:   detail,
+	})
 }
 
 // GlobalID returns the controller-assigned global transaction ID.
@@ -52,6 +88,9 @@ func (t *Txn) session(id string) (*replicaSession, error) {
 	s, err := newReplicaSession(t.c, m, t.db, t.gid)
 	if err != nil {
 		return nil, err
+	}
+	if t.trace.Traced() {
+		s.setTrace(t.trace)
 	}
 	t.sessions[id] = s
 	return s, nil
@@ -142,7 +181,15 @@ func (t *Txn) execRead(stmt sqldb.Statement, tables []string, params []sqldb.Val
 		t.abort()
 		return nil, err
 	}
+	traced := t.trace.Traced()
+	var readStart time.Time
+	if traced {
+		readStart = time.Now()
+	}
 	r := s.execStmt(stmt, params).wait()
+	if traced {
+		t.recordSpan("read", "machine="+id, readStart)
+	}
 	if r.err != nil {
 		t.abort()
 		return nil, r.err
@@ -300,6 +347,9 @@ func (t *Txn) Commit() error {
 		}
 	}
 	m.prepareSeconds.ObserveDuration(time.Since(prepStart))
+	if t.trace.Traced() {
+		t.recordSpan("2pc_prepare", fmt.Sprintf("%d participants", len(t.sessions)), prepStart)
+	}
 	if t.c.pair.crashed(StagePreparing, t.gid) {
 		// Primary controller died before the commit decision; the backup's
 		// TakeOver will roll this transaction back.
@@ -332,6 +382,17 @@ func (t *Txn) Commit() error {
 
 	// Phase 2 (commit).
 	commitStart := time.Now()
+	var commitSpanID uint64
+	if t.trace.Traced() {
+		// Re-point the replica branches at the commit span before the
+		// decision goes out, so each engine's WAL-flush span parents under
+		// the 2PC commit phase rather than the last statement.
+		commitSpanID = obs.NewTraceID()
+		ctc := obs.SpanContext{TraceID: t.trace.TraceID, SpanID: commitSpanID, Sampled: true}
+		for _, s := range t.sessions {
+			s.setTrace(ctc)
+		}
+	}
 	commits := make(map[string]*future, len(t.sessions))
 	for id, s := range t.sessions {
 		commits[id] = s.commitPrepared()
@@ -349,6 +410,18 @@ func (t *Txn) Commit() error {
 		}
 	}
 	m.commitSeconds.ObserveDuration(time.Since(commitStart))
+	if t.trace.Traced() {
+		t.c.metrics.reg.Spans().Record(obs.Span{
+			TraceID:  t.trace.TraceID,
+			SpanID:   commitSpanID,
+			Parent:   t.trace.SpanID,
+			Scope:    "core",
+			Name:     "2pc_commit",
+			DB:       t.db,
+			Start:    commitStart,
+			Duration: time.Since(commitStart),
+		})
+	}
 	m.reg.TraceEvent("2pc", gid, "commit", "")
 	t.c.pair.finish(rec)
 	t.cleanup()

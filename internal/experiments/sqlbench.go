@@ -27,6 +27,13 @@ type SQLBench struct {
 	// executor across the bench engines (compiled_exec_total/stmt_exec_total).
 	CompiledFraction float64 `json:"compiled_fraction"`
 	Iterations       int     `json:"iterations"`
+	// Tracing overhead: the point-read loop on an engine with a span ring
+	// attached, with sampling off (the production default — every recording
+	// site short-circuits on the zero trace context) and with every call
+	// traced. TraceOverheadPct is the on-vs-off regression in percent.
+	PointReadTracingOffNsPerOp float64 `json:"point_read_tracing_off_ns_per_op"`
+	PointReadTracingOnNsPerOp  float64 `json:"point_read_tracing_on_ns_per_op"`
+	TraceOverheadPct           float64 `json:"trace_overhead_pct"`
 }
 
 // benchEngineDB adapts one database of a single engine to tpcw.DB.
@@ -110,6 +117,60 @@ func RunSQLBench(cfg Config) (SQLBench, obs.Snapshot, error) {
 	res.PointReadAllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(iters)
 	st := e.Stats().PlanCache
 	res.PlanCacheHitRate = st.HitRate()
+
+	// Tracing overhead: the same point-read loop on an engine with a span
+	// ring attached, unsampled (zero context on every transaction) and then
+	// with every call traced.
+	tcfg := sqldb.DefaultConfig()
+	tcfg.Spans = reg.Spans()
+	et := sqldb.NewEngine(tcfg)
+	if err := et.CreateDatabase("app"); err != nil {
+		return res, obs.Snapshot{}, err
+	}
+	if _, err := et.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		return res, obs.Snapshot{}, err
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := et.Exec("app", fmt.Sprintf("INSERT INTO t VALUES (%d, 'val%d')", i, i)); err != nil {
+			return res, obs.Snapshot{}, err
+		}
+	}
+	tracedPoint := func(i int, tc obs.SpanContext) error {
+		tx, err := et.BeginReadOnly("app")
+		if err != nil {
+			return err
+		}
+		tx.SetTraceContext(tc)
+		params[0] = sqldb.NewInt(int64(i % 1000))
+		if err := tx.ExecStmtInto(&pointRes, stmt, params...); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	for i := 0; i < 200; i++ { // warmup
+		if err := tracedPoint(i, obs.SpanContext{}); err != nil {
+			return res, obs.Snapshot{}, err
+		}
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := tracedPoint(i, obs.SpanContext{}); err != nil {
+			return res, obs.Snapshot{}, err
+		}
+	}
+	res.PointReadTracingOffNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		tid := obs.NewTraceID()
+		if err := tracedPoint(i, obs.SpanContext{TraceID: tid, SpanID: tid, Sampled: true}); err != nil {
+			return res, obs.Snapshot{}, err
+		}
+	}
+	res.PointReadTracingOnNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	if res.PointReadTracingOffNsPerOp > 0 {
+		res.TraceOverheadPct = (res.PointReadTracingOnNsPerOp - res.PointReadTracingOffNsPerOp) /
+			res.PointReadTracingOffNsPerOp * 100
+	}
 
 	// Replicated write: the same loop as BenchmarkClusterReplicatedWrite.
 	c := core.NewCluster("bench", core.Options{Replicas: 2, Metrics: reg})

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -35,6 +36,26 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
+
+	// exemplars holds one recent traced observation per bucket (see
+	// ObserveWithExemplar). Guarded by emu; only traced observations —
+	// a small sampled minority — ever touch it, so the wait-free
+	// guarantee of Observe is preserved for the common path.
+	emu       sync.Mutex
+	exemplars []Exemplar
+}
+
+// Exemplar ties a histogram bucket to a concrete traced request: a recent
+// observation that landed in the bucket and the trace that explains it.
+// Rendered as OpenMetrics exemplars, it turns "p99 is 50µs" into "p99 is
+// 50µs, here is a trace of one such call".
+type Exemplar struct {
+	// TraceID is the trace of the observed request (never 0).
+	TraceID uint64 `json:"trace_id"`
+	// Value is the observed value.
+	Value float64 `json:"value"`
+	// Time is when the observation was recorded.
+	Time time.Time `json:"time"`
 }
 
 // NewHistogram creates a histogram with the given bucket upper bounds
@@ -71,6 +92,27 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveWithExemplar records one value and, when traceID is non-zero,
+// remembers (value, traceID, now) as the exemplar of the bucket the value
+// landed in, overwriting the bucket's previous exemplar. traceID == 0
+// degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.emu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = Exemplar{TraceID: traceID, Value: v, Time: time.Now()}
+	h.emu.Unlock()
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -94,6 +136,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		total += c
 	}
 	s.Count = total
+	h.emu.Lock()
+	if h.exemplars != nil {
+		s.Exemplars = make([]Exemplar, len(h.exemplars))
+		copy(s.Exemplars, h.exemplars)
+	}
+	h.emu.Unlock()
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)
 	s.P99 = s.Quantile(0.99)
@@ -114,6 +162,10 @@ type HistogramSnapshot struct {
 	P99     float64   `json:"p99"`
 	Bounds  []float64 `json:"bounds,omitempty"`
 	Buckets []uint64  `json:"buckets,omitempty"`
+	// Exemplars is indexed like Buckets (one slot per bucket including
+	// overflow); a zero TraceID means the bucket has no exemplar. Nil when
+	// the histogram never saw a traced observation.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean returns the average observed value, or 0 with no observations.

@@ -44,6 +44,9 @@ type Registry struct {
 	hooks      []func()
 
 	tracer *Tracer
+	spans  *SpanRing
+	slow   *SlowLog
+	qstats *QueryStats
 }
 
 // familyVec is a labeled family: a map from joined label values to an
@@ -56,17 +59,37 @@ type familyVec struct {
 	byKey   map[string]any
 }
 
-// NewRegistry creates an empty registry with a tracer of the default
+// NewRegistry creates an empty registry with trace rings of the default
 // capacity.
 func NewRegistry() *Registry {
-	return &Registry{
+	return NewRegistrySized(DefaultTraceCapacity)
+}
+
+// NewRegistrySized creates an empty registry whose event tracer and span
+// ring hold up to traceCap entries each (<= 0 selects
+// DefaultTraceCapacity). The trace_* and slowlog_* meta-counters are
+// registered eagerly so ring overflow is visible in every snapshot, even
+// one taken before the first span is recorded.
+func NewRegistrySized(traceCap int) *Registry {
+	r := &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		vecs:       make(map[string]*familyVec),
 		help:       make(map[string]string),
-		tracer:     NewTracer(DefaultTraceCapacity),
 	}
+	dropped := r.Counter("trace_dropped_total",
+		"Trace ring entries (events or spans) overwritten before being read out.")
+	total := r.Counter("trace_spans_total",
+		"Spans recorded into the registry's span ring.")
+	recorded := r.Counter("slowlog_recorded_total",
+		"Slow queries captured into the slow-query log.")
+	r.tracer = NewTracer(traceCap)
+	r.tracer.dropped = dropped
+	r.spans = NewSpanRing(traceCap, total, dropped)
+	r.slow = NewSlowLog(0, recorded)
+	r.qstats = NewQueryStats()
+	return r
 }
 
 // setHelp records a family's help string the first time it is seen.
@@ -184,6 +207,38 @@ func (r *Registry) OnSnapshot(hook func()) {
 
 // Trace returns the registry's event tracer.
 func (r *Registry) Trace() *Tracer { return r.tracer }
+
+// Spans returns the registry's span ring.
+func (r *Registry) Spans() *SpanRing { return r.spans }
+
+// SlowLog returns the registry's slow-query log.
+func (r *Registry) SlowLog() *SlowLog { return r.slow }
+
+// QueryStats returns the registry's per-tenant query-stats accumulator.
+func (r *Registry) QueryStats() *QueryStats { return r.qstats }
+
+// Families returns every registered metric family name mapped to its kind
+// ("counter", "gauge", "histogram"). Unlike Snapshot, a labeled family with
+// no children yet still appears — this is the registration view, which is
+// what documentation drift checks need.
+func (r *Registry) Families() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.vecs))
+	for name := range r.counters {
+		out[name] = "counter"
+	}
+	for name := range r.gauges {
+		out[name] = "gauge"
+	}
+	for name := range r.histograms {
+		out[name] = "histogram"
+	}
+	for name, v := range r.vecs {
+		out[name] = v.kind
+	}
+	return out
+}
 
 // TraceEvent records one span event on the registry's tracer; a
 // convenience for instrumented code that holds only the registry.

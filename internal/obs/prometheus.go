@@ -53,6 +53,66 @@ func writePromHistogram(w io.Writer, p MetricPoint) {
 	fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, ""), h.Count)
 }
 
+// OpenMetricsContentType is the Content-Type an HTTP handler should declare
+// when serving WriteOpenMetrics output.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders the snapshot in the OpenMetrics 1.0 text format.
+// It differs from WritePrometheus in exactly the ways the newer format
+// requires: counter family metadata drops the `_total` suffix (samples keep
+// it), histogram bucket lines carry exemplars — `# {trace_id="…"} value
+// timestamp` — when a traced observation landed in the bucket, and the
+// exposition ends with `# EOF`. Exemplars are what let a Prometheus/Grafana
+// stack jump from a latency histogram straight to the trace of one request
+// that hit the slow bucket.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) {
+	lastName := ""
+	for _, p := range s.Metrics {
+		if p.Name != lastName {
+			family := p.Name
+			if p.Kind == "counter" {
+				family = strings.TrimSuffix(family, "_total")
+			}
+			if p.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(p.Help))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, p.Kind)
+			lastName = p.Name
+		}
+		if p.Kind == "histogram" {
+			writeOpenMetricsHistogram(w, p)
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels, ""), promFloat(p.Value))
+	}
+	fmt.Fprintln(w, "# EOF")
+}
+
+// writeOpenMetricsHistogram emits one histogram point with per-bucket
+// exemplars. The overflow bucket folds into `le="+Inf"`, carrying its own
+// exemplar if the bound buckets left the slot empty.
+func writeOpenMetricsHistogram(w io.Writer, p MetricPoint) {
+	h := p.Histogram
+	exemplar := func(i int) string {
+		if i >= len(h.Exemplars) || h.Exemplars[i].TraceID == 0 {
+			return ""
+		}
+		e := h.Exemplars[i]
+		return fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f",
+			TraceIDString(e.TraceID), promFloat(e.Value), float64(e.Time.UnixNano())/1e9)
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		if i < len(h.Buckets) {
+			cum += h.Buckets[i]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", p.Name, promLabels(p.Labels, promFloat(bound)), cum, exemplar(i))
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", p.Name, promLabels(p.Labels, "+Inf"), h.Count, exemplar(len(h.Bounds)))
+	fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, promLabels(p.Labels, ""), promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, ""), h.Count)
+}
+
 // promLabels renders {k="v",...} with names sorted; a non-empty le is
 // appended last (bucket lines), matching the conventional ordering. Returns
 // "" when there are no labels at all.

@@ -34,6 +34,8 @@ type Snapshot struct {
 	Metrics []MetricPoint `json:"metrics"`
 	// Trace is the buffered span-event ring, oldest first.
 	Trace []Event `json:"trace,omitempty"`
+	// Spans is the buffered distributed-tracing span ring, oldest first.
+	Spans []Span `json:"spans,omitempty"`
 }
 
 // Snapshot runs the registered hooks (bridging external statistics into
@@ -84,6 +86,7 @@ func (r *Registry) Snapshot() Snapshot {
 		})
 	}
 	s.Trace = r.tracer.Events()
+	s.Spans = r.spans.Spans()
 	return s
 }
 

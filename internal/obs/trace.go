@@ -44,6 +44,9 @@ type Tracer struct {
 	next int // index in buf to write next
 	full bool
 	seq  uint64
+
+	// dropped, when set, counts events overwritten before being read out.
+	dropped *Counter
 }
 
 // NewTracer creates a tracer holding up to capacity events; capacity <= 0
@@ -62,6 +65,9 @@ func (t *Tracer) Record(scope, id, phase, detail string) {
 	}
 	now := time.Now()
 	t.mu.Lock()
+	if t.full && t.dropped != nil {
+		t.dropped.Inc()
+	}
 	t.seq++
 	t.buf[t.next] = Event{Seq: t.seq, Time: now, Scope: scope, ID: id, Phase: phase, Detail: detail}
 	t.next++

@@ -420,7 +420,14 @@ type DBCompliance struct {
 	// Machines lists the machines hosting the database's replicas when it
 	// is non-compliant — the candidates a re-placement pass would relieve.
 	Machines []string `json:"machines,omitempty"`
+	// TopQueries lists the database's heaviest statements by total time
+	// (from the registry's per-tenant query stats, fed by the wire server),
+	// so a violating SLA comes with the workload that caused it.
+	TopQueries []obs.QueryStat `json:"top_queries,omitempty"`
 }
+
+// topQueriesPerDB bounds the per-database statement list in a report.
+const topQueriesPerDB = 5
 
 // ComplianceReport is the monitor's full verdict, served by /slaz.
 type ComplianceReport struct {
@@ -480,6 +487,7 @@ func (m *Monitor) Report() ComplianceReport {
 		if !e.Compliant {
 			e.Machines = m.replicasOf(d.name)
 		}
+		e.TopQueries = m.reg.QueryStats().TopK(d.name, topQueriesPerDB)
 		r.Databases = append(r.Databases, e)
 	}
 	return r
@@ -522,6 +530,10 @@ func (r ComplianceReport) WriteText(w io.Writer) {
 		}
 		if len(d.Machines) > 0 {
 			fmt.Fprintf(w, "  hosting machines: %v\n", d.Machines)
+		}
+		for _, q := range d.TopQueries {
+			fmt.Fprintf(w, "  top query: %q calls=%d total=%.2fms mean=%.3fms max=%.3fms\n",
+				q.SQL, q.Count, q.TotalSeconds*1e3, q.MeanSeconds*1e3, q.MaxSeconds*1e3)
 		}
 	}
 }

@@ -39,6 +39,12 @@ type Config struct {
 	// engine. Zero selects the default (512); a negative value disables the
 	// cache (every Exec re-parses and re-plans).
 	PlanCacheSize int
+
+	// Spans, when set, receives distributed-tracing spans for sampled
+	// transactions ("sql" statement spans and "wal" flush spans). Nil
+	// disables engine-side span recording; unsampled transactions never
+	// touch it either way.
+	Spans *obs.SpanRing
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation:
@@ -407,6 +413,8 @@ func (e *Engine) BeginReadOnly(db string) (*Txn, error) {
 		c.readOnly = true
 		c.optHandled = false
 		c.undo = nil
+		c.trace = obs.SpanContext{}
+		c.execMode = ""
 		return c, nil
 	}
 	t, err := e.BeginWithID(db, 0)

@@ -77,6 +77,9 @@ func (e *Engine) execute(t *Txn, stmt Statement, plan *stmtPlan, params []Value,
 				if err == nil {
 					e.statCompiledExecs.Add(1)
 				}
+				if t.trace.Sampled {
+					t.execMode = "compiled"
+				}
 				return res, err
 			}
 		}

@@ -1,0 +1,79 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+
+	"sdp/internal/obs"
+)
+
+// TestPointReadUnsampledZeroAlloc pins the cost of the tracing hooks on the
+// point-read hot path when sampling is off: an engine with a span ring
+// attached but a zero trace context on every transaction must not allocate.
+// Every recording site short-circuits on SpanContext.Traced(), so the
+// sampled-out path is one branch — this test fails if a future change makes
+// the unsampled path allocate (a span struct, a detail string, anything).
+func TestPointReadUnsampledZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig()
+	reg := obs.NewRegistry()
+	cfg.Spans = reg.Spans()
+	e := NewEngine(cfg)
+	if err := e.CreateDatabase("app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("app", "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := e.Exec("app", fmt.Sprintf("INSERT INTO t VALUES (%d, 'val%d')", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stmt, err := Parse("SELECT v FROM t WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	params := []Value{NewInt(0)}
+	i := 0
+	point := func() {
+		tx, err := e.BeginReadOnly("app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.SetTraceContext(obs.SpanContext{}) // sampling off: zero context
+		params[0] = NewInt(int64(i % 100))
+		i++
+		if err := tx.ExecStmtInto(&res, stmt, params...); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 200; j++ { // warm the plan cache and txn pools
+		point()
+	}
+	if avg := testing.AllocsPerRun(1000, point); avg != 0 {
+		t.Fatalf("unsampled point read allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestSpanRingDropCounter verifies the bounded ring accounts every span it
+// evicts in trace_dropped_total rather than losing them silently.
+func TestSpanRingDropCounter(t *testing.T) {
+	reg := obs.NewRegistrySized(4)
+	for i := 0; i < 10; i++ {
+		reg.Spans().Record(obs.Span{TraceID: obs.NewTraceID(), SpanID: obs.NewTraceID()})
+	}
+	snap := reg.Snapshot()
+	var dropped float64
+	for _, p := range snap.Metrics {
+		if p.Name == "trace_dropped_total" {
+			dropped = p.Value
+		}
+	}
+	if dropped != 6 {
+		t.Fatalf("trace_dropped_total = %v, want 6 (10 spans into a 4-slot ring)", dropped)
+	}
+}

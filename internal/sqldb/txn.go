@@ -3,6 +3,9 @@ package sqldb
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"sdp/internal/obs"
 )
 
 // TxnState is the lifecycle state of a transaction.
@@ -108,6 +111,14 @@ type Txn struct {
 	rowBuf      Row
 	rowsScratch []Row
 	rowsBuf     [4]Row
+
+	// trace is the distributed-tracing context this transaction's work is
+	// attributed to (zero = untraced; every recording site checks Sampled
+	// first, so untraced transactions pay one branch). execMode remembers
+	// how the last traced statement executed, for its span's detail. Only
+	// the transaction's own goroutine touches them.
+	trace    obs.SpanContext
+	execMode string
 }
 
 // optRead is one table's recorded optimistic-read epoch.
@@ -118,6 +129,11 @@ type optRead struct {
 
 // ID returns the engine-local transaction identifier.
 func (t *Txn) ID() uint64 { return t.id }
+
+// SetTraceContext attributes the transaction's subsequent statement and
+// WAL-flush work to a distributed trace (the zero context clears it). The
+// context names the parent span engine-side spans link under.
+func (t *Txn) SetTraceContext(tc obs.SpanContext) { t.trace = tc }
 
 // State returns the current lifecycle state.
 func (t *Txn) State() TxnState {
@@ -265,6 +281,12 @@ func (t *Txn) execPlanned(stmt Statement, plan *stmtPlan, params []Value, reuse 
 		return nil, fmt.Errorf("%w: database %s was dropped", ErrTxnAborted, t.db)
 	}
 	t.optHandled = false
+	traced := t.trace.Traced() && t.engine.cfg.Spans != nil
+	var spanStart time.Time
+	if traced {
+		t.execMode = "interpreted"
+		spanStart = time.Now()
+	}
 	res, err := t.engine.execute(t, stmt, plan, params, reuse)
 	if err == nil && t.readOnly && !t.optHandled && len(t.optReads) > 0 &&
 		!t.validateOptEpochs(nil) {
@@ -280,7 +302,59 @@ func (t *Txn) execPlanned(stmt Statement, plan *stmtPlan, params []Value, reuse 
 		// transaction back, as InnoDB does for deadlocks.
 		t.rollbackLocked()
 	}
+	if traced {
+		t.recordSQLSpan(stmt, spanStart)
+	}
 	return res, err
+}
+
+// recordSQLSpan emits the "sql"-scope span of one traced statement: what
+// kind of statement, which tenant, how long, and which executor served it.
+func (t *Txn) recordSQLSpan(stmt Statement, start time.Time) {
+	mode := t.execMode
+	if t.optHandled {
+		mode = "optimistic"
+	}
+	var detail string
+	switch mode {
+	case "compiled":
+		detail = "exec=compiled"
+	case "optimistic":
+		detail = "exec=optimistic"
+	default:
+		detail = "exec=interpreted"
+	}
+	t.engine.cfg.Spans.Record(obs.Span{
+		TraceID:  t.trace.TraceID,
+		SpanID:   obs.NewTraceID(),
+		Parent:   t.trace.SpanID,
+		Scope:    "sql",
+		Name:     stmtKind(stmt),
+		DB:       t.db,
+		Start:    start,
+		Duration: time.Since(start),
+		Detail:   detail,
+	})
+}
+
+// stmtKind names a statement for its span.
+func stmtKind(stmt Statement) string {
+	switch stmt.(type) {
+	case *SelectStmt:
+		return "select"
+	case *InsertStmt:
+		return "insert"
+	case *UpdateStmt:
+		return "update"
+	case *DeleteStmt:
+		return "delete"
+	case *ExplainStmt:
+		return "explain"
+	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt:
+		return "ddl"
+	default:
+		return "other"
+	}
 }
 
 // isAbortError reports whether the error forces a transaction rollback.

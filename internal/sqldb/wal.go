@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"sdp/internal/obs"
 	"sdp/internal/wal"
 )
 
@@ -94,6 +95,21 @@ func (e *Engine) walNamespace(typ wal.RecordType, db string) error {
 func (e *Engine) walCommit(t *Txn) error {
 	if e.wal == nil || !t.walBegun {
 		return nil
+	}
+	if t.trace.Traced() && e.cfg.Spans != nil {
+		start := time.Now()
+		_, err := e.wal.AppendSync(wal.Record{Type: wal.RecCommit, Txn: t.id, GID: t.GlobalID, DB: t.db})
+		e.cfg.Spans.Record(obs.Span{
+			TraceID:  t.trace.TraceID,
+			SpanID:   obs.NewTraceID(),
+			Parent:   t.trace.SpanID,
+			Scope:    "wal",
+			Name:     "flush",
+			DB:       t.db,
+			Start:    start,
+			Duration: time.Since(start),
+		})
+		return err
 	}
 	_, err := e.wal.AppendSync(wal.Record{Type: wal.RecCommit, Txn: t.id, GID: t.GlobalID, DB: t.db})
 	return err

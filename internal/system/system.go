@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sdp/internal/colo"
 	"sdp/internal/core"
@@ -324,6 +325,51 @@ type Txn struct {
 	db     string
 	inner  *core.Txn
 	writes []capturedWrite
+
+	// Distributed-tracing state: parent is the caller's span (e.g. the wire
+	// server's), trace the child context this transaction's work runs under.
+	parent     obs.SpanContext
+	trace      obs.SpanContext
+	traceStart time.Time
+}
+
+// SetTraceContext threads a trace context into the transaction. Work routed
+// through it — core read routing, 2PC phases, engine statement execution,
+// WAL flushes — records spans parented (transitively) under a "system txn"
+// span created here and finished when the transaction commits or rolls
+// back. The zero context disables tracing. Installing a new context
+// replaces the previous one, so in explicit multi-statement transactions
+// the txn span covers the run from the last traced statement to the commit.
+func (t *Txn) SetTraceContext(tc obs.SpanContext) {
+	if !tc.Traced() {
+		if t.trace.Traced() {
+			t.trace = obs.SpanContext{}
+			t.inner.SetTraceContext(obs.SpanContext{})
+		}
+		return
+	}
+	t.parent = tc
+	t.trace = obs.SpanContext{TraceID: tc.TraceID, SpanID: obs.NewTraceID(), Sampled: true}
+	t.traceStart = time.Now()
+	t.inner.SetTraceContext(t.trace)
+}
+
+// finishSpan records the transaction's "system" span, if one is open.
+func (t *Txn) finishSpan(name string) {
+	if !t.trace.Traced() {
+		return
+	}
+	t.sys.metrics.reg.Spans().Record(obs.Span{
+		TraceID:  t.trace.TraceID,
+		SpanID:   t.trace.SpanID,
+		Parent:   t.parent.SpanID,
+		Scope:    "system",
+		Name:     name,
+		DB:       t.db,
+		Start:    t.traceStart,
+		Duration: time.Since(t.traceStart),
+	})
+	t.trace = obs.SpanContext{}
 }
 
 type capturedWrite struct {
@@ -359,7 +405,9 @@ func (t *Txn) ExecStmt(sql string, stmt sqldb.Statement, params ...sqldb.Value) 
 // Commit commits at the primary colo and, on success, enqueues the
 // captured writes for asynchronous replay at the DR colos.
 func (t *Txn) Commit() error {
-	if err := t.inner.Commit(); err != nil {
+	err := t.inner.Commit()
+	t.finishSpan("txn")
+	if err != nil {
 		return err
 	}
 	if len(t.writes) > 0 {
@@ -369,4 +417,8 @@ func (t *Txn) Commit() error {
 }
 
 // Rollback aborts the transaction at the primary.
-func (t *Txn) Rollback() error { return t.inner.Rollback() }
+func (t *Txn) Rollback() error {
+	err := t.inner.Rollback()
+	t.finishSpan("txn")
+	return err
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdp/internal/obs"
 	"sdp/internal/sqldb"
 )
 
@@ -39,6 +40,14 @@ type ClientConfig struct {
 	// RetryBackoff is the initial backoff between retries, doubled per
 	// attempt (default 200µs).
 	RetryBackoff time.Duration
+	// Metrics, when set, receives client-side trace spans (into its span
+	// ring). Nil disables client tracing entirely.
+	Metrics *obs.Registry
+	// TraceSample is the head-sampling fraction for calls made by this
+	// client (0 = never, 1 = every call). A sampled call becomes the root
+	// of a distributed trace: the client span's context rides the MsgQuery/
+	// MsgExec frame so the server's spans link under it.
+	TraceSample float64
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -75,7 +84,9 @@ var errConnDead = errors.New("wire: connection failed")
 // of sockets. Begin pins a dedicated connection for the transaction's
 // lifetime, because a transaction is connection state on the server.
 type Client struct {
-	cfg ClientConfig
+	cfg     ClientConfig
+	sampler *obs.Sampler  // nil when tracing is off
+	spans   *obs.SpanRing // destination for client spans
 
 	rr uint64 // round-robin cursor over shared connections
 
@@ -91,6 +102,10 @@ type Client struct {
 func Dial(cfg ClientConfig) (*Client, error) {
 	cfg = cfg.withDefaults()
 	c := &Client{cfg: cfg, shared: make([]*clientConn, cfg.PoolSize), stmts: make(map[string]*Stmt)}
+	if cfg.Metrics != nil && cfg.TraceSample > 0 {
+		c.sampler = obs.NewSampler(cfg.TraceSample)
+		c.spans = cfg.Metrics.Spans()
+	}
 	cc, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -232,17 +247,49 @@ func (c *Client) putTxConn(cc *clientConn) {
 	c.mu.Unlock()
 }
 
+// traceStart makes the head-sampling decision for one client call. A
+// sampled call mints a fresh trace with the client span as its root; the
+// returned context travels in the request frame so every server-side span
+// links under it.
+func (c *Client) traceStart() obs.SpanContext {
+	if c.sampler == nil || !c.sampler.Sample(c.cfg.Database) {
+		return obs.SpanContext{}
+	}
+	return obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewTraceID(), Sampled: true}
+}
+
+// traceFinish records the completed client root span.
+func (c *Client) traceFinish(tc obs.SpanContext, start time.Time, name, detail string) {
+	if !tc.Traced() {
+		return
+	}
+	c.spans.Record(obs.Span{
+		TraceID:  tc.TraceID,
+		SpanID:   tc.SpanID,
+		Scope:    "client",
+		Name:     name,
+		DB:       c.cfg.Database,
+		Start:    start,
+		Duration: time.Since(start),
+		Detail:   detail,
+	})
+}
+
 // Exec runs one statement in its own transaction (autocommit), retrying
 // retryable errors with exponential backoff — the same contract as the
 // in-process sdp.Conn.Exec plus the retry loop a remote client needs.
 func (c *Client) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
-	return c.withRetry(isReadSQL(sql), func(cc *clientConn) (*sqldb.Result, error) {
+	tc := c.traceStart()
+	start := time.Now()
+	res, err := c.withRetry(isReadSQL(sql), func(cc *clientConn) (*sqldb.Result, error) {
 		payload, err := appendParams(appendString(nil, sql), params)
 		if err != nil {
 			return nil, err
 		}
-		return cc.execFrame(MsgQuery, payload)
+		return cc.execFrame(MsgQuery, appendTraceContext(payload, tc))
 	})
+	c.traceFinish(tc, start, "query", sql)
+	return res, err
 }
 
 // Query is Exec for SELECT statements; provided for readability.
@@ -280,9 +327,13 @@ func (c *Client) Prepare(sql string) (*Stmt, error) {
 // with retry, sending only the statement ID and parameters — no SQL text,
 // no server-side re-parse.
 func (s *Stmt) Exec(params ...sqldb.Value) (*sqldb.Result, error) {
-	return s.c.withRetry(s.read, func(cc *clientConn) (*sqldb.Result, error) {
-		return cc.execPrepared(s, params)
+	tc := s.c.traceStart()
+	start := time.Now()
+	res, err := s.c.withRetry(s.read, func(cc *clientConn) (*sqldb.Result, error) {
+		return cc.execPrepared(s, params, tc)
 	})
+	s.c.traceFinish(tc, start, "exec", s.sql)
+	return res, err
 }
 
 // isReadSQL reports whether a statement is safe to re-send after an
@@ -355,11 +406,15 @@ func (t *Tx) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
 	if t.done {
 		return nil, sqldb.ErrTxnDone
 	}
+	tc := t.c.traceStart()
+	start := time.Now()
 	payload, err := appendParams(appendString(nil, sql), params)
 	if err != nil {
 		return nil, err
 	}
-	return t.cc.execFrame(MsgQuery, payload)
+	res, err := t.cc.execFrame(MsgQuery, appendTraceContext(payload, tc))
+	t.c.traceFinish(tc, start, "query", sql)
+	return res, err
 }
 
 // Query is Exec for SELECT statements.
@@ -372,7 +427,11 @@ func (t *Tx) ExecPrepared(s *Stmt, params ...sqldb.Value) (*sqldb.Result, error)
 	if t.done {
 		return nil, sqldb.ErrTxnDone
 	}
-	return t.cc.execPrepared(s, params)
+	tc := t.c.traceStart()
+	start := time.Now()
+	res, err := t.cc.execPrepared(s, params, tc)
+	t.c.traceFinish(tc, start, "exec", s.sql)
+	return res, err
 }
 
 // Commit commits the transaction and returns the connection to the pool.
@@ -548,7 +607,7 @@ func (cc *clientConn) execFrame(typ byte, payload []byte) (*sqldb.Result, error)
 
 // execPrepared executes a Stmt on this connection, preparing it here first
 // if this connection has not seen it yet.
-func (cc *clientConn) execPrepared(s *Stmt, params []sqldb.Value) (*sqldb.Result, error) {
+func (cc *clientConn) execPrepared(s *Stmt, params []sqldb.Value, tc obs.SpanContext) (*sqldb.Result, error) {
 	id, err := cc.stmtID(s)
 	if err != nil {
 		return nil, err
@@ -557,7 +616,7 @@ func (cc *clientConn) execPrepared(s *Stmt, params []sqldb.Value) (*sqldb.Result
 	if err != nil {
 		return nil, err
 	}
-	return cc.execFrame(MsgExec, payload)
+	return cc.execFrame(MsgExec, appendTraceContext(payload, tc))
 }
 
 // stmtID returns the server-side ID of s on this connection, preparing it

@@ -43,9 +43,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	}
 }
 
-// observeExec records one statement execution's server-side latency.
-func (m *serverMetrics) observeExec(start time.Time) {
-	m.execSeconds.ObserveDuration(time.Since(start))
+// observeExec records one statement execution's server-side latency. A
+// non-zero traceID additionally pins the landing bucket's exemplar to the
+// trace, so the wire_exec_seconds histogram can point at a concrete traced
+// request (rendered by the OpenMetrics exposition).
+func (m *serverMetrics) observeExec(start time.Time, traceID uint64) {
+	m.execSeconds.ObserveWithExemplar(time.Since(start).Seconds(), traceID)
 }
 
 // msgName renders a message-type byte as its metric label.

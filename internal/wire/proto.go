@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 
+	"sdp/internal/obs"
 	"sdp/internal/sqldb"
 )
 
@@ -386,6 +387,40 @@ func (r *reader) params() []sqldb.Value {
 		}
 	}
 	return out
+}
+
+// traceFlagSampled marks the trace context as head-sampled; it is the only
+// flag bit defined in protocol version 1.
+const traceFlagSampled = 0x01
+
+// appendTraceContext appends the optional trailing trace-context field of
+// MsgQuery/MsgExec: u8 flags (bit0 = sampled), u64 trace_id, u64 span_id.
+// An unsampled context appends nothing — the sampled-off wire image is
+// byte-identical to a client that predates tracing, which is also what
+// keeps old servers interoperable (they never see the field) and the hot
+// path free of the 17 extra bytes.
+func appendTraceContext(b []byte, tc obs.SpanContext) []byte {
+	if !tc.Traced() {
+		return b
+	}
+	b = append(b, traceFlagSampled)
+	b = appendU64(b, tc.TraceID)
+	return appendU64(b, tc.SpanID)
+}
+
+// traceContext decodes the optional trailing trace-context field if the
+// payload has bytes left; a payload that ends exactly here simply carries
+// no context. Called immediately before done().
+func (r *reader) traceContext() obs.SpanContext {
+	if r.err != nil || r.off >= len(r.buf) {
+		return obs.SpanContext{}
+	}
+	flags := r.u8()
+	tc := obs.SpanContext{TraceID: r.u64(), SpanID: r.u64(), Sampled: flags&traceFlagSampled != 0}
+	if r.err != nil {
+		return obs.SpanContext{}
+	}
+	return tc
 }
 
 // encodeResult encodes a MsgResult payload: u16 column count + names, u32

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,17 @@ type Txn interface {
 	Rollback() error
 }
 
+// TraceCarrier is optionally implemented by backend transactions that can
+// propagate a distributed-tracing context into the platform (system.Txn
+// does). Kept out of Txn so existing Backend implementations — including
+// test doubles — keep compiling; a transaction that does not carry traces
+// simply yields no platform-side spans.
+type TraceCarrier interface {
+	// SetTraceContext installs the trace context subsequent statement
+	// execution and commit work run under (the zero context clears it).
+	SetTraceContext(tc obs.SpanContext)
+}
+
 // ServerConfig tunes a wire server.
 type ServerConfig struct {
 	// Backend executes sessions' statements. Required.
@@ -57,6 +69,13 @@ type ServerConfig struct {
 	// StmtCacheSize caps the server's shared text→AST statement cache
 	// (default 512; see sqldb.NewStmtCache).
 	StmtCacheSize int
+	// TraceSample is the server-initiated head-sampling fraction, applied
+	// per tenant database to requests that arrive without a client trace
+	// context (a client-sampled request is always traced end to end).
+	TraceSample float64
+	// SlowQuery, when positive, captures statements whose server-side
+	// execution exceeds it into the registry's slow-query log.
+	SlowQuery time.Duration
 }
 
 // Server is a TCP wire-protocol server in front of a Backend. Start one
@@ -66,6 +85,10 @@ type Server struct {
 	metrics *serverMetrics
 	stmts   *sqldb.StmtCache
 	lis     net.Listener
+	sampler *obs.Sampler  // server-initiated head sampling, nil-safe
+	spans   *obs.SpanRing // platform span ring ("wire"-scope spans)
+	slow    *obs.SlowLog
+	qstats  *obs.QueryStats
 
 	mu       sync.Mutex
 	conns    map[*session]struct{}
@@ -101,7 +124,13 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 		metrics: newServerMetrics(cfg.Metrics),
 		stmts:   sqldb.NewStmtCache(cfg.StmtCacheSize),
 		lis:     lis,
+		spans:   cfg.Metrics.Spans(),
+		slow:    cfg.Metrics.SlowLog(),
+		qstats:  cfg.Metrics.QueryStats(),
 		conns:   make(map[*session]struct{}),
+	}
+	if cfg.TraceSample > 0 {
+		s.sampler = obs.NewSampler(cfg.TraceSample)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -389,6 +418,7 @@ func (c *session) handleQuery(f frame) bool {
 	r := &reader{buf: f.payload}
 	sql := r.str()
 	params := r.params()
+	tc := r.traceContext()
 	if err := r.done(); err != nil {
 		c.sendError(f.seq, ErrCodeProtocol, err.Error())
 		return false
@@ -398,7 +428,7 @@ func (c *session) handleQuery(f frame) bool {
 		c.sendErr(f.seq, err)
 		return true
 	}
-	c.runStmt(f.seq, sql, stmt, params)
+	c.runStmt(f.seq, "query", sql, stmt, params, tc)
 	return true
 }
 
@@ -427,6 +457,7 @@ func (c *session) handleExec(f frame) bool {
 	r := &reader{buf: f.payload}
 	id := r.u32()
 	params := r.params()
+	tc := r.traceContext()
 	if err := r.done(); err != nil {
 		c.sendError(f.seq, ErrCodeProtocol, err.Error())
 		return false
@@ -436,46 +467,118 @@ func (c *session) handleExec(f frame) bool {
 		c.sendError(f.seq, ErrCodeStmt, fmt.Sprintf("unknown prepared statement %d", id))
 		return true
 	}
-	c.runStmt(f.seq, ps.sql, ps.stmt, params)
+	c.runStmt(f.seq, "exec", ps.sql, ps.stmt, params, tc)
 	return true
+}
+
+// traceStart resolves the trace context one statement execution runs
+// under. A client-sampled request continues the client's trace (the server
+// span becomes a child of the client span carried in the frame); an
+// unsampled request may still start a server-initiated trace via the
+// per-tenant sampler. The returned context names the server span; parent is
+// what that span links under (0 for a server-initiated root).
+func (s *Server) traceStart(db string, inbound obs.SpanContext) (sctx obs.SpanContext, parent uint64) {
+	if inbound.Traced() {
+		return obs.SpanContext{TraceID: inbound.TraceID, SpanID: obs.NewTraceID(), Sampled: true}, inbound.SpanID
+	}
+	if s.sampler.Sample(db) {
+		return obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewTraceID(), Sampled: true}, 0
+	}
+	return obs.SpanContext{}, 0
+}
+
+// setTxnTrace propagates the trace context into a backend transaction that
+// can carry one; called per statement so an explicit transaction follows
+// each statement's sampling decision (and its commit work is attributed to
+// the last traced statement).
+func setTxnTrace(txn Txn, sctx obs.SpanContext) {
+	if carrier, ok := txn.(TraceCarrier); ok {
+		carrier.SetTraceContext(sctx)
+	}
+}
+
+// modeFromSpans extracts the plan execution mode recorded by the engine's
+// "sql" span, "" when the breakdown carries none.
+func modeFromSpans(spans []obs.Span) string {
+	for i := range spans {
+		if spans[i].Scope == "sql" && strings.HasPrefix(spans[i].Detail, "exec=") {
+			return strings.TrimPrefix(spans[i].Detail, "exec=")
+		}
+	}
+	return ""
 }
 
 // runStmt executes one statement in the open transaction, or in a
 // single-statement autocommit transaction when none is open.
-func (c *session) runStmt(seq uint64, sql string, stmt sqldb.Statement, params []sqldb.Value) {
+func (c *session) runStmt(seq uint64, kind, sql string, stmt sqldb.Statement, params []sqldb.Value, inbound obs.SpanContext) {
 	start := time.Now()
+	sctx, parent := c.srv.traceStart(c.db, inbound)
+	var res *sqldb.Result
+	var err error
 	if c.txn != nil {
-		res, err := c.txn.ExecStmt(sql, stmt, params...)
-		c.srv.metrics.observeExec(start)
+		setTxnTrace(c.txn, sctx)
+		res, err = c.txn.ExecStmt(sql, stmt, params...)
 		if err != nil {
 			// The controller aborts the distributed transaction on any
 			// statement error; reflect that in session state so a
 			// subsequent COMMIT reports the txn gone rather than hanging.
 			c.txn = nil
+		}
+	} else {
+		var txn Txn
+		txn, err = c.srv.cfg.Backend.Begin(c.db)
+		if err != nil {
 			c.sendErr(seq, err)
 			return
 		}
-		c.sendResult(seq, res)
-		return
+		setTxnTrace(txn, sctx)
+		res, err = txn.ExecStmt(sql, stmt, params...)
+		if err != nil {
+			_ = txn.Rollback()
+		} else {
+			err = txn.Commit()
+		}
 	}
-	txn, err := c.srv.cfg.Backend.Begin(c.db)
+	c.finishStmt(seq, kind, sql, start, sctx, parent, res, err)
+}
+
+// finishStmt records one executed statement's telemetry — latency (with a
+// trace exemplar when sampled), the "wire"-scope span, per-tenant query
+// stats, and a slow-query capture over the threshold — then answers the
+// client.
+func (c *session) finishStmt(seq uint64, kind, sql string, start time.Time, sctx obs.SpanContext, parent uint64, res *sqldb.Result, err error) {
+	dur := time.Since(start)
+	c.srv.metrics.observeExec(start, sctx.TraceID)
+	if sctx.Traced() {
+		c.srv.spans.Record(obs.Span{
+			TraceID:  sctx.TraceID,
+			SpanID:   sctx.SpanID,
+			Parent:   parent,
+			Scope:    "wire",
+			Name:     kind,
+			DB:       c.db,
+			Start:    start,
+			Duration: dur,
+			Detail:   sql,
+		})
+	}
+	c.srv.qstats.Record(c.db, sql, dur)
+	if c.srv.cfg.SlowQuery > 0 && dur >= c.srv.cfg.SlowQuery {
+		spans := c.srv.spans.ByTrace(sctx.TraceID)
+		c.srv.slow.Record(obs.SlowEntry{
+			Time:     time.Now(),
+			DB:       c.db,
+			SQL:      sql,
+			Duration: dur,
+			TraceID:  sctx.TraceID,
+			Mode:     modeFromSpans(spans),
+			Spans:    spans,
+		})
+	}
 	if err != nil {
 		c.sendErr(seq, err)
 		return
 	}
-	res, err := txn.ExecStmt(sql, stmt, params...)
-	if err != nil {
-		_ = txn.Rollback()
-		c.srv.metrics.observeExec(start)
-		c.sendErr(seq, err)
-		return
-	}
-	if err := txn.Commit(); err != nil {
-		c.srv.metrics.observeExec(start)
-		c.sendErr(seq, err)
-		return
-	}
-	c.srv.metrics.observeExec(start)
 	c.sendResult(seq, res)
 }
 

@@ -118,6 +118,20 @@ type Config struct {
 	// instead of a full re-replication (see DESIGN.md, "Durability
 	// architecture").
 	WAL *WALConfig
+	// TraceSample is the head-based per-tenant trace sampling fraction the
+	// wire server applies to requests that arrive without a client trace
+	// context (0 disables server-initiated sampling; 1 samples every call).
+	// Client-sampled requests are always traced regardless of this setting.
+	// See OBSERVABILITY.md, "Distributed tracing".
+	TraceSample float64
+	// TraceRing is the capacity of the span ring shared by every layer
+	// (default 4096). Overflow evicts the oldest spans and increments
+	// trace_dropped_total.
+	TraceRing int
+	// SlowQuery, when positive, records statements that take at least this
+	// long into the bounded slow-query log served at /slowz, with the span
+	// breakdown for sampled calls.
+	SlowQuery time.Duration
 }
 
 func (c Config) coloOptions() colo.Options {
@@ -175,7 +189,11 @@ type Platform struct {
 
 // New creates an empty platform with the given configuration.
 func New(cfg Config) *Platform {
-	reg := obs.NewRegistry()
+	ring := cfg.TraceRing
+	if ring <= 0 {
+		ring = obs.DefaultTraceCapacity
+	}
+	reg := obs.NewRegistrySized(ring)
 	return &Platform{
 		cfg: cfg,
 		reg: reg,

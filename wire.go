@@ -75,14 +75,16 @@ func (p *Platform) ServeWire() (*wire.Server, error) {
 		return nil, errors.New("sdp: Config.Listen is empty")
 	}
 	return wire.Serve(p.cfg.Listen, wire.ServerConfig{
-		Backend: wireBackend{p: p},
-		Metrics: p.reg,
-		Banner:  "sdp/" + wireBannerVersion,
+		Backend:     wireBackend{p: p},
+		Metrics:     p.reg,
+		Banner:      "sdp/" + wireBannerVersion,
+		TraceSample: p.cfg.TraceSample,
+		SlowQuery:   p.cfg.SlowQuery,
 	})
 }
 
 // wireBannerVersion identifies the server build in MsgWelcome banners.
-const wireBannerVersion = "7"
+const wireBannerVersion = "8"
 
 // Stmt is a prepared statement on an in-process connection: parsed once,
 // executed many times. Each execution skips the parser and hits the
