@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo net-demo trace-demo bench bench-sqldb bench-wal bench-net bench-gate experiments clean
+.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo net-demo trace-demo consensus-demo bench bench-sqldb bench-wal bench-net bench-consensus bench-gate experiments clean
 
 all: build test
 
@@ -13,11 +13,12 @@ test:
 # Race-detector pass over the packages with lock-sensitive hot paths: the
 # query engine (plan cache, striped buffer pool, lock manager, optimistic
 # read validation), the cluster controller (2PC, replica management), the
+# consensus log (elections, lease hand-off, kill/restart lifecycle), the
 # write-ahead log's group-commit pipeline, the TPC-W client whose
 # read-only profiles drive the optimistic path concurrently, and the wire
 # protocol's pipelined sessions (multiplexed client pool vs concurrent DDL).
 race:
-	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/wal/... ./internal/tpcw/... ./internal/wire/...
+	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/consensus/... ./internal/wal/... ./internal/tpcw/... ./internal/wire/...
 
 # vet also smoke-tests the wait-free metrics instruments, the SLA monitor's
 # epoch-recycled windows, the admin plane, and the write-ahead log under the
@@ -33,7 +34,7 @@ vet:
 # platform run registers (see OBSERVABILITY.md and the package docs citing
 # paper sections).
 doc-check:
-	$(GO) run ./cmd/doccheck -proto PROTOCOL.md -metrics OBSERVABILITY.md ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb ./internal/wire
+	$(GO) run ./cmd/doccheck -proto PROTOCOL.md -metrics OBSERVABILITY.md ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb ./internal/wire ./internal/consensus
 
 # Crash-recovery soak: the randomized log-cut property test, 20 runs with
 # distinct injection seeds. Any failure reproduces with
@@ -45,8 +46,10 @@ crash:
 	done; echo "crash suite: 20 seeds passed"
 
 # Chaos soak: TPC-W traffic under a seeded schedule of network faults,
-# asymmetric partitions, and machine crashes (including kills in the 2PC
-# in-doubt window), checked for one-copy serializability, replica
+# asymmetric partitions, machine crashes (including kills in the 2PC
+# in-doubt window), and controller-leader kills (immediate, armed on the
+# next PREPARE, and mid-Algorithm-1 copy), checked for one-copy
+# serializability, replica convergence, controller state-machine
 # convergence, and zero leaked locks. Each seed replays its exact fault
 # schedule; a failure reproduces with
 # go run ./cmd/experiments -chaos -quick -seed <seed>
@@ -87,6 +90,14 @@ net-demo:
 trace-demo:
 	$(GO) run ./cmd/experiments -trace-demo
 
+# Replicated-control-plane demo: run the quick consensus benchmark — three
+# controller replicas, repeated leader kills under TPC-W load — and print
+# the per-kill failover timings it recorded.
+consensus-demo:
+	@set -e; \
+	$(GO) run ./cmd/experiments -bench-consensus -quick -bench-consensus-out /tmp/sdp-consensus-demo.json; \
+	cat /tmp/sdp-consensus-demo.json
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
@@ -104,6 +115,11 @@ bench-wal:
 # connection count, up to 10k+ concurrent connections).
 bench-net:
 	$(GO) run ./cmd/experiments -bench-net
+
+# Regenerate BENCH_consensus.json (control-plane operation latency through
+# the consensus log, and leader-failover time under TPC-W load).
+bench-consensus:
+	$(GO) run ./cmd/experiments -bench-consensus
 
 # Quick perf regression gate: fail if the measured point-read latency is more
 # than 20% above the committed BENCH_sqldb.json baseline.

@@ -141,3 +141,68 @@ func TestAdminPlaneIntegration(t *testing.T) {
 		t.Errorf("ServeAdmin /metrics = %d", resp.StatusCode)
 	}
 }
+
+// TestAdminControllerQuorumProbes boots a platform with replicated cluster
+// controllers and checks the probes in both states: with a leader holding the
+// quorum lease /healthz carries the leader identity and term and /readyz is
+// ready; with every controller replica stopped the lease lapses, /healthz
+// flips controller_quorum to false, and /readyz goes 503 naming the cluster.
+func TestAdminControllerQuorumProbes(t *testing.T) {
+	p := New(Config{ClusterSize: 3, Controllers: 3})
+	p.AddColo("colo1", "us-east", 4)
+	if err := p.CreateDatabase("shop", SLA{
+		SizeMB: 1, MinTPS: 1, MaxRejectFraction: 0.5,
+	}, "colo1"); err != nil {
+		t.Fatal(err)
+	}
+
+	h := p.AdminHandler()
+	get := func(path string) (*httptest.ResponseRecorder, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec, rec.Body.String()
+	}
+
+	rec, body := get("/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d %s", rec.Code, body)
+	}
+	for _, want := range []string{`"controllers": 3`, `"controller_leader":`, `"controller_term":`, `"controller_quorum": true`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/healthz missing %q:\n%s", want, body)
+		}
+	}
+	if rec, body := get("/readyz"); rec.Code != http.StatusOK {
+		t.Errorf("/readyz with quorum = %d %s", rec.Code, body)
+	}
+
+	// Stop every controller replica: the quorum lease lapses and the data
+	// path refuses new transactions, which readiness must surface.
+	co, err := p.System().Colo("colo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := co.Clusters()[0]
+	for _, id := range cl.ControllerIDs() {
+		if err := cl.StopController(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, body = get("/readyz")
+		if rec.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz stayed %d after stopping all controllers: %s", rec.Code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(body, "controller quorum lost") {
+		t.Errorf("/readyz reason missing quorum loss: %s", body)
+	}
+	if rec, body := get("/healthz"); !strings.Contains(body, `"controller_quorum": false`) {
+		t.Errorf("/healthz should report lost quorum (%d): %s", rec.Code, body)
+	}
+}

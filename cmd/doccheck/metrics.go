@@ -16,7 +16,7 @@ import (
 // spans: a layer prefix followed by the family name. Prose fragments like
 // `core_` or `core_net_` (trailing underscore) and engine-stat labels
 // without a layer prefix do not match.
-var familyName = regexp.MustCompile("`((?:core|twopc|netsim|sqldb|wal|colo|system|sla|wire|trace|slowlog)_[a-z0-9_]*[a-z0-9])`")
+var familyName = regexp.MustCompile("`((?:core|twopc|netsim|sqldb|wal|colo|system|sla|wire|trace|slowlog|consensus)_[a-z0-9_]*[a-z0-9])`")
 
 // notFamilies lists tokens that match familyName but name trace-event
 // phases documented in OBSERVABILITY.md's tracing tables, not families.
@@ -66,6 +66,7 @@ func representativeFamilies() (map[string]string, error) {
 		WAL:         &sdp.WALConfig{},
 		TraceSample: 1,
 		SlowQuery:   time.Nanosecond,
+		Controllers: 3, // consensus_* families register with the control plane replicated
 	})
 	reg := p.Metrics()
 	netsim.New(0, reg) // netsim_* families register at network construction

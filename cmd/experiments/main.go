@@ -35,6 +35,14 @@
 // plus machine-restart recovery by log replay versus a full Algorithm-1
 // copy — and writes the results to BENCH_wal.json (or -bench-wal-out).
 //
+// -bench-consensus runs the replicated-control-plane benchmarks — steady-state
+// control-operation latency through the consensus log (create/drop database
+// p50/p99), then repeated leader kills under TPC-W load measuring the time
+// from each kill to the next committed control-plane operation and to the
+// next committed client transaction, plus commit throughput before versus
+// across the failovers — and writes BENCH_consensus.json (or
+// -bench-consensus-out).
+//
 // -bench-gate re-runs the point-read benchmark at the committed baseline's
 // iteration count and compares the measured latency against the baseline in
 // the file given by -bench-baseline (default BENCH_sqldb.json), exiting 1 if
@@ -93,6 +101,8 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_sqldb.json", "output path for -bench-sqldb results")
 	benchWAL := flag.Bool("bench-wal", false, "run the durability benchmarks (group commit scaling, log-replay vs full-copy recovery) and write JSON results")
 	benchWALOut := flag.String("bench-wal-out", "BENCH_wal.json", "output path for -bench-wal results")
+	benchConsensus := flag.Bool("bench-consensus", false, "run the replicated-control-plane benchmarks (control-op latency, leader-failover time under load) and write JSON results")
+	benchConsensusOut := flag.String("bench-consensus-out", "BENCH_consensus.json", "output path for -bench-consensus results")
 	benchNet := flag.Bool("bench-net", false, "run the wire-protocol benchmarks (loopback latency, throughput vs connection count) and write JSON results")
 	benchNetOut := flag.String("bench-net-out", "BENCH_net.json", "output path for -bench-net results")
 	serveAddr := flag.String("serve", "", "serve the wire protocol with a demo database on this address (e.g. 127.0.0.1:8346) until interrupted")
@@ -209,6 +219,28 @@ func main() {
 		fmt.Printf("wrote %s: prepared read %.0f ns/op vs simple %.0f ns/op (EXPLAIN exec=%s); at %d conns %.0f tps, p99 %.0f µs, %.0f bytes/op, %d sustained\n",
 			*benchNetOut, res.PreparedReadNsPerOp, res.SimpleReadNsPerOp, res.ExplainExec,
 			last.Conns, last.TPS, last.P99Us, last.BytesPerOp, res.MaxConnsSustained)
+		return
+	}
+
+	if *benchConsensus {
+		res, err := experiments.RunConsensusBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-consensus: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-consensus: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchConsensusOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-consensus: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d controllers, ctl op p50 %.0f µs / p99 %.0f µs; %d leader kills under load: ctl commit back in %.1f ms, txn commit in %.1f ms (mean); %.0f tps baseline vs %.0f across failovers\n",
+			*benchConsensusOut, res.Controllers, res.CtlOpP50Us, res.CtlOpP99Us,
+			len(res.Failovers), res.CtlCommitMeanMs, res.TxnCommitMeanMs,
+			res.BaselineTPS, res.FailoverTPS)
 		return
 	}
 

@@ -27,6 +27,9 @@
 //	\migrate <db> <from> <to>     move a replica between machines
 //	\rebalance                    spread load by migrating replicas
 //	\stats                        platform counters
+//	\leader                       controller replica status (needs -controllers)
+//	\killleader                   kill the leader controller and watch failover
+//	\revivectl                    restart killed controller replicas
 //	\quit
 //
 // BEGIN starts an interactive transaction; statements then run inside it
@@ -40,8 +43,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sdp"
+	"sdp/internal/core"
 	"sdp/internal/obs"
 	"sdp/internal/wire"
 )
@@ -49,6 +54,7 @@ import (
 func main() {
 	machines := flag.Int("machines", 6, "free machines in the colo")
 	durable := flag.Bool("wal", true, "write-ahead logging: group commit, \\crash/\\restart recovery")
+	controllers := flag.Int("controllers", 0, "replicate the cluster controller across this many consensus replicas (3-5); enables \\leader and \\killleader")
 	listen := flag.String("listen", "", "also serve the wire protocol on this address (e.g. 127.0.0.1:8346)")
 	connect := flag.String("connect", "", "connect to a wire server at this address instead of booting a platform")
 	dbFlag := flag.String("db", "", "database to bind the -connect session to")
@@ -61,7 +67,7 @@ func main() {
 		return
 	}
 
-	cfg := sdp.Config{ClusterSize: 4, Listen: *listen}
+	cfg := sdp.Config{ClusterSize: 4, Listen: *listen, Controllers: *controllers}
 	if *durable {
 		cfg.WAL = &sdp.WALConfig{Compact: true}
 	}
@@ -352,10 +358,77 @@ func command(p *sdp.Platform, line string, current **sdp.Conn, currentName *stri
 			fmt.Printf("cluster %s: committed=%d aborted=%d rejected=%d deadlocks=%d\n",
 				cl.Name(), s.Committed, s.Aborted, s.Rejected, s.Deadlocks)
 		}
+	case "\\leader":
+		forEachReplicatedCluster(p, func(cl *core.Cluster) {
+			leader, term := cl.LeaderController()
+			if leader == "" {
+				fmt.Printf("cluster %s: leaderless (election in progress or quorum lost)\n", cl.Name())
+			} else {
+				fmt.Printf("cluster %s: leader %s, term %d\n", cl.Name(), leader, term)
+			}
+			for _, st := range cl.ControllerStatus() {
+				role := "follower"
+				switch {
+				case st.Stopped:
+					role = "STOPPED"
+				case st.Leader:
+					role = "leader"
+				}
+				fmt.Printf("  %-16s %-8s term=%d applied=%d\n", st.ID, role, st.Term, st.Applied)
+			}
+		})
+	case "\\killleader":
+		forEachReplicatedCluster(p, func(cl *core.Cluster) {
+			killed, err := cl.KillLeaderController()
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Printf("cluster %s: killed %s; waiting for the survivors to elect...\n", cl.Name(), killed)
+			if err := cl.WaitControllerSettled(5 * time.Second); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			leader, term := cl.LeaderController()
+			fmt.Printf("cluster %s: new leader %s, term %d (\\revivectl brings %s back)\n",
+				cl.Name(), leader, term, killed)
+		})
+	case "\\revivectl":
+		forEachReplicatedCluster(p, func(cl *core.Cluster) {
+			n := cl.RestartControllers()
+			fmt.Printf("cluster %s: restarted %d controller replica(s)\n", cl.Name(), n)
+		})
 	default:
 		fmt.Println("unknown command", fields[0])
 	}
 	return true
+}
+
+// forEachReplicatedCluster runs fn on every cluster whose control plane is
+// replicated, telling the user why nothing happened otherwise (no cluster
+// formed yet, or the shell was started without -controllers).
+func forEachReplicatedCluster(p *sdp.Platform, fn func(cl *core.Cluster)) {
+	co, err := p.System().Colo("local")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	clusters := co.Clusters()
+	if len(clusters) == 0 {
+		fmt.Println("no clusters formed yet; \\create <db> first")
+		return
+	}
+	any := false
+	for _, cl := range clusters {
+		if len(cl.ControllerIDs()) == 0 {
+			continue
+		}
+		any = true
+		fn(cl)
+	}
+	if !any {
+		fmt.Println("control plane is not replicated; start the shell with -controllers 3")
+	}
 }
 
 // remoteShell runs the shell as a pure wire-protocol client: SQL and

@@ -80,7 +80,7 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `sdp admin plane
   /metrics          Prometheus text exposition of the obs registry
   /healthz          liveness: any live machine in any cluster
-  /readyz           readiness: colos up, replication degree met, no copies in flight
+  /readyz           readiness: colos up, replication degree met, no copies in flight, controller quorum held
   /tracez           trace ring (query: scope=2pc|copy|recovery|repl|dr|sla, gid=<correlation id>;
                     trace=<16-hex trace id> for the span tree, format=text to render it)
   /slowz            slow-query log, newest last (query: format=text for the operator rendering)
@@ -155,6 +155,11 @@ func serveReadyz(w http.ResponseWriter, plat Platform) {
 				if cl.ActiveCopies > 0 {
 					body.Reasons = append(body.Reasons, fmt.Sprintf(
 						"cluster %s: %d replica copies in flight", cl.Cluster, cl.ActiveCopies))
+				}
+				if !cl.ControllerQuorum {
+					body.Reasons = append(body.Reasons, fmt.Sprintf(
+						"cluster %s: controller quorum lost (no leader holds the lease)",
+						cl.Cluster))
 				}
 			}
 		}

@@ -36,6 +36,8 @@ func healthyPlatform() *fakePlatform {
 					Clusters: []core.ClusterHealth{{
 						Cluster: "colo1-c1", Machines: 4, LiveMachines: 4,
 						Databases: 1, Replicas: 2,
+						Controllers: 3, ControllerLeader: "colo1-c1#0",
+						ControllerTerm: 1, ControllerQuorum: true,
 					}},
 				},
 				Region: "us-east",
@@ -118,6 +120,11 @@ func TestReadyz(t *testing.T) {
 		{"under-replicated", func(p *fakePlatform) { p.health.Colos[0].Clusters[0].LiveMachines = 1 }, "live machines < replication degree"},
 		{"copy in flight", func(p *fakePlatform) { p.health.Colos[0].Clusters[0].ActiveCopies = 1 }, "replica copies in flight"},
 		{"no colos", func(p *fakePlatform) { p.health.Colos = nil }, "no colos registered"},
+		{"quorum lost", func(p *fakePlatform) {
+			cl := &p.health.Colos[0].Clusters[0]
+			cl.ControllerQuorum = false
+			cl.ControllerLeader = ""
+		}, "controller quorum lost"},
 	}
 	for _, tc := range cases {
 		p := healthyPlatform()

@@ -1,0 +1,110 @@
+package consensus
+
+// Entry is one record of the replicated log. Index 1 is the first entry
+// ever appended; a compacted prefix is summarised by the log's snapshot.
+type Entry struct {
+	// Index is the entry's position in the log, starting at 1.
+	Index uint64
+	// Term is the leader term the entry was appended under.
+	Term uint64
+	// Cmd is the opaque state-machine command. A nil Cmd is a no-op
+	// barrier entry (appended by a new leader to commit its term).
+	Cmd []byte
+}
+
+// raftLog is the in-memory replicated log with snapshot-based compaction.
+// base/baseTerm describe the last entry folded into the snapshot; live
+// entries follow at indexes base+1..base+len(entries). The zero value is an
+// empty log with no snapshot.
+type raftLog struct {
+	base     uint64
+	baseTerm uint64
+	entries  []Entry
+	snapshot []byte
+}
+
+// lastIndex returns the index of the last entry (snapshotted or live).
+func (l *raftLog) lastIndex() uint64 { return l.base + uint64(len(l.entries)) }
+
+// termAt returns the term of the entry at index i, or 0 when i is outside
+// the log (before the snapshot base or past the last entry).
+func (l *raftLog) termAt(i uint64) uint64 {
+	switch {
+	case i == l.base:
+		return l.baseTerm
+	case i < l.base || i > l.lastIndex():
+		return 0
+	default:
+		return l.entries[i-l.base-1].Term
+	}
+}
+
+// appendCmd appends a fresh command under term and returns its index.
+func (l *raftLog) appendCmd(term uint64, cmd []byte) uint64 {
+	idx := l.lastIndex() + 1
+	l.entries = append(l.entries, Entry{Index: idx, Term: term, Cmd: cmd})
+	return idx
+}
+
+// appendEntry appends a replicated entry that already carries its index,
+// which must be lastIndex()+1.
+func (l *raftLog) appendEntry(e Entry) { l.entries = append(l.entries, e) }
+
+// truncateFrom drops every entry with index ≥ i (conflict repair).
+// Indexes at or below the snapshot base are immutable and ignored.
+func (l *raftLog) truncateFrom(i uint64) {
+	if i <= l.base {
+		i = l.base + 1
+	}
+	if n := int(i - l.base - 1); n < len(l.entries) {
+		l.entries = l.entries[:n]
+	}
+}
+
+// from returns a copy of all live entries with index ≥ i.
+func (l *raftLog) from(i uint64) []Entry {
+	if i <= l.base {
+		i = l.base + 1
+	}
+	if i > l.lastIndex() {
+		return nil
+	}
+	src := l.entries[i-l.base-1:]
+	out := make([]Entry, len(src))
+	copy(out, src)
+	return out
+}
+
+// slice returns a copy of the entries in the inclusive index range [lo, hi].
+func (l *raftLog) slice(lo, hi uint64) []Entry {
+	if lo <= l.base {
+		lo = l.base + 1
+	}
+	if hi > l.lastIndex() {
+		hi = l.lastIndex()
+	}
+	if lo > hi {
+		return nil
+	}
+	src := l.entries[lo-l.base-1 : hi-l.base]
+	out := make([]Entry, len(src))
+	copy(out, src)
+	return out
+}
+
+// compact folds every entry up to and including index `to` into the given
+// snapshot, keeping the live suffix.
+func (l *raftLog) compact(to, term uint64, snap []byte) {
+	if to <= l.base {
+		return
+	}
+	keep := l.entries[to-l.base:]
+	l.entries = append([]Entry(nil), keep...)
+	l.base, l.baseTerm, l.snapshot = to, term, snap
+}
+
+// reset discards the whole log and replaces it with an installed snapshot.
+func (l *raftLog) reset(base, term uint64, snap []byte) {
+	l.base, l.baseTerm, l.snapshot = base, term, snap
+	l.entries = nil
+}

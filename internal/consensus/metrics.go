@@ -1,0 +1,47 @@
+package consensus
+
+import "sdp/internal/obs"
+
+// groupMetrics is the consensus_* instrument family, shared by every node
+// of a group. Gauges are refreshed by the registry's snapshot bridge.
+type groupMetrics struct {
+	elections     *obs.Counter
+	leaderChanges *obs.Counter
+	proposals     *obs.CounterVec
+	snapshots     *obs.Counter
+	snapInstalls  *obs.Counter
+	term          *obs.Gauge
+	commitIndex   *obs.Gauge
+	commitLag     *obs.Gauge
+}
+
+// newGroupMetrics registers the consensus_* family on reg.
+func newGroupMetrics(reg *obs.Registry) *groupMetrics {
+	return &groupMetrics{
+		elections: reg.Counter("consensus_elections_total",
+			"Election rounds started (a candidate incremented its term and solicited votes)"),
+		leaderChanges: reg.Counter("consensus_leader_changes_total",
+			"Elections won: a node assumed leadership of a new term"),
+		proposals: reg.CounterVec("consensus_proposals_total",
+			"Control-plane log proposals by outcome", "result"),
+		snapshots: reg.Counter("consensus_snapshots_total",
+			"State-machine snapshots taken for log compaction"),
+		snapInstalls: reg.Counter("consensus_snapshot_installs_total",
+			"Snapshots installed on trailing replicas to catch them up past a compacted log"),
+		term: reg.Gauge("consensus_term",
+			"Highest election term seen by any group member"),
+		commitIndex: reg.Gauge("consensus_commit_index",
+			"Highest committed log index in the group"),
+		commitLag: reg.Gauge("consensus_commit_lag",
+			"Entries the slowest live replica's state machine trails behind the commit index"),
+	}
+}
+
+// Proposal result labels for consensus_proposals_total.
+const (
+	resultCommitted = "committed"
+	resultNotLeader = "not_leader"
+	resultLost      = "lost"
+	resultTimeout   = "timeout"
+	resultStopped   = "stopped"
+)

@@ -1,0 +1,170 @@
+package consensus
+
+// voteRequest solicits a vote for candidate in term. Log freshness fields
+// implement Raft's election restriction: a voter only grants its vote to a
+// candidate whose log is at least as up to date as its own.
+type voteRequest struct {
+	Term         uint64
+	Candidate    string
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+// voteReply answers a voteRequest.
+type voteReply struct {
+	Term    uint64
+	Granted bool
+}
+
+// appendRequest replicates entries (or, with none, heartbeats) from the
+// leader. PrevIndex/PrevTerm anchor the consistency check; Commit carries
+// the leader's commit index.
+type appendRequest struct {
+	Term      uint64
+	Leader    string
+	PrevIndex uint64
+	PrevTerm  uint64
+	Entries   []Entry
+	Commit    uint64
+}
+
+// appendReply answers an appendRequest. On rejection ConflictIndex is the
+// follower's hint for where the leader should back up to — the first index
+// of the conflicting term, or just past the follower's last entry — which
+// repairs divergence in one round per term rather than one per entry.
+type appendReply struct {
+	Term          uint64
+	Success       bool
+	ConflictIndex uint64
+	MatchIndex    uint64
+}
+
+// snapshotRequest installs a compacted-state snapshot on a replica whose
+// log trails behind the leader's compaction point.
+type snapshotRequest struct {
+	Term      uint64
+	Leader    string
+	LastIndex uint64
+	LastTerm  uint64
+	Data      []byte
+}
+
+// snapshotReply answers a snapshotRequest.
+type snapshotReply struct {
+	Term uint64
+}
+
+// handleVote processes a RequestVote RPC at the receiving node.
+func (n *Node) handleVote(req voteRequest) (voteReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return voteReply{}, errPeerDown
+	}
+	if req.Term < n.term {
+		return voteReply{Term: n.term}, nil
+	}
+	if req.Term > n.term {
+		n.stepDownLocked(req.Term)
+	}
+	lastIdx := n.log.lastIndex()
+	lastTerm := n.log.termAt(lastIdx)
+	upToDate := req.LastLogTerm > lastTerm ||
+		(req.LastLogTerm == lastTerm && req.LastLogIndex >= lastIdx)
+	if (n.votedFor == "" || n.votedFor == req.Candidate) && upToDate {
+		n.votedFor = req.Candidate
+		n.resetElectionTimerLocked()
+		return voteReply{Term: n.term, Granted: true}, nil
+	}
+	return voteReply{Term: n.term}, nil
+}
+
+// handleAppend processes an AppendEntries RPC at the receiving node.
+func (n *Node) handleAppend(req appendRequest) (appendReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return appendReply{}, errPeerDown
+	}
+	if req.Term < n.term {
+		return appendReply{Term: n.term}, nil
+	}
+	if req.Term > n.term || n.role != follower {
+		n.stepDownLocked(req.Term)
+	}
+	n.leaderID = req.Leader
+	n.resetElectionTimerLocked()
+
+	prev, prevTerm, entries := req.PrevIndex, req.PrevTerm, req.Entries
+	if prev < n.log.base {
+		// The snapshot already covers a prefix of these entries; skip it.
+		skip := n.log.base - prev
+		if uint64(len(entries)) <= skip {
+			return appendReply{Term: n.term, Success: true, MatchIndex: n.log.base}, nil
+		}
+		entries = entries[skip:]
+		prev, prevTerm = n.log.base, n.log.baseTerm
+	}
+	if prev > n.log.lastIndex() {
+		return appendReply{Term: n.term, ConflictIndex: n.log.lastIndex() + 1}, nil
+	}
+	if t := n.log.termAt(prev); t != prevTerm {
+		// Back the leader up to the first index of the conflicting term.
+		ci := prev
+		for ci > n.log.base+1 && n.log.termAt(ci-1) == t {
+			ci--
+		}
+		return appendReply{Term: n.term, ConflictIndex: ci}, nil
+	}
+	for i, e := range entries {
+		idx := prev + 1 + uint64(i)
+		if idx <= n.log.lastIndex() {
+			if n.log.termAt(idx) == e.Term {
+				continue
+			}
+			n.log.truncateFrom(idx)
+			n.failWaitersFromLocked(idx)
+		}
+		n.log.appendEntry(e)
+	}
+	last := prev + uint64(len(entries))
+	if req.Commit > n.commitIndex {
+		// Only the verified prefix (up to the last entry this request
+		// matched) is known to agree with the leader's log.
+		ci := req.Commit
+		if ci > last {
+			ci = last
+		}
+		if ci > n.commitIndex {
+			n.commitIndex = ci
+			n.applyCond.Signal()
+		}
+	}
+	return appendReply{Term: n.term, Success: true, MatchIndex: last}, nil
+}
+
+// handleSnapshot processes an InstallSnapshot RPC at the receiving node.
+// The snapshot is staged and installed from the apply goroutine so state
+// machine Restore never races an in-flight Apply.
+func (n *Node) handleSnapshot(req snapshotRequest) (snapshotReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return snapshotReply{}, errPeerDown
+	}
+	if req.Term < n.term {
+		return snapshotReply{Term: n.term}, nil
+	}
+	if req.Term > n.term || n.role != follower {
+		n.stepDownLocked(req.Term)
+	}
+	n.leaderID = req.Leader
+	n.resetElectionTimerLocked()
+	if req.LastIndex > n.commitIndex && req.LastIndex > n.log.base {
+		staged := req
+		staged.Data = append([]byte(nil), req.Data...)
+		n.pendingSnap = &staged
+		n.applyCond.Signal()
+	}
+	return snapshotReply{Term: n.term}, nil
+}

@@ -64,6 +64,12 @@ type Cluster struct {
 	// transaction so declared SLAs are compared against delivered service
 	// (see sla.Monitor; all its methods are nil-receiver safe).
 	slamon *sla.Monitor
+
+	// ctl, when non-nil, is the replicated control plane: every control
+	// mutation commits to a consensus log across Options.Controllers
+	// replicas before materializing into the routing state above (see
+	// controlplane.go). Nil keeps the single-controller process-pair model.
+	ctl *controlPlane
 }
 
 // dbState is the controller's bookkeeping for one client database.
@@ -196,6 +202,9 @@ func NewCluster(name string, opts Options) *Cluster {
 		c.walMetrics = wal.NewMetrics(reg)
 	}
 	reg.OnSnapshot(c.bridgeStats)
+	if opts.Controllers > 0 {
+		c.ctl = newControlPlane(c, opts.Controllers, reg)
+	}
 	if c.slamon != nil {
 		// Let the monitor resolve which machines host a violating
 		// database's replicas (the re-placement hook).
@@ -224,6 +233,19 @@ func (c *Cluster) Options() Options { return c.opts }
 // AddMachine registers a new machine (from the colo's free pool) and returns
 // it.
 func (c *Cluster) AddMachine(id string) (*Machine, error) {
+	if cp := c.ctl; cp != nil {
+		c.mu.Lock()
+		_, dup := c.machines[id]
+		c.mu.Unlock()
+		if dup {
+			return nil, fmt.Errorf("core: machine %s already in cluster %s", id, c.name)
+		}
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		if _, err := cp.propose(ctlCmd{Op: ctlOpAddMachine, Machine: id}); err != nil {
+			return nil, err
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.machines[id]; dup {
@@ -371,6 +393,35 @@ func (c *Cluster) CreateDatabaseOn(db string, machineIDs []string) error {
 		m.dbCount.Add(1)
 	}
 
+	if cp := c.ctl; cp != nil {
+		// The placement decision commits to the replicated log; the state
+		// machine assigns the epoch and the rotated Option-1 read home so
+		// every controller replica derives the same values.
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		res, err := cp.propose(ctlCmd{Op: ctlOpCreateDB, DB: db, Replicas: machineIDs})
+		if err != nil {
+			for _, m := range ms {
+				if derr := m.Engine().DropDatabase(db); derr == nil {
+					m.dbCount.Add(-1)
+				}
+			}
+			return err
+		}
+		cr, _ := res.(ctlCreateResult)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		ds, ok := c.dbs[db]
+		if !ok {
+			ds = &dbState{name: db}
+			c.dbs[db] = ds
+		}
+		ds.replicas = append([]string{}, machineIDs...)
+		ds.readHome = cr.ReadHome
+		ds.epoch = cr.Epoch
+		return nil
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Rotate each database's Option-1 read home across its replicas so
@@ -389,6 +440,19 @@ func (c *Cluster) CreateDatabaseOn(db string, machineIDs []string) error {
 
 // DropDatabase removes a database from every replica.
 func (c *Cluster) DropDatabase(db string) error {
+	if cp := c.ctl; cp != nil {
+		c.mu.Lock()
+		_, ok := c.dbs[db]
+		c.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+		}
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		if _, err := cp.propose(ctlCmd{Op: ctlOpDropDB, DB: db}); err != nil {
+			return err
+		}
+	}
 	c.mu.Lock()
 	ds, ok := c.dbs[db]
 	if !ok {
@@ -419,6 +483,19 @@ func (c *Cluster) DropDatabase(db string) error {
 // (the recovery work list). It models the paper's machine failure within a
 // colo.
 func (c *Cluster) FailMachine(id string) ([]string, error) {
+	if cp := c.ctl; cp != nil {
+		c.mu.Lock()
+		_, ok := c.machines[id]
+		c.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoMachine, id)
+		}
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		if _, err := cp.propose(ctlCmd{Op: ctlOpFailMachine, Machine: id}); err != nil {
+			return nil, err
+		}
+	}
 	c.mu.Lock()
 	m, ok := c.machines[id]
 	if !ok {
@@ -621,6 +698,14 @@ func (c *Cluster) writeRoute(db, table string) ([]string, func(), error) {
 
 // Begin starts a distributed transaction on db.
 func (c *Cluster) Begin(db string) (*Txn, error) {
+	// With a replicated control plane the data path serves only under a
+	// leader's quorum lease: routes read from materialized state are then
+	// guaranteed current (no competing leader can have committed a
+	// conflicting placement). The check is two atomic loads per live
+	// replica — no locks, no log round trip.
+	if cp := c.ctl; cp != nil && !cp.leaseOK() {
+		return nil, fmt.Errorf("%w: no controller holds the quorum lease", ErrNotLeader)
+	}
 	c.mu.Lock()
 	_, ok := c.dbs[db]
 	c.mu.Unlock()

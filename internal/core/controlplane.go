@@ -1,0 +1,501 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"sdp/internal/consensus"
+	"sdp/internal/obs"
+	"sync"
+)
+
+// controlPlane replicates the cluster controller's control decisions across
+// Options.Controllers consensus nodes (see internal/consensus). Every control
+// mutation — machine membership, database placement, Algorithm 1 copy
+// lifecycle — is proposed to the consensus log and materialized into the
+// controller's routing state only after it commits, so any controller replica
+// can take over after a crash and reconstruct the same decisions.
+//
+// The transaction data path stays off consensus: reads and writes route from
+// the leader's materialized state under a quorum lease (refreshed each
+// majority-acknowledged heartbeat round), so steady-state transactions never
+// pay a log round trip. When no replica holds the lease — a leader just died
+// and its successor has not finished its first heartbeat round — Begin
+// refuses with the retryable ErrNotLeader and clients retry into the new
+// term; the gap is the failover window BENCH_consensus.json measures.
+type controlPlane struct {
+	c     *Cluster
+	group *consensus.Group
+	nodes []*consensus.Node
+	// states[i] is nodes[i]'s replicated state machine.
+	states []*ctlState
+
+	// electionTimeout mirrors the nodes' configured timeout, for deadlines.
+	electionTimeout time.Duration
+	// deadline bounds one proposal's retries across leader changes before
+	// the control plane reports quorum loss (tests shorten it).
+	deadline time.Duration
+
+	// mu serializes propose+materialize sections against failover adoption,
+	// so a new leader's full-state reconciliation never interleaves with a
+	// half-materialized mutation. Never held while holding c.mu.
+	mu sync.Mutex
+
+	// adoptedTerm is the highest term whose new-leader adoption (barrier,
+	// state reconciliation, orphaned-copy aborts, takeover) has fully
+	// completed. While the current leader's term is ahead of it a failover
+	// is still in progress and, e.g., a freshly started copy could be
+	// swept up as an orphan. Guarded by mu.
+	adoptedTerm uint64
+}
+
+// Proposal pacing: each attempt waits proposeCallTimeout for its entry to
+// commit; attempts retry across leader changes until proposeDeadline, after
+// which the control plane reports quorum loss.
+const (
+	proposeCallTimeout = time.Second
+	proposeDeadline    = 5 * time.Second
+)
+
+// newControlPlane builds the consensus group for c with n controller
+// replicas, registering consensus_* metrics on reg, and elects a bootstrap
+// leader so the cluster is serviceable on return.
+func newControlPlane(c *Cluster, n int, reg *obs.Registry) *controlPlane {
+	cp := &controlPlane{
+		c:               c,
+		group:           consensus.NewGroup(c.opts.Network, reg),
+		electionTimeout: c.opts.ControllerElectionTimeout,
+		deadline:        proposeDeadline,
+	}
+	if cp.electionTimeout <= 0 {
+		cp.electionTimeout = 60 * time.Millisecond
+	}
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("%s#%d", c.endpoint, i)
+	}
+	for i := 0; i < n; i++ {
+		st := newCtlState()
+		idx := i
+		node := cp.group.Add(consensus.Config{
+			ID:              peers[i],
+			Peers:           peers,
+			ElectionTimeout: cp.electionTimeout,
+			Seed:            c.opts.ControllerSeed + int64(i)*7919,
+			OnLeader:        func(term uint64) { cp.onLeader(idx, term) },
+		}, st)
+		cp.states = append(cp.states, st)
+		cp.nodes = append(cp.nodes, node)
+	}
+	// Bootstrap: elect node 0 synchronously so the first control operations
+	// do not wait out an election timeout. Under a faulty network the
+	// campaign can lose; the background tickers elect eventually.
+	deadline := time.Now().Add(4 * cp.electionTimeout)
+	for cp.group.Leader() == nil && time.Now().Before(deadline) {
+		if cp.nodes[0].Campaign() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cp
+}
+
+// leaseOK reports whether some controller replica is leader under a live
+// quorum lease. Lock free (atomic reads only); called on every Begin.
+func (cp *controlPlane) leaseOK() bool {
+	for _, n := range cp.nodes {
+		if n.HasLease() {
+			return true
+		}
+	}
+	return false
+}
+
+// propose submits one control command to the replicated log and waits for it
+// to commit and apply, retrying across leader changes. It returns the state
+// machine's Apply result. All commands are idempotent, so retrying a
+// timed-out proposal (whose outcome is unknown) is safe. When no leader
+// emerges before the deadline the control plane has lost quorum.
+func (cp *controlPlane) propose(cmd ctlCmd) (any, error) {
+	data, err := json.Marshal(cmd)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(cp.deadline)
+	for {
+		n := cp.group.Leader()
+		if n == nil {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("%w: no controller leader for %s op", ErrNoQuorum, cmd.Op)
+			}
+			time.Sleep(cp.electionTimeout / 10)
+			continue
+		}
+		res, err := n.ProposeWait(data, proposeCallTimeout)
+		if err == nil {
+			return res, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: %s op did not commit: %v", ErrNoQuorum, cmd.Op, err)
+		}
+		// ErrNotLeader, ErrStopped, ErrProposalLost, ErrProposalTimeout: the
+		// leadership moved or the entry's fate is unknown; re-resolve the
+		// leader and re-propose the idempotent command.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// onLeader runs on a fresh goroutine each time controller replica idx wins
+// an election: it is the process-pair takeover of the paper generalized to a
+// replicated group. The new leader first commits a barrier so its state
+// machine reflects every decision the old leader committed, reconciles the
+// materialized routing state against the replicated state, aborts Algorithm 1
+// copies orphaned by the crash, and drives in-transit 2PC outcomes to a safe
+// conclusion (TakeOver).
+func (cp *controlPlane) onLeader(idx int, term uint64) {
+	n := cp.nodes[idx]
+	if err := n.Barrier(cp.deadline); err != nil {
+		return // lost leadership before the barrier committed
+	}
+	cp.mu.Lock()
+	if !n.IsLeader() {
+		cp.mu.Unlock()
+		return
+	}
+	abortCopies := cp.adoptLocked(cp.states[idx])
+	cp.mu.Unlock()
+	// Copies the replicated state still records in flight died with the old
+	// leader's copy goroutine; abort them so a fresh CreateReplica can run.
+	for _, db := range abortCopies {
+		_, _ = cp.propose(ctlCmd{Op: ctlOpCopyAbort, DB: db})
+	}
+	// Resolve in-transit 2PC outcomes only when the old primary actually
+	// died (its commit path is halted by the crash hook). After a purely
+	// electoral change — the bootstrap election, or a leader that lost its
+	// lease to a transient partition but is still running — in-flight
+	// commits are still being driven by their own goroutines and complete
+	// on their own; a takeover would wrestle the sessions away mid-commit.
+	if cp.c.pair.dead() {
+		cp.c.TakeOver()
+	}
+	cp.mu.Lock()
+	if term > cp.adoptedTerm {
+		cp.adoptedTerm = term
+	}
+	cp.mu.Unlock()
+	cp.c.metrics.reg.TraceEvent("consensus", cp.c.name, "leader_takeover",
+		fmt.Sprintf("%s term %d", n.ID(), term))
+}
+
+// adoptLocked reconciles the controller's materialized routing state with
+// the replicated state machine st (the new leader's, caught up past a
+// barrier). Replica sets, read homes, and epochs are overwritten from the
+// replicated record; leader-local soft state (write-sequence counters,
+// drain counters, SLA reservations, partition layouts) is preserved
+// in place. Local state the log never committed is discarded, and machines
+// the log records as failed are failed locally. Returns the databases whose
+// replicated record still shows a copy in flight (the caller aborts them).
+// Caller holds cp.mu.
+func (cp *controlPlane) adoptLocked(st *ctlState) (abortCopies []string) {
+	view := st.view()
+	c := cp.c
+	var toFail []*Machine
+	c.mu.Lock()
+	for name, rec := range view.DBs {
+		ds, ok := c.dbs[name]
+		if !ok {
+			ds = &dbState{name: name}
+			c.dbs[name] = ds
+		}
+		if !ds.partitioned() {
+			ds.replicas = append([]string(nil), rec.Replicas...)
+			ds.readHome = rec.ReadHome
+		}
+		ds.epoch = rec.Epoch
+		// Any copy running when the old leader died lost its driving
+		// goroutine (or is racing takeover): force it to abandon at its next
+		// step boundary rather than registering a half-copied replica.
+		if cs := ds.copying; cs != nil {
+			cs.aborted = true
+		}
+		if rec.Copy != nil {
+			abortCopies = append(abortCopies, name)
+		}
+	}
+	for name := range c.dbs {
+		if _, ok := view.DBs[name]; !ok {
+			delete(c.dbs, name)
+		}
+	}
+	for id, m := range c.machines {
+		if view.Failed[id] && !m.Failed() {
+			toFail = append(toFail, m)
+		}
+	}
+	c.mu.Unlock()
+	for _, m := range toFail {
+		m.fail()
+	}
+	sort.Strings(abortCopies)
+	return abortCopies
+}
+
+// ControllerStatus describes one controller replica for health surfaces and
+// tests.
+type ControllerStatus struct {
+	// ID is the replica's consensus node id (its netsim endpoint).
+	ID string `json:"id"`
+	// Leader reports whether this replica currently leads.
+	Leader bool `json:"leader"`
+	// Term is the replica's current election term.
+	Term uint64 `json:"term"`
+	// Stopped reports whether the replica is killed.
+	Stopped bool `json:"stopped"`
+	// Applied is the last log index applied to the replica's state machine.
+	Applied uint64 `json:"applied"`
+}
+
+// ControllerStatus reports every controller replica's view, in group order.
+// Nil without a replicated control plane.
+func (c *Cluster) ControllerStatus() []ControllerStatus {
+	cp := c.ctl
+	if cp == nil {
+		return nil
+	}
+	out := make([]ControllerStatus, 0, len(cp.nodes))
+	for _, n := range cp.nodes {
+		out = append(out, ControllerStatus{
+			ID:      n.ID(),
+			Leader:  n.IsLeader(),
+			Term:    n.Term(),
+			Stopped: n.Stopped(),
+			Applied: n.Applied(),
+		})
+	}
+	return out
+}
+
+// ControllerIDs lists the controller replica ids, in group order.
+func (c *Cluster) ControllerIDs() []string {
+	cp := c.ctl
+	if cp == nil {
+		return nil
+	}
+	out := make([]string, 0, len(cp.nodes))
+	for _, n := range cp.nodes {
+		out = append(out, n.ID())
+	}
+	return out
+}
+
+// LeaderController returns the id and term of the current controller
+// leader, or ("", 0) when the control plane is leaderless (or not
+// replicated).
+func (c *Cluster) LeaderController() (string, uint64) {
+	if c.ctl == nil {
+		return "", 0
+	}
+	return c.ctl.group.LeaderID()
+}
+
+// KillLeaderController kills the current controller leader, modelling a
+// controller process crash: its consensus node stops (RPCs refused, durable
+// state retained for RestartController), the commit path of in-transit 2PC
+// transactions halts exactly as the paper's primary failure does, and
+// in-flight Algorithm 1 copies are orphaned. The surviving replicas elect a
+// successor whose takeover (see onLeader) resolves both. Returns the killed
+// replica's id.
+func (c *Cluster) KillLeaderController() (string, error) {
+	cp := c.ctl
+	if cp == nil {
+		return "", fmt.Errorf("core: cluster %s has no replicated control plane", c.name)
+	}
+	n := cp.group.Leader()
+	if n == nil {
+		return "", fmt.Errorf("%w: no controller leader to kill", ErrNoQuorum)
+	}
+	// The dying leader's commit path halts mid-flight: prepares and commit
+	// decisions already issued stay in the pair mirror for the successor's
+	// TakeOver, exactly as when the process-pair primary dies.
+	c.SetCrashHook(func(CommitStage, uint64) bool { return true })
+	// Its copy goroutines die with it; make them abandon at the next step.
+	c.mu.Lock()
+	for _, ds := range c.dbs {
+		if cs := ds.copying; cs != nil {
+			cs.aborted = true
+		}
+	}
+	c.mu.Unlock()
+	n.Stop()
+	c.metrics.reg.TraceEvent("consensus", c.name, "leader_killed", n.ID())
+	return n.ID(), nil
+}
+
+// StopController kills the named controller replica (leader or follower).
+func (c *Cluster) StopController(id string) error {
+	cp := c.ctl
+	if cp == nil {
+		return fmt.Errorf("core: cluster %s has no replicated control plane", c.name)
+	}
+	n := cp.group.Node(id)
+	if n == nil {
+		return fmt.Errorf("core: no controller replica %s", id)
+	}
+	if n.IsLeader() {
+		_, err := c.KillLeaderController()
+		return err
+	}
+	n.Stop()
+	return nil
+}
+
+// RestartController revives a killed controller replica as a follower; it
+// catches up from the leader's log (or a snapshot, when the log compacted
+// past it).
+func (c *Cluster) RestartController(id string) error {
+	cp := c.ctl
+	if cp == nil {
+		return fmt.Errorf("core: cluster %s has no replicated control plane", c.name)
+	}
+	n := cp.group.Node(id)
+	if n == nil {
+		return fmt.Errorf("core: no controller replica %s", id)
+	}
+	n.Restart()
+	return nil
+}
+
+// RestartControllers revives every killed controller replica and returns
+// how many it restarted.
+func (c *Cluster) RestartControllers() int {
+	if c.ctl == nil {
+		return 0
+	}
+	restarted := 0
+	for _, n := range c.ctl.nodes {
+		if n.Stopped() {
+			n.Restart()
+			restarted++
+		}
+	}
+	return restarted
+}
+
+// ControllerFingerprints returns each live controller replica's state
+// machine fingerprint, keyed by replica id. Converged replicas — same
+// committed prefix applied — have identical fingerprints.
+func (c *Cluster) ControllerFingerprints() map[string]string {
+	cp := c.ctl
+	if cp == nil {
+		return nil
+	}
+	out := make(map[string]string)
+	for i, n := range cp.nodes {
+		if !n.Stopped() {
+			out[n.ID()] = cp.states[i].Fingerprint()
+		}
+	}
+	return out
+}
+
+// WaitControllerSettled blocks until the control plane has a leader whose
+// failover processing (barrier, state adoption, orphaned-copy aborts, 2PC
+// takeover) has fully completed, or the timeout elapses. Callers start
+// long-running control operations — a replica copy, a recovery sweep —
+// after this to avoid having them swept up as failover orphans. Trivially
+// settled without a replicated control plane.
+func (c *Cluster) WaitControllerSettled(timeout time.Duration) error {
+	cp := c.ctl
+	if cp == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, term := cp.group.LeaderID(); term > 0 {
+			cp.mu.Lock()
+			adopted := cp.adoptedTerm
+			cp.mu.Unlock()
+			if adopted >= term {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: controller failover did not settle in %s", timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// WaitControllerConvergence blocks until every live controller replica has
+// applied the full committed log and their state machines agree, or the
+// timeout elapses. Chaos and tests call it before asserting control-plane
+// invariants. A cluster without a replicated control plane converges
+// trivially.
+func (c *Cluster) WaitControllerConvergence(timeout time.Duration) error {
+	cp := c.ctl
+	if cp == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := cp.convergenceCheck(); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("core: controller replicas did not converge in %s: %w", timeout, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// convergenceCheck performs one convergence probe: commit a barrier on the
+// leader, then require every live replica applied up to it with matching
+// fingerprints.
+func (cp *controlPlane) convergenceCheck() error {
+	leader := cp.group.Leader()
+	if leader == nil {
+		return fmt.Errorf("no leader")
+	}
+	if err := leader.Barrier(proposeCallTimeout); err != nil {
+		return err
+	}
+	commit := leader.CommitIndex()
+	want := ""
+	for i, n := range cp.nodes {
+		if n.Stopped() {
+			continue
+		}
+		if n.Applied() < commit {
+			return fmt.Errorf("replica %s applied %d < commit %d", n.ID(), n.Applied(), commit)
+		}
+		fp := cp.states[i].Fingerprint()
+		if want == "" {
+			want = fp
+		} else if fp != want {
+			return fmt.Errorf("replica %s fingerprint diverges", n.ID())
+		}
+	}
+	return nil
+}
+
+// BeginAt starts a transaction through a specific controller replica,
+// modelling clients that connect to any member of the replicated control
+// plane: a replica that is not the leaseholding leader refuses with the
+// retryable ErrNotLeader (carrying its leader hint), and the client retries
+// against the hinted leader. Without a replicated control plane it is plain
+// Begin.
+func (c *Cluster) BeginAt(controllerID, db string) (*Txn, error) {
+	cp := c.ctl
+	if cp == nil {
+		return c.Begin(db)
+	}
+	n := cp.group.Node(controllerID)
+	if n == nil {
+		return nil, fmt.Errorf("core: no controller replica %s", controllerID)
+	}
+	if n.Stopped() || !n.IsLeader() || !n.HasLease() {
+		return nil, fmt.Errorf("%w (leader hint: %s)", ErrNotLeader, n.LeaderHint())
+	}
+	return c.Begin(db)
+}

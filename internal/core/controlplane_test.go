@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdp/internal/netsim"
+	"sdp/internal/sqldb"
+)
+
+// ctlOpts builds cluster options with a 3-replica control plane and fast
+// consensus timeouts so failovers complete in tens of milliseconds.
+func ctlOpts() Options {
+	return Options{
+		Replicas:                  2,
+		Controllers:               3,
+		ControllerSeed:            1,
+		ControllerElectionTimeout: 20 * time.Millisecond,
+	}
+}
+
+// execRetry runs one autocommit statement, retrying through controller
+// failovers (ErrNotLeader while leaderless) and other transient aborts.
+func execRetry(t *testing.T, c *Cluster, db, sql string, params ...sqldb.Value) *sqldb.Result {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := c.Exec(db, sql, params...)
+		if err == nil {
+			return res
+		}
+		if !IsRetryable(err) || time.Now().After(deadline) {
+			t.Fatalf("Exec(%q): %v", sql, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestControlPlaneReplicatesPlacement(t *testing.T) {
+	c := newTestCluster(t, 3, ctlOpts())
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 10)")
+
+	st := c.ControllerStatus()
+	if len(st) != 3 {
+		t.Fatalf("controller status = %v", st)
+	}
+	leaders := 0
+	for _, s := range st {
+		if s.Leader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want 1: %v", leaders, st)
+	}
+	h := c.Health()
+	if h.Controllers != 3 || !h.ControllerQuorum || h.ControllerLeader == "" {
+		t.Fatalf("health = %+v", h)
+	}
+
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fps := c.ControllerFingerprints()
+	if len(fps) != 3 {
+		t.Fatalf("fingerprints = %v", fps)
+	}
+	var want string
+	for id, fp := range fps {
+		if !strings.Contains(fp, "db=app{") {
+			t.Errorf("%s fingerprint lacks db record: %s", id, fp)
+		}
+		if want == "" {
+			want = fp
+		} else if fp != want {
+			t.Errorf("%s fingerprint diverges: %s vs %s", id, fp, want)
+		}
+	}
+}
+
+func TestControllerFailoverResumesCommits(t *testing.T) {
+	c := newTestCluster(t, 3, ctlOpts())
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 10)")
+
+	oldLeader, oldTerm := c.LeaderController()
+	killed, err := c.KillLeaderController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed != oldLeader {
+		t.Fatalf("killed %s, leader was %s", killed, oldLeader)
+	}
+
+	// The cluster must resume commits on its own: the survivors elect a new
+	// leader, its takeover reconciles state, and the data path reopens.
+	execRetry(t, c, "app", "INSERT INTO t VALUES (2, 20)")
+
+	newLeader, newTerm := c.LeaderController()
+	if newLeader == "" || newLeader == oldLeader || newTerm <= oldTerm {
+		t.Fatalf("leader %s term %d after killing %s term %d", newLeader, newTerm, oldLeader, oldTerm)
+	}
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control mutations work in the new term and the dead replica catches
+	// up on restart.
+	if err := c.CreateDatabase("app2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartController(killed); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fps := c.ControllerFingerprints()
+	if len(fps) != 3 {
+		t.Fatalf("fingerprints after restart = %v", fps)
+	}
+	if !strings.Contains(fps[killed], "db=app2{") {
+		t.Errorf("restarted replica missing app2: %s", fps[killed])
+	}
+}
+
+// TestControllerKillInPrepareWindow kills the controller leader after 2PC
+// prepares were issued but before the commit decision: the new leader's
+// takeover must roll the transaction back everywhere and release its locks.
+func TestControllerKillInPrepareWindow(t *testing.T) {
+	c := newTestCluster(t, 3, ctlOpts())
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 0)")
+
+	// The crash hook halts the commit path exactly where the leader's death
+	// would; KillLeaderController then stops the consensus node for real.
+	c.SetCrashHook(func(stage CommitStage, _ uint64) bool { return stage == StagePreparing })
+	tx, err := c.Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE t SET v = 9 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrMachineFailed) {
+		t.Fatalf("commit err = %v, want primary-failure", err)
+	}
+	if c.InTransit() != 1 {
+		t.Fatalf("in transit = %d, want 1", c.InTransit())
+	}
+	if _, err := c.KillLeaderController(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The new leader's takeover resolves the in-transit transaction.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.InTransit() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in transit = %d after failover", c.InTransit())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res := execRetry(t, c, "app", "SELECT v FROM t WHERE id = 1")
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("v = %v, want 0 (rolled back)", res.Rows[0][0])
+	}
+	for _, id := range c.LiveMachineIDs() {
+		m, _ := c.Machine(id)
+		if locks := m.Engine().Stats().LocksHeld; locks != 0 {
+			t.Errorf("%s: %d locks held, want 0", id, locks)
+		}
+	}
+}
+
+// TestControllerKillAfterCommitDecision kills the leader after the commit
+// decision was mirrored: the new leader's takeover must drive the commit to
+// completion on every participant.
+func TestControllerKillAfterCommitDecision(t *testing.T) {
+	c := newTestCluster(t, 3, ctlOpts())
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 0)")
+
+	c.SetCrashHook(func(stage CommitStage, _ uint64) bool { return stage == StageCommitting })
+	tx, err := c.Begin("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE t SET v = 7 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrMachineFailed) {
+		t.Fatalf("commit err = %v, want primary-failure", err)
+	}
+	if _, err := c.KillLeaderController(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for c.InTransit() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in transit = %d after failover", c.InTransit())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The decision survived the controller crash: committed on all replicas.
+	reps, _ := c.Replicas("app")
+	for _, id := range reps {
+		m, _ := c.Machine(id)
+		res, err := m.Engine().Exec("app", "SELECT v FROM t WHERE id = 1")
+		if err != nil {
+			t.Fatalf("replica %s: %v", id, err)
+		}
+		if res.Rows[0][0].Int != 7 {
+			t.Errorf("replica %s: v = %v, want 7", id, res.Rows[0][0])
+		}
+	}
+}
+
+// TestControllerKillMidCopyAborts kills the leader while an Algorithm 1 copy
+// is streaming tables: the copy must abort without registering the
+// half-copied replica, the replicated copy record must clear, and a retry
+// after recovery must succeed.
+func TestControllerKillMidCopyAborts(t *testing.T) {
+	net := netsim.New(7, nil)
+	opts := ctlOpts()
+	opts.Network = net
+	opts.CallTimeout = 100 * time.Millisecond
+	c := newTestCluster(t, 3, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	for i := 1; i <= 50; i++ {
+		clusterExec(t, c, "INSERT INTO t VALUES (?, ?)", intv(int64(i)), intv(int64(i)))
+	}
+
+	reps, _ := c.Replicas("app")
+	target := ""
+	for _, id := range c.LiveMachineIDs() {
+		if !contains(reps, id) {
+			target = id
+		}
+	}
+	var once sync.Once
+	net.OnDeliver(func(ci netsim.CallInfo) {
+		if ci.Op == "copy_apply" {
+			once.Do(func() {
+				if _, err := c.KillLeaderController(); err != nil {
+					t.Errorf("KillLeaderController: %v", err)
+				}
+			})
+		}
+	})
+
+	if err := c.CreateReplica("app", target); !errors.Is(err, ErrCopyAborted) {
+		t.Fatalf("CreateReplica = %v, want ErrCopyAborted", err)
+	}
+	if reps, _ = c.Replicas("app"); len(reps) != 2 || contains(reps, target) {
+		t.Fatalf("replicas = %v after aborted copy", reps)
+	}
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for id, fp := range c.ControllerFingerprints() {
+		if strings.Contains(fp, "copy=") {
+			t.Errorf("%s still records a copy in flight: %s", id, fp)
+		}
+	}
+
+	// The copy is retryable once the control plane recovered.
+	if err := c.CreateReplica("app", target); err != nil {
+		t.Fatalf("retry CreateReplica: %v", err)
+	}
+	if reps, _ = c.Replicas("app"); len(reps) != 3 {
+		t.Fatalf("replicas = %v after retry", reps)
+	}
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeginAtRedirectsToLeader(t *testing.T) {
+	c := newTestCluster(t, 2, ctlOpts())
+	leader, _ := c.LeaderController()
+	for _, id := range c.ControllerIDs() {
+		tx, err := c.BeginAt(id, "app")
+		if id == leader {
+			if err != nil {
+				t.Fatalf("BeginAt(leader): %v", err)
+			}
+			_ = tx.Rollback()
+			continue
+		}
+		if !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("BeginAt(%s) = %v, want ErrNotLeader", id, err)
+		}
+		if !IsRetryable(err) {
+			t.Errorf("ErrNotLeader should be retryable")
+		}
+		if !strings.Contains(err.Error(), leader) {
+			t.Errorf("redirect lacks leader hint: %v", err)
+		}
+	}
+}
+
+// TestControllerQuorumLoss kills a majority of controller replicas: the data
+// path must refuse new transactions once the lease lapses, control mutations
+// must fail with ErrNoQuorum, and restarting the replicas must restore full
+// service without manual reconciliation.
+func TestControllerQuorumLoss(t *testing.T) {
+	c := newTestCluster(t, 2, ctlOpts())
+	c.ctl.deadline = 300 * time.Millisecond
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+
+	first, err := c.KillLeaderController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait out the failover, then kill the successor too.
+	execRetry(t, c, "app", "INSERT INTO t VALUES (1, 1)")
+	second, err := c.KillLeaderController()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One of three replicas remains: no election can succeed, the lease
+	// expires, and the survivor refuses both data and control traffic.
+	time.Sleep(4 * 20 * time.Millisecond)
+	if _, err := c.Begin("app"); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("Begin = %v, want ErrNotLeader", err)
+	}
+	if err := c.CreateDatabase("app2"); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("CreateDatabase = %v, want ErrNoQuorum", err)
+	}
+	if h := c.Health(); h.ControllerQuorum {
+		t.Fatalf("health claims quorum: %+v", h)
+	}
+
+	c.RestartControllers()
+	execRetry(t, c, "app", "INSERT INTO t VALUES (2, 2)")
+	if err := c.CreateDatabase("app2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Health(); !h.ControllerQuorum || h.Controllers != 3 {
+		t.Fatalf("health after recovery: %+v", h)
+	}
+	_ = first
+	_ = second
+}
+
+// TestFailMachineReplicated checks that machine failure and recovery flow
+// through the replicated log: every controller replica's state machine
+// agrees on liveness and placement afterwards.
+func TestFailMachineReplicated(t *testing.T) {
+	opts := ctlOpts()
+	opts.WAL = walOpts().WAL
+	c := newTestCluster(t, 3, opts)
+	clusterExec(t, c, "CREATE TABLE t (id INT PRIMARY KEY, n INT)")
+	clusterExec(t, c, "INSERT INTO t VALUES (1, 1)")
+
+	reps, _ := c.Replicas("app")
+	victim := reps[1]
+	affected, err := c.FailMachine(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != "app" {
+		t.Fatalf("affected = %v", affected)
+	}
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for id, fp := range c.ControllerFingerprints() {
+		if !strings.Contains(fp, "failed="+victim) {
+			t.Errorf("%s does not record %s failed: %s", id, victim, fp)
+		}
+	}
+
+	if _, err := c.RestartMachine(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.RecoverDatabases(affected, 1)
+	if len(rep.Failed) != 0 {
+		t.Fatalf("recovery failed: %v", rep.Failed)
+	}
+	if err := c.WaitControllerConvergence(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for id, fp := range c.ControllerFingerprints() {
+		if strings.Contains(fp, "failed="+victim) {
+			t.Errorf("%s still records %s failed: %s", id, victim, fp)
+		}
+		if !strings.Contains(fp, "db=app{") {
+			t.Errorf("%s lost the db record: %s", id, fp)
+		}
+	}
+	if reps, _ = c.Replicas("app"); len(reps) != 2 {
+		t.Fatalf("replicas = %v after recovery", reps)
+	}
+}

@@ -54,4 +54,20 @@ var (
 	// computed concurrently with an aborted replica copy discarding its
 	// half-copied destination. The transaction aborts; a retry re-routes.
 	ErrStaleRoute = errors.New("core: replica route went stale")
+
+	// ErrNotLeader is returned by a replicated control plane when the
+	// addressed controller replica is not the leaseholding leader (or, on
+	// the shared data path, when no replica currently holds the quorum
+	// lease — the failover window between a leader's death and its
+	// successor's first majority-acknowledged heartbeat). Retryable: the
+	// client redirects to the leader hint or simply retries into the new
+	// term.
+	ErrNotLeader = errors.New("core: controller replica is not the leader")
+
+	// ErrNoQuorum is returned when a control-plane mutation cannot commit
+	// because no controller leader emerged within the proposal deadline — a
+	// majority of controller replicas are dead or partitioned. The data
+	// path keeps serving under existing routes; only control mutations are
+	// unavailable. Retryable once quorum is restored.
+	ErrNoQuorum = errors.New("core: controller quorum lost")
 )

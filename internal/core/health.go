@@ -22,6 +22,19 @@ type ClusterHealth struct {
 	// the controller→machine direction is cut). Always zero without a
 	// fault-injecting network.
 	DegradedLinks int `json:"degraded_links,omitempty"`
+	// Controllers counts configured control-plane replicas; zero when the
+	// cluster runs the single-controller process-pair model and the three
+	// fields below are then meaningless.
+	Controllers int `json:"controllers,omitempty"`
+	// ControllerLeader is the current consensus leader's replica id, empty
+	// while leaderless (an election or quorum loss in progress).
+	ControllerLeader string `json:"controller_leader,omitempty"`
+	// ControllerTerm is the leader's election term.
+	ControllerTerm uint64 `json:"controller_term,omitempty"`
+	// ControllerQuorum reports whether a leader currently holds the quorum
+	// lease — the condition for the data path to serve. False means new
+	// transactions are refused with ErrNotLeader until a leader (re)emerges.
+	ControllerQuorum bool `json:"controller_quorum"`
 }
 
 // Health captures the cluster's current liveness in one pass under the
@@ -47,6 +60,13 @@ func (c *Cluster) Health() ClusterHealth {
 		if ds.copying != nil {
 			h.ActiveCopies++
 		}
+	}
+	if cp := c.ctl; cp != nil {
+		h.Controllers = len(cp.nodes)
+		h.ControllerLeader, h.ControllerTerm = cp.group.LeaderID()
+		h.ControllerQuorum = cp.leaseOK()
+	} else {
+		h.ControllerQuorum = true
 	}
 	return h
 }

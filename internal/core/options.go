@@ -128,6 +128,20 @@ type Options struct {
 	// RetryBackoff is the initial retry backoff, doubling per attempt.
 	// Default 1ms.
 	RetryBackoff time.Duration
+	// Controllers, when ≥ 1, replicates the cluster controller's control
+	// plane across this many consensus-backed replicas (see
+	// internal/consensus): control mutations — machine membership, database
+	// placement, Algorithm 1 copy lifecycle — commit to a replicated log
+	// before taking effect, the leader serves the data path under a quorum
+	// lease, and killing the leader fails over to a surviving replica.
+	// Zero (the default) keeps the single-controller process-pair model.
+	Controllers int
+	// ControllerSeed seeds the controller replicas' election-timeout
+	// randomization, for reproducible failover schedules.
+	ControllerSeed int64
+	// ControllerElectionTimeout is the consensus base election timeout
+	// (default 60ms; see consensus.Config.ElectionTimeout).
+	ControllerElectionTimeout time.Duration
 }
 
 // withDefaults fills unset fields.

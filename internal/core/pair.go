@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"sdp/internal/netsim"
+)
 
 // The cluster controller runs as a process pair in the paper: the backup
 // tracks the primary's state with respect to committing transactions and,
@@ -28,6 +32,17 @@ type inTransit struct {
 	gid      uint64
 	stage    CommitStage
 	sessions []*replicaSession
+
+	// done is closed when the committing client's goroutine stops driving
+	// the sessions — either because the commit ran to completion or because
+	// the primary "died" at a crash point and the driver parked. TakeOver
+	// waits on it before resolving a record so it never fights a live
+	// driver for the sessions.
+	done chan struct{}
+	// parked is true when the driver halted at a crash point and the
+	// record still needs takeover processing; false when the driver
+	// finished the transaction itself. Written before done is closed.
+	parked bool
 }
 
 // pairMirror is the backup controller's view of commits in transit.
@@ -51,7 +66,7 @@ func (p *pairMirror) init() {
 
 func (p *pairMirror) begin(t *Txn) *inTransit {
 	p.init()
-	rec := &inTransit{gid: t.gid, stage: StagePreparing}
+	rec := &inTransit{gid: t.gid, stage: StagePreparing, done: make(chan struct{})}
 	for _, s := range t.sessions {
 		rec.sessions = append(rec.sessions, s)
 	}
@@ -67,10 +82,30 @@ func (p *pairMirror) advance(rec *inTransit, stage CommitStage) {
 	p.mu.Unlock()
 }
 
+// finish removes a record whose transaction the driver resolved itself
+// (committed or aborted); takeover processing, if any, will skip it.
 func (p *pairMirror) finish(rec *inTransit) {
 	p.mu.Lock()
 	delete(p.records, rec.gid)
 	p.mu.Unlock()
+	close(rec.done)
+}
+
+// park marks a record whose driver halted at a crash point: the sessions are
+// no longer being driven and TakeOver owns the record's resolution.
+func (p *pairMirror) park(rec *inTransit) {
+	p.mu.Lock()
+	rec.parked = true
+	p.mu.Unlock()
+	close(rec.done)
+}
+
+// dead reports whether a primary failure is installed — the commit path is
+// (or will be) halted and a takeover has in-transit work to resolve.
+func (p *pairMirror) dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashHook != nil
 }
 
 // crashed reports whether the injected primary failure triggers here.
@@ -117,9 +152,24 @@ func (c *Cluster) TakeOver() (committed, rolledBack int) {
 	c.pair.mu.Unlock()
 
 	for _, rec := range recs {
+		// Wait for the committing client's goroutine to hand the record
+		// over: it either parks at a crash point (takeover resolves the
+		// transaction) or finishes the commit itself (nothing to do). The
+		// wait is what keeps takeover from rolling back — and closing the
+		// sessions of — a transaction whose driver is still live.
+		<-rec.done
+		if !rec.parked {
+			continue
+		}
+		// A delivery that fails on transient network faults is handed to a
+		// background resolver, exactly as on the normal commit path: the
+		// decision must still reach the participant or its branch would
+		// hold locks indefinitely.
 		if rec.stage == StageCommitting {
 			for _, s := range rec.sessions {
-				_ = s.commitPrepared().wait()
+				if r := s.commitPrepared().wait(); r.err != nil && netsim.IsTransient(r.err) {
+					c.resolveOutcome(s, rec.gid, true)
+				}
 			}
 			c.metrics.committed.Inc()
 			c.metrics.reg.TraceEvent("2pc", gidString(rec.gid), "takeover_commit", "")
@@ -129,7 +179,9 @@ func (c *Cluster) TakeOver() (committed, rolledBack int) {
 			committed++
 		} else {
 			for _, s := range rec.sessions {
-				_ = s.rollback().wait()
+				if r := s.rollback().wait(); r.err != nil && netsim.IsTransient(r.err) {
+					c.resolveOutcome(s, rec.gid, false)
+				}
 			}
 			c.metrics.aborted.Inc()
 			c.metrics.reg.TraceEvent("2pc", gidString(rec.gid), "takeover_rollback", "")

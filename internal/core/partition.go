@@ -89,10 +89,31 @@ func (c *Cluster) CreatePartitionedDatabase(db string, groups [][]string) error 
 			readHome: g[i%len(g)],
 		}
 	}
+	var epoch uint64
+	if cp := c.ctl; cp != nil {
+		// Only the database's existence and epoch replicate; the partition
+		// layout stays leader-local (partitioned databases are the
+		// future-work prototype — no copies, no re-placement — so a takeover
+		// has nothing to reconcile beyond existence).
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		res, err := cp.propose(ctlCmd{Op: ctlOpCreateDB, DB: db, Partitioned: true})
+		if err != nil {
+			for _, m := range ms {
+				if derr := m.Engine().DropDatabase(db); derr == nil {
+					m.dbCount.Add(-1)
+				}
+			}
+			return err
+		}
+		cr, _ := res.(ctlCreateResult)
+		epoch = cr.Epoch
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dbs[db] = &dbState{
 		name:       db,
+		epoch:      epoch,
 		partitions: parts,
 		tableAt:    make(map[string]int),
 	}

@@ -171,6 +171,19 @@ func (c *Cluster) catchUpReplica(db string, target *Machine) error {
 	ds.copying = cs
 	c.mu.Unlock()
 
+	if cp := c.ctl; cp != nil {
+		cp.mu.Lock()
+		_, perr := cp.propose(ctlCmd{Op: ctlOpCopyBegin, DB: db, Source: sourceID, Target: targetID})
+		cp.mu.Unlock()
+		if perr != nil {
+			c.mu.Lock()
+			ds.copying = nil
+			c.mu.Unlock()
+			c.metrics.copyPhase.With("abandoned").Inc()
+			return perr
+		}
+	}
+
 	met := c.metrics
 	met.copyPhase.With("start").Inc()
 	met.copiesRunning.Inc()
@@ -201,9 +214,29 @@ func (c *Cluster) catchUpReplica(db string, target *Machine) error {
 		c.abandonCopy(ds)
 		return fmt.Errorf("%w: %s -> %s", ErrCopyAborted, sourceID, targetID)
 	}
-	ds.replicas = append(ds.replicas, targetID)
-	ds.copying = nil
 	c.mu.Unlock()
+
+	if cp := c.ctl; cp != nil {
+		cp.mu.Lock()
+		_, perr := cp.propose(ctlCmd{Op: ctlOpCopyComplete, DB: db})
+		if perr != nil {
+			cp.mu.Unlock()
+			c.abandonCopy(ds)
+			return perr
+		}
+		c.mu.Lock()
+		if !contains(ds.replicas, targetID) {
+			ds.replicas = append(ds.replicas, targetID)
+		}
+		ds.copying = nil
+		c.mu.Unlock()
+		cp.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		ds.replicas = append(ds.replicas, targetID)
+		ds.copying = nil
+		c.mu.Unlock()
+	}
 	met.copyPhase.With("done").Inc()
 	met.reg.TraceEvent("copy", db, "catchup_done", targetID)
 	return nil
@@ -414,6 +447,19 @@ func (c *Cluster) RestartMachine(id string) (*sqldb.RecoveryStats, error) {
 			m.dbCount.Add(-1)
 		}
 		m.clearMarks(db)
+	}
+	// The liveness change commits after the physical restart: if the
+	// proposal is lost with the machine already live, the replicated state
+	// conservatively still says failed, and a takeover re-fails the machine
+	// (the operator retries the restart) rather than ever trusting a
+	// machine the log says is dead.
+	if cp := c.ctl; cp != nil {
+		cp.mu.Lock()
+		_, perr := cp.propose(ctlCmd{Op: ctlOpRestartMachine, Machine: id})
+		cp.mu.Unlock()
+		if perr != nil {
+			return stats, perr
+		}
 	}
 	c.metrics.reg.TraceEvent("recovery", id, "machine_restarted",
 		fmt.Sprintf("replayed=%d in_doubt=%d", stats.Applied, stats.InDoubt))

@@ -65,6 +65,22 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 	ds.copying = cs
 	c.mu.Unlock()
 
+	if cp := c.ctl; cp != nil {
+		// The copy's existence commits to the replicated log before any data
+		// moves, so a controller taking over mid-copy knows to abort it
+		// rather than leave the router rejecting writes forever.
+		cp.mu.Lock()
+		_, perr := cp.propose(ctlCmd{Op: ctlOpCopyBegin, DB: db, Source: sourceID, Target: targetID, WholeDB: cs.wholeDB})
+		cp.mu.Unlock()
+		if perr != nil {
+			c.mu.Lock()
+			ds.copying = nil
+			c.mu.Unlock()
+			c.metrics.copyPhase.With("abandoned").Inc()
+			return perr
+		}
+	}
+
 	m := c.metrics
 	m.copyPhase.With("start").Inc()
 	m.copiesRunning.Inc()
@@ -120,9 +136,40 @@ func (c *Cluster) CreateReplica(db, targetID string) error {
 		_ = target.Engine().DropDatabase(db)
 		return fmt.Errorf("%w: %s -> %s", ErrCopyAborted, sourceID, targetID)
 	}
-	ds.replicas = append(ds.replicas, targetID)
-	ds.copying = nil
 	c.mu.Unlock()
+
+	if cp := c.ctl; cp != nil {
+		// Registration commits to the replicated log first: a takeover after
+		// the commit sees the target as a full replica; before it, the copy
+		// is aborted and the target discarded. Either way no controller ever
+		// routes to a half-copied replica.
+		cp.mu.Lock()
+		_, perr := cp.propose(ctlCmd{Op: ctlOpCopyComplete, DB: db})
+		if perr != nil {
+			cp.mu.Unlock()
+			c.abandonCopy(ds)
+			_ = target.Engine().DropDatabase(db)
+			return perr
+		}
+		c.mu.Lock()
+		if !contains(ds.replicas, targetID) {
+			ds.replicas = append(ds.replicas, targetID)
+		}
+		ds.copying = nil
+		c.mu.Unlock()
+		cp.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		if cs.aborted || target.Failed() {
+			c.mu.Unlock()
+			c.abandonCopy(ds)
+			_ = target.Engine().DropDatabase(db)
+			return fmt.Errorf("%w: %s -> %s", ErrCopyAborted, sourceID, targetID)
+		}
+		ds.replicas = append(ds.replicas, targetID)
+		ds.copying = nil
+		c.mu.Unlock()
+	}
 	target.dbCount.Add(1)
 	m.copyPhase.With("done").Inc()
 	m.reg.TraceEvent("copy", db, "done", targetID)
@@ -226,11 +273,18 @@ func (c *Cluster) copyTableByTable(ds *dbState, cs *copyState, source, target *M
 	return nil
 }
 
-// abandonCopy clears the copy state after a failed replica creation.
+// abandonCopy clears the copy state after a failed replica creation,
+// retiring the replicated copy record (best effort — a takeover's
+// reconciliation retires orphaned records anyway).
 func (c *Cluster) abandonCopy(ds *dbState) {
 	c.mu.Lock()
 	ds.copying = nil
 	c.mu.Unlock()
+	if cp := c.ctl; cp != nil {
+		cp.mu.Lock()
+		_, _ = cp.propose(ctlCmd{Op: ctlOpCopyAbort, DB: ds.name})
+		cp.mu.Unlock()
+	}
 	c.metrics.copyPhase.With("abandoned").Inc()
 	c.metrics.reg.TraceEvent("copy", ds.name, "abandoned", "")
 }

@@ -354,6 +354,7 @@ func (t *Txn) Commit() error {
 		// Primary controller died before the commit decision; the backup's
 		// TakeOver will roll this transaction back.
 		t.finished = true
+		t.c.pair.park(rec)
 		return ErrMachineFailed
 	}
 	if voteErr != nil {
@@ -377,6 +378,7 @@ func (t *Txn) Commit() error {
 	if t.c.pair.crashed(StageCommitting, t.gid) {
 		// Primary died after the decision; TakeOver completes the commit.
 		t.finished = true
+		t.c.pair.park(rec)
 		return ErrMachineFailed
 	}
 
@@ -494,9 +496,11 @@ func IsRejection(err error) bool { return errors.Is(err, ErrRejected) }
 // perspective: deadlock victim, lock timeout, rejection during copy, a
 // machine failure mid-transaction, a branch abort surfacing through a 2PC
 // vote (the aggressive controller learns of an asynchronous write failure
-// only when the prepare vote comes back), or any simulated-network fault —
-// dropped or delayed messages, lost replies, partitioned or timed-out
-// calls all abort the transaction cleanly and invite a retry.
+// only when the prepare vote comes back), a controller failover in progress
+// (not-leader redirects and quorum loss heal once a leader re-emerges), or
+// any simulated-network fault — dropped or delayed messages, lost replies,
+// partitioned or timed-out calls all abort the transaction cleanly and
+// invite a retry.
 func IsRetryable(err error) bool {
 	return errors.Is(err, sqldb.ErrDeadlock) ||
 		errors.Is(err, sqldb.ErrLockTimeout) ||
@@ -506,5 +510,7 @@ func IsRetryable(err error) bool {
 		errors.Is(err, ErrPrepareTimeout) ||
 		errors.Is(err, ErrUnreachable) ||
 		errors.Is(err, ErrStaleRoute) ||
+		errors.Is(err, ErrNotLeader) ||
+		errors.Is(err, ErrNoQuorum) ||
 		netsim.IsTransient(err)
 }

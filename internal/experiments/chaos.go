@@ -36,6 +36,13 @@ type ChaosConfig struct {
 	Clients int
 	// Quick shrinks the default duration for CI smoke runs.
 	Quick bool
+	// Controllers is the number of replicated cluster-controller replicas
+	// (default 3); the scheduler then also kills and restarts controllers —
+	// including leader kills armed to fire mid-2PC and mid-replica-copy —
+	// and the invariant check requires the surviving replicas' control
+	// state machines to converge. Negative runs the paper's original
+	// single process-pair controller with no controller chaos.
+	Controllers int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -47,6 +54,11 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	}
 	if c.Clients <= 0 {
 		c.Clients = 4
+	}
+	if c.Controllers == 0 {
+		c.Controllers = 3
+	} else if c.Controllers < 0 {
+		c.Controllers = 0
 	}
 	return c
 }
@@ -75,6 +87,14 @@ type ChaosReport struct {
 	ReplyLost      uint64
 	Duplicated     uint64
 	PartitionDrops uint64
+
+	// Controller chaos (Controllers > 0 only).
+	CtlKills         int // controller replicas killed (leader or follower)
+	CtlPhaseKills    int // leader kills armed on a 2PC PREPARE delivery
+	CtlMidCopyKills  int // leader kills armed on an Algorithm 1 copy delivery
+	CtlRestarts      int
+	CtlElections     uint64 // consensus elections started during the run
+	CtlLeaderChanges uint64 // distinct leadership changes observed
 
 	// Controller failure handling.
 	PrepareTimeouts uint64
@@ -106,6 +126,10 @@ func (r *ChaosReport) WriteText(w io.Writer) {
 		r.NetCalls, r.Dropped, r.ReplyLost, r.Duplicated, r.PartitionDrops)
 	fmt.Fprintf(w, "  handling: %d prepare timeouts, %d commit timeouts, %d presumed aborts, %d retries, %d degraded reads, %d background resolutions\n",
 		r.PrepareTimeouts, r.CommitTimeouts, r.PresumedAborts, r.Retries, r.DegradedReads, r.BgResolved)
+	if r.CtlKills > 0 || r.CtlRestarts > 0 || r.CtlElections > 0 {
+		fmt.Fprintf(w, "  control:  %d controller kills (%d at PREPARE, %d mid-copy), %d restarts, %d elections, %d leader changes\n",
+			r.CtlKills, r.CtlPhaseKills, r.CtlMidCopyKills, r.CtlRestarts, r.CtlElections, r.CtlLeaderChanges)
+	}
 	if r.Passed() {
 		fmt.Fprintf(w, "  invariants: serializable, replicas converged, no leaked locks\n")
 		return
@@ -124,6 +148,14 @@ func chaosClassify(err error) tpcw.ErrorClass {
 	switch {
 	case core.IsRejection(err):
 		return tpcw.ClassRejected
+	case errors.Is(err, core.ErrNotLeader), errors.Is(err, core.ErrNoQuorum):
+		// Controller failover in progress: the data path refuses new
+		// transactions until a leader holds the lease again. A real
+		// application server backs off rather than hammering Begin, so
+		// sleep a hair — otherwise the session loop burns the whole soak
+		// spinning on the refused Begin at millions of aborts per second.
+		time.Sleep(200 * time.Microsecond)
+		return tpcw.ClassAborted
 	case core.IsRetryable(err), errors.Is(err, sqldb.ErrEngineClosed):
 		return tpcw.ClassAborted
 	default:
@@ -157,6 +189,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		CallTimeout:  200 * time.Millisecond,
 		RetryLimit:   6,
 		RetryBackoff: 500 * time.Microsecond,
+		// Replicated control plane: consensus traffic rides the same
+		// faulted network as the data path, and the scheduler kills
+		// controller replicas on top of everything else.
+		Controllers:               cfg.Controllers,
+		ControllerSeed:            cfg.Seed,
+		ControllerElectionTimeout: 40 * time.Millisecond,
 	})
 	if _, err := c.AddMachines(3); err != nil {
 		return nil, err
@@ -228,6 +266,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	for _, res := range []string{"delivered", "machine_failed", "abandoned"} {
 		report.BgResolved += reg.CounterVec("core_2pc_background_resolution_total", "", "result").With(res).Value()
 	}
+	report.CtlElections = reg.Counter("consensus_elections_total", "").Value()
+	report.CtlLeaderChanges = reg.Counter("consensus_leader_changes_total", "").Value()
 	if st.Fatal > 0 {
 		report.Violations = append(report.Violations,
 			fmt.Sprintf("%d fatal client errors (unclassified failure surfaced to the application): %s",
@@ -252,6 +292,13 @@ type chaosScheduler struct {
 	down        string
 	crashArmed  *atomic.Bool // pending crash-at-PREPARE hook, nil if none
 	partitioned string       // machine behind a controller-link partition
+
+	// At most one controller kill is outstanding at a time, so a
+	// 3-replica control plane always regains its quorum (a kill costs
+	// availability only for the failover window, never indefinitely).
+	ctlDown    bool         // a controller kill is outstanding (fired or armed)
+	ctlArmed   *atomic.Bool // pending armed leader kill, nil if none
+	ctlArmedOp string       // delivery op the armed kill triggers on
 }
 
 func newChaosScheduler(c *core.Cluster, net *netsim.Network, seed int64, report *ChaosReport) *chaosScheduler {
@@ -280,10 +327,12 @@ func (s *chaosScheduler) run(d time.Duration) {
 			})
 		case p < 40:
 			s.net.SetDefaults(netsim.Faults{})
-		case p < 60:
+		case p < 55:
 			s.togglePartition()
-		case p < 85:
+		case p < 78:
 			s.toggleCrash()
+		case p < 93:
+			s.toggleCtlCrash()
 		default:
 			// Quiet tick.
 		}
@@ -353,6 +402,76 @@ func (s *chaosScheduler) toggleCrash() {
 	s.report.Crashes++
 }
 
+// toggleCtlCrash restores the killed controller replica, or kills the
+// consensus leader: immediately, or armed to fire from the delivery hook in
+// the window right after a 2PC PREPARE (commits in transit) or mid
+// Algorithm 1 copy (a copy in flight the next leader must abort).
+func (s *chaosScheduler) toggleCtlCrash() {
+	if len(s.c.ControllerIDs()) == 0 {
+		return // legacy single-controller mode
+	}
+	if s.ctlDown {
+		s.restoreControllers()
+		return
+	}
+	if leader, _ := s.c.LeaderController(); leader == "" {
+		return // mid-election; let the control plane settle first
+	}
+	switch s.rng.Intn(3) {
+	case 0:
+		// Immediate leader kill, whatever the traffic is doing.
+		if _, err := s.c.KillLeaderController(); err != nil {
+			return
+		}
+	case 1:
+		s.armCtlKill("prepare")
+		s.report.CtlPhaseKills++
+	default:
+		s.armCtlKill("copy_apply")
+		s.report.CtlMidCopyKills++
+	}
+	s.ctlDown = true
+	s.report.CtlKills++
+}
+
+// armCtlKill installs a delivery hook that kills the consensus leader right
+// after the next delivery of the given op. The kill runs on a fresh
+// goroutine: it blocks on control-plane cleanup, which must not stall the
+// delivering path.
+func (s *chaosScheduler) armCtlKill(op string) {
+	armed := &atomic.Bool{}
+	armed.Store(true)
+	s.ctlArmed = armed
+	s.ctlArmedOp = op
+	cl := s.c
+	s.net.OnDeliver(func(ci netsim.CallInfo) {
+		if ci.Op == op && armed.CompareAndSwap(true, false) {
+			go func() { _, _ = cl.KillLeaderController() }()
+		}
+	})
+}
+
+// restoreControllers disarms any pending leader kill and restarts every
+// stopped controller replica.
+func (s *chaosScheduler) restoreControllers() {
+	if s.ctlArmed != nil {
+		if s.ctlArmed.CompareAndSwap(true, false) {
+			// Never fired: no delivery of the armed op happened.
+			s.report.CtlKills--
+			switch s.ctlArmedOp {
+			case "prepare":
+				s.report.CtlPhaseKills--
+			default:
+				s.report.CtlMidCopyKills--
+			}
+		}
+		s.ctlArmed = nil
+		s.ctlArmedOp = ""
+	}
+	s.report.CtlRestarts += s.c.RestartControllers()
+	s.ctlDown = false
+}
+
 // restartDown disarms any pending phase crash and, if the victim actually
 // died, restarts it and catches its databases up.
 func (s *chaosScheduler) restartDown() {
@@ -384,18 +503,46 @@ func (s *chaosScheduler) restartDown() {
 }
 
 // restoreAll brings the cluster back to full strength after the run: heals
-// the partition bookkeeping (the network is already quiesced) and restarts
-// any machine still down.
+// the partition bookkeeping (the network is already quiesced), restarts any
+// machine still down, and revives killed controller replicas.
 func (s *chaosScheduler) restoreAll() {
 	s.partitioned = ""
+	if s.ctlDown {
+		s.restoreControllers()
+	} else {
+		// An armed kill whose goroutine fired right before quiesce may
+		// have stopped a controller after the last scheduler tick.
+		s.report.CtlRestarts += s.c.RestartControllers()
+	}
+	if len(s.c.ControllerIDs()) > 0 {
+		// Let the restarted control plane finish its failover before any
+		// recovery work: a leader whose adoption is still running sweeps
+		// up fresh copies as failover orphans and aborts them.
+		_ = s.c.WaitControllerSettled(5 * time.Second)
+		// A controller kill near the end of the run leaves commits parked
+		// in the pair mirror until that takeover resolves them; parked
+		// commits hold locks that would both fail the leaked-lock
+		// invariant and block the recovery copy below.
+		deadline := time.Now().Add(5 * time.Second)
+		for s.c.InTransit() > 0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
 	if s.down != "" {
 		s.restartDown()
 	}
 	// With the network quiesced, a recovery that failed under faults
 	// mid-run succeeds now; bring the database back to full strength so
-	// the convergence check compares a complete replica set.
-	if reps, err := s.c.Replicas("app"); err == nil && len(reps) < 2 {
+	// the convergence check compares a complete replica set. Retried
+	// because a straggling failover can still abort the first attempt.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reps, err := s.c.Replicas("app")
+		if err != nil || len(reps) >= 2 || time.Now().After(deadline) {
+			break
+		}
 		s.c.RecoverDatabases([]string{"app"}, 1)
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 
@@ -406,6 +553,15 @@ func checkChaosInvariants(c *core.Cluster, rec *history.Recorder, report *ChaosR
 	if ok, cycle, g := history.Check(rec); !ok {
 		report.Violations = append(report.Violations,
 			"serialization graph has a cycle:\n"+g.Describe(cycle))
+	}
+
+	// With a replicated control plane, every controller replica's state
+	// machine must converge to the same committed control state once the
+	// network settles — divergence means the consensus log forked.
+	if len(c.ControllerIDs()) > 0 {
+		if err := c.WaitControllerConvergence(5 * time.Second); err != nil {
+			report.Violations = append(report.Violations, err.Error())
+		}
 	}
 
 	reps, err := c.Replicas("app")

@@ -32,3 +32,29 @@ func TestChaosQuick(t *testing.T) {
 		t.Fatalf("chaos seed %d: %d invariant violations", seed, len(rep.Violations))
 	}
 }
+
+// TestChaosControllerFailover is the controller-chaos regression: a pinned
+// seed whose schedule kills consensus leaders under TPC-W load — immediately
+// and armed to fire inside the 2PC PREPARE window or mid Algorithm 1 copy —
+// while the usual machine crashes, partitions, and lossiness run alongside.
+// The run must hold every invariant (one-copy serializability, replica and
+// controller-state convergence, no leaked locks), actually exercise at least
+// one controller kill, and keep committing after failovers.
+func TestChaosControllerFailover(t *testing.T) {
+	rep, err := RunChaos(ChaosConfig{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Verbose() || !rep.Passed() {
+		rep.WriteText(os.Stderr)
+	}
+	if !rep.Passed() {
+		t.Fatalf("chaos seed 42: %d invariant violations", len(rep.Violations))
+	}
+	if rep.CtlKills == 0 {
+		t.Error("seed 42 injected no controller kills; it no longer regression-tests failover — pick a new seed")
+	}
+	if rep.Committed == 0 {
+		t.Error("no transactions committed: the cluster never resumed after failover")
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sdp/internal/core"
+	"sdp/internal/netsim"
+	"sdp/internal/obs"
+	"sdp/internal/sqldb"
+	"sdp/internal/tpcw"
+)
+
+// ConsensusBenchResult is the -bench-consensus output (BENCH_consensus.json):
+// steady-state control-plane operation latency through the replicated log,
+// and leader-failover behaviour under TPC-W load — how long after a leader
+// kill the cluster commits its next control-plane operation and its next
+// client transaction, without any manual intervention.
+type ConsensusBenchResult struct {
+	// Controllers is the consensus group size.
+	Controllers int `json:"controllers"`
+	// ElectionTimeoutMs is the configured base election timeout.
+	ElectionTimeoutMs float64 `json:"election_timeout_ms"`
+
+	// Steady-state latency of one control-plane operation (a database
+	// create or drop: one consensus commit plus materialization).
+	CtlOps     int     `json:"ctl_ops"`
+	CtlOpP50Us float64 `json:"ctl_op_p50_us"`
+	CtlOpP99Us float64 `json:"ctl_op_p99_us"`
+
+	// Failovers are the individual leader-kill samples.
+	Failovers []FailoverSample `json:"failovers"`
+	// CtlCommitMeanMs / TxnCommitMeanMs average the samples.
+	CtlCommitMeanMs float64 `json:"ctl_commit_mean_ms"`
+	TxnCommitMeanMs float64 `json:"txn_commit_mean_ms"`
+
+	// BaselineTPS is the TPC-W commit rate before any kill; FailoverTPS is
+	// the rate over the kill/recover cycles (the availability cost of the
+	// failovers themselves); RecoveredTPS is the rate after the last killed
+	// replica rejoined — restored throughput, which should be back near the
+	// baseline.
+	BaselineTPS  float64 `json:"baseline_tps"`
+	FailoverTPS  float64 `json:"failover_tps"`
+	RecoveredTPS float64 `json:"recovered_tps"`
+	// FailoverWindowS is the wall-clock length of the kill/recover window
+	// the FailoverTPS rate was measured over.
+	FailoverWindowS float64 `json:"failover_window_s"`
+}
+
+// FailoverSample times one leader kill under load.
+type FailoverSample struct {
+	// Killed is the killed leader's replica id.
+	Killed string `json:"killed"`
+	// CtlCommitMs is the time from the kill to the next committed
+	// control-plane operation (proposed immediately after the kill, so it
+	// rides through the election and the new leader's takeover).
+	CtlCommitMs float64 `json:"ctl_commit_ms"`
+	// TxnCommitMs is the time from the kill to the next committed client
+	// write transaction (blocked until a new leader holds the quorum lease
+	// and has resolved the in-transit commits the dead leader halted).
+	TxnCommitMs float64 `json:"txn_commit_ms"`
+}
+
+// RunConsensusBench measures the replicated control plane. See
+// ConsensusBenchResult for what each number means.
+func RunConsensusBench(cfg Config) (*ConsensusBenchResult, error) {
+	reg := obs.NewRegistry()
+	net := netsim.New(cfg.Seed, reg)
+	et := 50 * time.Millisecond
+	engineCfg := sqldb.DefaultConfig()
+	engineCfg.LockTimeout = 250 * time.Millisecond
+	c := core.NewCluster("bench", core.Options{
+		ReadOption:                core.ReadOption1,
+		AckMode:                   core.Conservative,
+		Replicas:                  2,
+		EngineConfig:              engineCfg,
+		Metrics:                   reg,
+		Network:                   net,
+		CallTimeout:               200 * time.Millisecond,
+		RetryLimit:                6,
+		RetryBackoff:              500 * time.Microsecond,
+		Controllers:               3,
+		ControllerSeed:            cfg.Seed,
+		ControllerElectionTimeout: et,
+	})
+	if _, err := c.AddMachines(3); err != nil {
+		return nil, err
+	}
+	if err := c.CreateDatabase("app"); err != nil {
+		return nil, err
+	}
+	db := clusterDB{c: c, db: "app"}
+	scale := tpcw.SmallScale(cfg.Seed)
+	if err := tpcw.Load(db, scale); err != nil {
+		return nil, err
+	}
+	res := &ConsensusBenchResult{
+		Controllers:       3,
+		ElectionTimeoutMs: float64(et) / float64(time.Millisecond),
+	}
+
+	// Steady state: each create or drop is one control-plane operation —
+	// a consensus commit (propose, replicate, apply) plus materialization.
+	iters := 100
+	if cfg.Quick {
+		iters = 25
+	}
+	samples := make([]time.Duration, 0, 2*iters)
+	for i := 0; i < iters; i++ {
+		name := fmt.Sprintf("bench_ctl_%d", i)
+		t0 := time.Now()
+		if err := c.CreateDatabase(name); err != nil {
+			return nil, err
+		}
+		samples = append(samples, time.Since(t0))
+		t0 = time.Now()
+		if err := c.DropDatabase(name); err != nil {
+			return nil, err
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	res.CtlOps = len(samples)
+	res.CtlOpP50Us = float64(samples[len(samples)/2]) / float64(time.Microsecond)
+	res.CtlOpP99Us = float64(samples[len(samples)*99/100]) / float64(time.Microsecond)
+
+	// Failover: TPC-W sessions run throughout; each cycle kills the
+	// leader, times the next committed control op and client transaction,
+	// then restarts the dead replica and lets the group settle.
+	clients := 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		client := &tpcw.Client{
+			DB:       db,
+			Mix:      tpcw.OrderingMix,
+			Workload: tpcw.NewWorkload(scale),
+			Classify: chaosClassify,
+		}
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client.RunSession(seed, stop)
+		}(cfg.Seed + int64(i))
+	}
+	defer func() {
+		if stop != nil {
+			close(stop)
+			wg.Wait()
+		}
+	}()
+	committed := reg.Counter("core_txn_committed_total", "")
+
+	warm := 500 * time.Millisecond
+	if cfg.Quick {
+		warm = 200 * time.Millisecond
+	}
+	time.Sleep(warm)
+	base0 := committed.Value()
+	time.Sleep(warm)
+	res.BaselineTPS = float64(committed.Value()-base0) / warm.Seconds()
+
+	kills := 5
+	if cfg.Quick {
+		kills = 3
+	}
+	if _, err := c.Exec("app", "CREATE TABLE bench_probe (id INT PRIMARY KEY, v INT)"); err != nil {
+		return nil, err
+	}
+	if _, err := c.Exec("app", "INSERT INTO bench_probe VALUES (1, 0)"); err != nil {
+		return nil, err
+	}
+	failStart := committed.Value()
+	t0 := time.Now()
+	for k := 0; k < kills; k++ {
+		killed, err := c.KillLeaderController()
+		if err != nil {
+			return nil, err
+		}
+		kill := time.Now()
+		// First committed control-plane op: proposed right away, so the
+		// call rides through the election and the successor's takeover.
+		if err := c.CreateDatabase(fmt.Sprintf("bench_failover_%d", k)); err != nil {
+			return nil, fmt.Errorf("control plane never recovered from kill %d: %w", k, err)
+		}
+		ctlMs := float64(time.Since(kill)) / float64(time.Millisecond)
+		// First committed client write transaction.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			_, err := c.Exec("app", "UPDATE bench_probe SET v = v + 1 WHERE id = 1")
+			if err == nil {
+				break
+			}
+			if !core.IsRetryable(err) && !errors.Is(err, core.ErrRejected) {
+				return nil, fmt.Errorf("probe transaction failed fatally after kill %d: %w", k, err)
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("data path never recovered from kill %d: %w", k, err)
+			}
+		}
+		txnMs := float64(time.Since(kill)) / float64(time.Millisecond)
+		res.Failovers = append(res.Failovers, FailoverSample{
+			Killed: killed, CtlCommitMs: ctlMs, TxnCommitMs: txnMs,
+		})
+		res.CtlCommitMeanMs += ctlMs / float64(kills)
+		res.TxnCommitMeanMs += txnMs / float64(kills)
+		if err := c.RestartController(killed); err != nil {
+			return nil, err
+		}
+		if err := c.WaitControllerSettled(5 * time.Second); err != nil {
+			return nil, err
+		}
+		if err := c.WaitControllerConvergence(5 * time.Second); err != nil {
+			return nil, err
+		}
+	}
+	res.FailoverWindowS = time.Since(t0).Seconds()
+	res.FailoverTPS = float64(committed.Value()-failStart) / res.FailoverWindowS
+
+	rec0 := committed.Value()
+	time.Sleep(warm)
+	res.RecoveredTPS = float64(committed.Value()-rec0) / warm.Seconds()
+
+	close(stop)
+	wg.Wait()
+	stop = nil
+	return res, nil
+}

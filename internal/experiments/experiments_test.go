@@ -175,3 +175,31 @@ func TestWALBenchShape(t *testing.T) {
 		t.Fatal("fast path replayed nothing")
 	}
 }
+
+func TestConsensusBenchShape(t *testing.T) {
+	res, err := RunConsensusBench(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CtlOps == 0 || res.CtlOpP50Us <= 0 || res.CtlOpP99Us < res.CtlOpP50Us {
+		t.Fatalf("steady-state ctl latency: n=%d p50=%.1fµs p99=%.1fµs",
+			res.CtlOps, res.CtlOpP50Us, res.CtlOpP99Us)
+	}
+	if len(res.Failovers) != 3 {
+		t.Fatalf("failover samples = %d, want 3 in quick mode", len(res.Failovers))
+	}
+	// The acceptance property: after every leader kill the cluster resumed
+	// committing — both control-plane operations and client transactions —
+	// without manual intervention.
+	for i, f := range res.Failovers {
+		if f.CtlCommitMs <= 0 || f.TxnCommitMs <= 0 {
+			t.Errorf("kill %d (%s): ctl=%.1fms txn=%.1fms", i, f.Killed, f.CtlCommitMs, f.TxnCommitMs)
+		}
+	}
+	if res.BaselineTPS <= 0 {
+		t.Fatal("no committed transactions before the first kill")
+	}
+	if res.RecoveredTPS <= 0 {
+		t.Fatal("throughput did not recover after the last failover")
+	}
+}

@@ -28,6 +28,8 @@ func codeFor(err error) uint16 {
 		return ErrCodeStaleRoute
 	case errors.Is(err, core.ErrMachineFailed):
 		return ErrCodeMachineFailed
+	case errors.Is(err, core.ErrNotLeader), errors.Is(err, core.ErrNoQuorum):
+		return ErrCodeNotLeader
 	case core.IsRetryable(err):
 		// Remaining transient conditions: 2PC prepare timeout, replicas
 		// unreachable behind a partition, simulated network faults, a
@@ -56,6 +58,8 @@ func sentinelFor(code uint16) error {
 		return core.ErrStaleRoute
 	case ErrCodeMachineFailed:
 		return core.ErrMachineFailed
+	case ErrCodeNotLeader:
+		return core.ErrNotLeader
 	case ErrCodeUnavailable:
 		return core.ErrUnreachable
 	case ErrCodeShutdown:

@@ -112,6 +112,8 @@ func codeName(code uint16) string {
 		return "unavailable"
 	case ErrCodeShutdown:
 		return "shutdown"
+	case ErrCodeNotLeader:
+		return "not_leader"
 	default:
 		return "unknown"
 	}

@@ -117,6 +117,11 @@ const (
 	ErrCodeUnavailable = 106
 	// ErrCodeShutdown: the server is draining; reconnect and retry.
 	ErrCodeShutdown = 107
+	// ErrCodeNotLeader: the contacted controller replica is not the
+	// consensus leader, or the controller quorum is currently lost. The
+	// message carries a leader hint when one is known. Retryable — a retry
+	// lands after failover completes.
+	ErrCodeNotLeader = 108
 )
 
 // Error is a server-reported failure decoded from a MsgError frame. It

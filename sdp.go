@@ -132,6 +132,16 @@ type Config struct {
 	// long into the bounded slow-query log served at /slowz, with the span
 	// breakdown for sampled calls.
 	SlowQuery time.Duration
+	// Controllers, when >= 1, replicates each cluster controller's state
+	// machine across that many consensus replicas (3 or 5 are sensible);
+	// controller state changes commit through a Raft-style log and the
+	// cluster survives controller crashes by leader failover (see DESIGN.md,
+	// "Control plane replication"). Zero keeps the paper's single
+	// process-pair controller.
+	Controllers int
+	// ControllerSeed seeds the consensus layer's randomized election
+	// timeouts, for reproducible failover tests (default 1).
+	ControllerSeed int64
 }
 
 func (c Config) coloOptions() colo.Options {
@@ -155,6 +165,8 @@ func (c Config) coloOptions() colo.Options {
 			CopyGranularity: c.CopyGranularity,
 			EngineConfig:    eng,
 			WAL:             c.WAL,
+			Controllers:     c.Controllers,
+			ControllerSeed:  c.ControllerSeed,
 		},
 	}
 }
