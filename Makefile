@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo net-demo trace-demo consensus-demo bench bench-sqldb bench-wal bench-net bench-consensus bench-gate experiments clean
+.PHONY: all build test race vet doc-check crash chaos obs-dump admin-demo net-demo trace-demo consensus-demo bench bench-sqldb bench-wal bench-net bench-consensus bench-gate bench-placement placement-gate experiments clean
 
 all: build test
 
@@ -18,7 +18,7 @@ test:
 # read-only profiles drive the optimistic path concurrently, and the wire
 # protocol's pipelined sessions (multiplexed client pool vs concurrent DDL).
 race:
-	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/consensus/... ./internal/wal/... ./internal/tpcw/... ./internal/wire/...
+	$(GO) test -race ./internal/sqldb/... ./internal/core/... ./internal/consensus/... ./internal/wal/... ./internal/tpcw/... ./internal/wire/... ./internal/placement/...
 
 # vet also smoke-tests the wait-free metrics instruments, the SLA monitor's
 # epoch-recycled windows, the admin plane, and the write-ahead log under the
@@ -34,7 +34,7 @@ vet:
 # platform run registers (see OBSERVABILITY.md and the package docs citing
 # paper sections).
 doc-check:
-	$(GO) run ./cmd/doccheck -proto PROTOCOL.md -metrics OBSERVABILITY.md ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb ./internal/wire ./internal/consensus
+	$(GO) run ./cmd/doccheck -proto PROTOCOL.md -metrics OBSERVABILITY.md ./internal/core ./internal/system ./internal/obs ./internal/admin ./internal/sla ./internal/wal ./internal/sqldb ./internal/wire ./internal/consensus ./internal/placement
 
 # Crash-recovery soak: the randomized log-cut property test, 20 runs with
 # distinct injection seeds. Any failure reproduces with
@@ -125,6 +125,18 @@ bench-consensus:
 # than 20% above the committed BENCH_sqldb.json baseline.
 bench-gate:
 	$(GO) run ./cmd/experiments -bench-gate
+
+# Regenerate BENCH_placement.json: the adaptive-placement experiment (static
+# vs adaptive replica provisioning under Zipfian tenant skew, plus the
+# balanced-load inertness check).
+bench-placement:
+	$(GO) run ./cmd/experiments -bench-placement
+
+# Quick placement regression gate: rerun the skew experiment in quick mode
+# and fail unless adaptive provisioning beats the static baseline and stays
+# inert under balanced load. CI runs this on every push.
+placement-gate:
+	$(GO) run ./cmd/experiments -bench-placement -quick -bench-placement-out /tmp/sdp-placement-gate.json
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

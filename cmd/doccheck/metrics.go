@@ -16,7 +16,7 @@ import (
 // spans: a layer prefix followed by the family name. Prose fragments like
 // `core_` or `core_net_` (trailing underscore) and engine-stat labels
 // without a layer prefix do not match.
-var familyName = regexp.MustCompile("`((?:core|twopc|netsim|sqldb|wal|colo|system|sla|wire|trace|slowlog|consensus)_[a-z0-9_]*[a-z0-9])`")
+var familyName = regexp.MustCompile("`((?:core|twopc|netsim|sqldb|wal|colo|system|sla|wire|trace|slowlog|consensus|placement)_[a-z0-9_]*[a-z0-9])`")
 
 // notFamilies lists tokens that match familyName but name trace-event
 // phases documented in OBSERVABILITY.md's tracing tables, not families.
@@ -74,6 +74,8 @@ func representativeFamilies() (map[string]string, error) {
 	if err := p.CreateDatabase("app", sdp.SLA{SizeMB: 1, MinTPS: 1, MaxRejectFraction: 1}, "local"); err != nil {
 		return nil, err
 	}
+	p.StartPlacement(sdp.PlacementOptions{}) // placement_* families register with the controller
+	defer p.StopPlacement()
 	srv, err := p.ServeWire()
 	if err != nil {
 		return nil, err

@@ -43,6 +43,16 @@
 // across the failovers — and writes BENCH_consensus.json (or
 // -bench-consensus-out).
 //
+// -bench-placement runs the adaptive-placement experiment: eight tenants
+// packed by static First-Fit onto four machines, hit with Zipfian-skewed
+// TPC-W traffic, once frozen and once with the adaptive provisioning
+// controller closing the loop from the SLA monitor, comparing SLA violation
+// windows at equal machine count; a third balanced-load phase asserts the
+// decision loop proposes nothing when there is nothing to fix. Writes
+// BENCH_placement.json (or -bench-placement-out) and exits 1 if the
+// adaptive run is worse than static or the balanced phase was not inert.
+// CI runs this gate (quick mode) on every push.
+//
 // -bench-gate re-runs the point-read benchmark at the committed baseline's
 // iteration count and compares the measured latency against the baseline in
 // the file given by -bench-baseline (default BENCH_sqldb.json), exiting 1 if
@@ -66,7 +76,10 @@
 // after a 2PC PREPARE ack), then checks one-copy serializability, replica
 // convergence, and lock hygiene. -chaos-duration and -chaos-clients size the
 // run; the process exits 1 if any invariant was violated, and the same seed
-// replays the identical fault schedule.
+// replays the identical fault schedule. With -placement the adaptive
+// replica-provisioning controller runs during the soak, so its grows,
+// shrinks, and migrations race the injected faults and the same invariants
+// must still hold.
 package main
 
 import (
@@ -106,6 +119,8 @@ func main() {
 	benchNet := flag.Bool("bench-net", false, "run the wire-protocol benchmarks (loopback latency, throughput vs connection count) and write JSON results")
 	benchNetOut := flag.String("bench-net-out", "BENCH_net.json", "output path for -bench-net results")
 	serveAddr := flag.String("serve", "", "serve the wire protocol with a demo database on this address (e.g. 127.0.0.1:8346) until interrupted")
+	benchPlacement := flag.Bool("bench-placement", false, "run the adaptive-placement experiment (static vs adaptive under Zipfian skew, balanced-load inertness) and write JSON results")
+	benchPlacementOut := flag.String("bench-placement-out", "BENCH_placement.json", "output path for -bench-placement results")
 	benchGate := flag.Bool("bench-gate", false, "re-run the point-read bench and fail if it regressed vs the committed baseline")
 	benchBaseline := flag.String("bench-baseline", "BENCH_sqldb.json", "baseline file for -bench-gate")
 	benchGatePct := flag.Float64("bench-gate-pct", 20, "allowed point-read regression for -bench-gate, in percent")
@@ -119,6 +134,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run a chaos soak (TPC-W under injected faults, partitions, and crashes) and verify serializability")
 	chaosDur := flag.Duration("chaos-duration", 0, "faulted-traffic duration for -chaos (default 10s, 2s with -quick)")
 	chaosClients := flag.Int("chaos-clients", 4, "concurrent TPC-W sessions for -chaos")
+	chaosPlacement := flag.Bool("placement", false, "with -chaos: run the adaptive placement controller during the soak so grows, shrinks, and migrations race the fault schedule")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
@@ -133,10 +149,11 @@ func main() {
 
 	if *chaos {
 		rep, err := experiments.RunChaos(experiments.ChaosConfig{
-			Seed:     *seed,
-			Duration: *chaosDur,
-			Clients:  *chaosClients,
-			Quick:    *quick,
+			Seed:      *seed,
+			Duration:  *chaosDur,
+			Clients:   *chaosClients,
+			Quick:     *quick,
+			Placement: *chaosPlacement,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
@@ -265,6 +282,26 @@ func main() {
 			res.GroupCommit[last].Committers, res.GroupCommit[last].FlushesPerCommit,
 			res.NoGroupCommit[last].FlushesPerCommit,
 			res.RecoveryRows, res.FastRecoveryMs, res.FullRecoveryMs, res.FastSpeedupRatio)
+		return
+	}
+
+	if *benchPlacement {
+		res := experiments.RunPlacementBench(cfg)
+		data, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-placement: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchPlacementOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-placement: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchPlacementOut)
+		res.WriteText(os.Stdout)
+		if !res.Passed() {
+			fmt.Fprintln(os.Stderr, "bench-placement: gate failed (adaptive worse than static, or balanced load was not inert)")
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"sdp/internal/obs"
+	"sdp/internal/placement"
 	"sdp/internal/sla"
 	"sdp/internal/system"
 )
@@ -27,6 +28,9 @@ type Platform interface {
 	Health() system.Health
 	// SLAReport returns the current SLA compliance report.
 	SLAReport() sla.ComplianceReport
+	// PlacementReport returns the adaptive placement controllers' merged
+	// state (a disabled report when placement is not running).
+	PlacementReport() placement.Report
 }
 
 // Handler builds the admin-plane HTTP handler over the given registry and
@@ -61,6 +65,9 @@ func Handler(reg *obs.Registry, plat Platform) http.Handler {
 	mux.HandleFunc("/slaz", func(w http.ResponseWriter, r *http.Request) {
 		serveSlaz(w, r, plat)
 	})
+	mux.HandleFunc("/placementz", func(w http.ResponseWriter, r *http.Request) {
+		servePlacementz(w, r, plat)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -85,6 +92,8 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
                     trace=<16-hex trace id> for the span tree, format=text to render it)
   /slowz            slow-query log, newest last (query: format=text for the operator rendering)
   /slaz             SLA compliance report (query: format=text for the operator rendering)
+  /placementz       adaptive placement state: tenant classes, replica targets, recent
+                    grow/shrink/migrate actions (query: format=text for the operator rendering)
   /debug/pprof/     Go runtime profiles
 `)
 }
@@ -262,6 +271,22 @@ func serveSlaz(w http.ResponseWriter, r *http.Request, plat Platform) {
 		return
 	}
 	rep := plat.SLAReport()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// servePlacementz serves the adaptive placement report: JSON by default,
+// the operator text rendering with ?format=text.
+func servePlacementz(w http.ResponseWriter, r *http.Request, plat Platform) {
+	if plat == nil {
+		http.Error(w, "no platform attached", http.StatusNotFound)
+		return
+	}
+	rep := plat.PlacementReport()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rep.WriteText(w)

@@ -12,18 +12,21 @@ import (
 	"sdp/internal/colo"
 	"sdp/internal/core"
 	"sdp/internal/obs"
+	"sdp/internal/placement"
 	"sdp/internal/sla"
 	"sdp/internal/system"
 )
 
 // fakePlatform is a canned-response admin.Platform.
 type fakePlatform struct {
-	health system.Health
-	report sla.ComplianceReport
+	health    system.Health
+	report    sla.ComplianceReport
+	placement placement.Report
 }
 
-func (f *fakePlatform) Health() system.Health           { return f.health }
-func (f *fakePlatform) SLAReport() sla.ComplianceReport { return f.report }
+func (f *fakePlatform) Health() system.Health             { return f.health }
+func (f *fakePlatform) SLAReport() sla.ComplianceReport   { return f.report }
+func (f *fakePlatform) PlacementReport() placement.Report { return f.placement }
 
 // healthyPlatform is one live colo with one fully-replicated cluster.
 func healthyPlatform() *fakePlatform {
@@ -51,6 +54,19 @@ func healthyPlatform() *fakePlatform {
 				Database: "shop", Compliant: false,
 				WindowsEvaluated: 5, WindowsViolated: 2,
 				Machines: []string{"m1", "m2"},
+			}},
+		},
+		placement: placement.Report{
+			GeneratedAt: time.Unix(1000, 0),
+			Enabled:     true,
+			Rounds:      7,
+			Tenants: []placement.TenantStatus{{
+				DB: "shop", Class: "hot", Replicas: 2, Target: 3,
+				Compliant: false, OfferedTPS: 120,
+			}},
+			Recent: []placement.ActionRecord{{
+				Action: placement.Action{Kind: placement.Grow, DB: "shop", To: "m3", Reason: "hot: grow"},
+				At:     time.Unix(1001, 0),
 			}},
 		},
 	}
@@ -201,6 +217,37 @@ func TestSlaz(t *testing.T) {
 	rec = get(t, Handler(obs.NewRegistry(), nil), "/slaz")
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("nil-platform /slaz = %d, want 404", rec.Code)
+	}
+}
+
+func TestPlacementz(t *testing.T) {
+	h := Handler(obs.NewRegistry(), healthyPlatform())
+	rec := get(t, h, "/placementz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/placementz status = %d", rec.Code)
+	}
+	var rep placement.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enabled || rep.Rounds != 7 || len(rep.Tenants) != 1 || rep.Tenants[0].Class != "hot" {
+		t.Errorf("/placementz report = %+v", rep)
+	}
+	if len(rep.Recent) != 1 || rep.Recent[0].Kind != placement.Grow {
+		t.Errorf("/placementz recent = %+v", rep.Recent)
+	}
+
+	rec = get(t, h, "/placementz?format=text")
+	for _, want := range []string{"adaptive placement: enabled", "hot", "grow shop"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("text report missing %q: %s", want, rec.Body.String())
+		}
+	}
+
+	// Without a platform there is no report to serve.
+	rec = get(t, Handler(obs.NewRegistry(), nil), "/placementz")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil-platform /placementz = %d, want 404", rec.Code)
 	}
 }
 

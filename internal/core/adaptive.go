@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sdp/internal/obs"
+	"sdp/internal/placement"
+	"sdp/internal/sla"
+)
+
+// This file closes the loop from the SLA monitor into placement: a periodic
+// decision loop samples the monitor's per-database windows, classifies
+// tenants hot/warm/cold (internal/placement), grows hot tenants' replica
+// degree and shrinks cold ones within a per-tenant budget, and corrects
+// load skew through the shared rebalancer candidate path (rebalance.go).
+// Decisions execute through the same replicated control-plane primitives as
+// manual operations (GrowReplica → Algorithm 1 copy, ShrinkReplica →
+// replicated retire, MigrateReplica), so they survive controller failover;
+// the loop itself only acts while its controller holds the quorum lease,
+// and every action is level-triggered — an action lost to ErrNotLeader or
+// ErrNoQuorum is simply re-planned by the next leader's next round from
+// fresh signals.
+
+// AdaptiveConfig tunes the adaptive provisioning controller.
+type AdaptiveConfig struct {
+	// Interval is the decision-loop period. Zero selects 500ms. Rounds
+	// re-plan from scratch, so the interval bounds reaction time, not
+	// correctness.
+	Interval time.Duration
+	// Classifier tunes the hot/warm/cold thresholds.
+	Classifier placement.ClassifierConfig
+	// Budget bounds per-tenant replica degrees (TCDRM-style).
+	Budget placement.Budget
+	// MaxConcurrentMoves caps Algorithm 1 copies in flight from this
+	// controller (K in the issue); actions beyond it wait for the next
+	// round. Zero selects 2.
+	MaxConcurrentMoves int
+	// MaxActionsPerRound caps grow/shrink actions planned per round.
+	// Zero selects 4.
+	MaxActionsPerRound int
+	// RebalanceMoves caps skew-correcting migrations per round. Zero
+	// selects 1; negative disables migration.
+	RebalanceMoves int
+	// RebalanceMinGain is the relative peak-utilisation reduction a
+	// skew-correcting migration must achieve before the loop launches it.
+	// Observed loads jitter window to window; without a margin the
+	// rebalancer chases the noise, ping-ponging replicas between
+	// near-equal machines (each move an Algorithm 1 copy that costs real
+	// latency). Zero selects 0.1 (a move must cut the peak by 10%);
+	// negative selects any strict improvement, the manual Rebalance
+	// semantics.
+	RebalanceMinGain float64
+	// LoadSmoothing is the EWMA coefficient applied to observed per-replica
+	// loads across rounds (new = α·observed + (1−α)·previous). One SLA
+	// window is a noisy throughput sample; smoothing is what lets the
+	// migration planner see the persistent skew through the jitter. Zero
+	// selects 0.3; values ≥ 1 disable smoothing.
+	LoadSmoothing float64
+}
+
+func (cfg AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.MaxConcurrentMoves <= 0 {
+		cfg.MaxConcurrentMoves = 2
+	}
+	if cfg.MaxActionsPerRound <= 0 {
+		cfg.MaxActionsPerRound = 4
+	}
+	if cfg.RebalanceMoves == 0 {
+		cfg.RebalanceMoves = 1
+	}
+	if cfg.RebalanceMinGain == 0 {
+		cfg.RebalanceMinGain = 0.1
+	} else if cfg.RebalanceMinGain < 0 {
+		cfg.RebalanceMinGain = 0
+	}
+	if cfg.LoadSmoothing <= 0 {
+		cfg.LoadSmoothing = 0.3
+	} else if cfg.LoadSmoothing > 1 {
+		cfg.LoadSmoothing = 1
+	}
+	return cfg
+}
+
+// placementMetrics carries the adaptive controller's instruments, resolved
+// once at construction like clusterMetrics.
+type placementMetrics struct {
+	rounds   *obs.CounterVec
+	actions  *obs.CounterVec
+	tenants  *obs.GaugeVec
+	inflight *obs.Gauge
+}
+
+func newPlacementMetrics(reg *obs.Registry) *placementMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &placementMetrics{
+		rounds: reg.CounterVec("placement_rounds_total",
+			"Adaptive placement decision rounds by result (acted, noop, skipped_not_leader).", "result"),
+		actions: reg.CounterVec("placement_actions_total",
+			"Adaptive placement actions by kind (grow, shrink, migrate) and result (ok, retry, error).", "kind", "result"),
+		tenants: reg.GaugeVec("placement_tenants",
+			"Tenants by hot/warm/cold class as of the last decision round.", "class"),
+		inflight: reg.Gauge("placement_moves_inflight",
+			"Replica copies and retires currently executing on behalf of the adaptive controller."),
+	}
+}
+
+// AdaptiveController runs the adaptive provisioning loop for one cluster.
+// Create it with NewAdaptiveController, then Start it; Stop waits for the
+// loop and any in-flight actions to finish.
+type AdaptiveController struct {
+	c       *Cluster
+	cfg     AdaptiveConfig
+	metrics *placementMetrics
+
+	sem     chan struct{} // MaxConcurrentMoves tokens
+	stopCh  chan struct{}
+	started bool
+	stopped bool
+	loopWG  sync.WaitGroup
+	moveWG  sync.WaitGroup
+
+	// loadEWMA is the smoothed per-replica observed load carried across
+	// rounds (accessed only from the decision loop / RunOnce callers).
+	loadEWMA map[string]sla.Resources
+	// pendingMove is last round's planned-but-unconfirmed migration: a
+	// skew-correcting move only launches when two consecutive rounds plan
+	// the identical move, so a single noisy load sample never triggers an
+	// Algorithm 1 copy. Same access discipline as loadEWMA.
+	pendingMove Move
+
+	mu               sync.Mutex
+	rounds           uint64
+	skippedNotLeader uint64
+	grows            uint64
+	shrinks          uint64
+	migrates         uint64
+	tenants          []placement.TenantStatus
+	recent           []placement.ActionRecord
+}
+
+// NewAdaptiveController builds an adaptive provisioning controller for the
+// cluster, registering its placement_* metrics on the cluster's registry.
+// The cluster must have been built with Options.SLAMonitor for hot/cold
+// classification to see any signals; without a monitor the loop still
+// repairs replica degrees against the budget and corrects declared-load
+// skew.
+func (c *Cluster) NewAdaptiveController(cfg AdaptiveConfig) *AdaptiveController {
+	cfg = cfg.withDefaults()
+	return &AdaptiveController{
+		c:        c,
+		cfg:      cfg,
+		metrics:  newPlacementMetrics(c.metrics.reg),
+		sem:      make(chan struct{}, cfg.MaxConcurrentMoves),
+		stopCh:   make(chan struct{}),
+		loadEWMA: map[string]sla.Resources{},
+	}
+}
+
+// Start launches the periodic decision loop. Safe to call once.
+func (a *AdaptiveController) Start() {
+	a.mu.Lock()
+	if a.started || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.mu.Unlock()
+	a.loopWG.Add(1)
+	go func() {
+		defer a.loopWG.Done()
+		ticker := time.NewTicker(a.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-a.stopCh:
+				return
+			case <-ticker.C:
+				a.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for in-flight actions. Idempotent.
+func (a *AdaptiveController) Stop() {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.stopped = true
+	a.mu.Unlock()
+	close(a.stopCh)
+	a.loopWG.Wait()
+	a.moveWG.Wait()
+}
+
+// WaitIdle blocks until every action launched by previous rounds has
+// finished executing — for tests that drive RunOnce directly.
+func (a *AdaptiveController) WaitIdle() { a.moveWG.Wait() }
+
+// RunOnce executes one decision round synchronously (the planning; action
+// execution is handed to bounded workers) and returns the number of
+// actions launched. Rounds on a controller that does not hold the quorum
+// lease are skipped: only the leader acts, followers count the skip and
+// stand by — after failover the new leader's loop takes over seamlessly
+// because every prior action was replicated.
+func (a *AdaptiveController) RunOnce() int {
+	if cp := a.c.ctl; cp != nil && !cp.leaseOK() {
+		a.mu.Lock()
+		a.skippedNotLeader++
+		a.mu.Unlock()
+		a.metrics.rounds.With("skipped_not_leader").Inc()
+		return 0
+	}
+
+	tenants, machines, loads := a.c.placementView(a.loadEWMA, a.cfg.LoadSmoothing)
+	a.loadEWMA = loads
+	res := placement.Plan(tenants, machines, placement.PlanConfig{
+		Classifier: a.cfg.Classifier,
+		Budget:     a.cfg.Budget,
+		MaxActions: a.cfg.MaxActionsPerRound,
+	})
+	a.publishRound(tenants, res)
+
+	launched := 0
+	for _, act := range res.Actions {
+		if a.launch(act) {
+			launched++
+		}
+	}
+	if a.cfg.RebalanceMoves > 0 && launched == 0 && len(a.sem) == 0 {
+		// Degree changes settle first, and skew correction runs only on
+		// fully quiet rounds (nothing planned, nothing in flight), so a
+		// grow and a migration never chase the same hotspot and copies
+		// never stack up behind each other. A move must also be planned
+		// identically by two consecutive rounds before it launches.
+		move, ok := a.c.planMove(loads, a.cfg.RebalanceMinGain)
+		switch {
+		case ok && move == a.pendingMove:
+			if a.launch(placement.Action{Kind: placement.Migrate, DB: move.DB, From: move.From, To: move.To, Reason: "skew: peak improvement confirmed twice"}) {
+				launched++
+				a.pendingMove = Move{}
+			}
+		case ok:
+			a.pendingMove = move
+		default:
+			a.pendingMove = Move{}
+		}
+	}
+	if launched > 0 {
+		a.metrics.rounds.With("acted").Inc()
+	} else {
+		a.metrics.rounds.With("noop").Inc()
+	}
+	return launched
+}
+
+// launch hands one action to a bounded worker; it reports false when every
+// worker slot is busy (the action is dropped and re-planned next round).
+func (a *AdaptiveController) launch(act placement.Action) bool {
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		return false
+	}
+	a.moveWG.Add(1)
+	a.metrics.inflight.Inc()
+	go func() {
+		defer func() {
+			a.metrics.inflight.Dec()
+			<-a.sem
+			a.moveWG.Done()
+		}()
+		a.execute(act)
+	}()
+	return true
+}
+
+// execute performs one action through the cluster's replicated primitives
+// and records the outcome.
+func (a *AdaptiveController) execute(act placement.Action) {
+	var err error
+	switch act.Kind {
+	case placement.Grow:
+		err = a.c.GrowReplica(act.DB, act.To)
+	case placement.Shrink:
+		err = a.c.ShrinkReplica(act.DB, act.From)
+	case placement.Migrate:
+		err = a.c.MigrateReplica(act.DB, act.From, act.To)
+	}
+	result := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNotLeader), errors.Is(err, ErrNoQuorum),
+		errors.Is(err, ErrCopyInProgress), errors.Is(err, ErrCopyAborted),
+		errors.Is(err, ErrMachineFailed), errors.Is(err, ErrNoCapacity):
+		// Transient cluster churn: leadership moved, a copy raced ours,
+		// or a machine died under the move. Level-triggered recovery —
+		// the next round re-plans from fresh state.
+		result = "retry"
+	default:
+		result = "error"
+	}
+	a.metrics.actions.With(string(act.Kind), result).Inc()
+
+	rec := placement.ActionRecord{Action: act, At: time.Now()}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	a.mu.Lock()
+	switch act.Kind {
+	case placement.Grow:
+		if err == nil {
+			a.grows++
+		}
+	case placement.Shrink:
+		if err == nil {
+			a.shrinks++
+		}
+	case placement.Migrate:
+		if err == nil {
+			a.migrates++
+		}
+	}
+	a.recent = append(a.recent, rec)
+	if len(a.recent) > 32 {
+		a.recent = a.recent[len(a.recent)-32:]
+	}
+	a.mu.Unlock()
+}
+
+// publishRound updates the per-round report state and class gauges.
+func (a *AdaptiveController) publishRound(tenants []placement.TenantView, res placement.PlanResult) {
+	counts := map[placement.Class]int{}
+	statuses := make([]placement.TenantStatus, 0, len(tenants))
+	for _, t := range tenants {
+		class := res.Classes[t.Signal.DB]
+		counts[class]++
+		statuses = append(statuses, placement.TenantStatus{
+			DB:         t.Signal.DB,
+			Class:      class.String(),
+			Replicas:   len(t.Replicas),
+			Target:     res.Targets[t.Signal.DB],
+			Compliant:  t.Signal.Compliant,
+			OfferedTPS: t.Signal.OfferedTPS(),
+		})
+	}
+	for _, class := range []placement.Class{placement.Hot, placement.Warm, placement.Cold} {
+		a.metrics.tenants.With(class.String()).Set(float64(counts[class]))
+	}
+	a.mu.Lock()
+	a.rounds++
+	a.tenants = statuses
+	a.mu.Unlock()
+}
+
+// Actions returns the cumulative successful grow/shrink/migrate counts.
+func (a *AdaptiveController) Actions() (grows, shrinks, migrates uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.grows, a.shrinks, a.migrates
+}
+
+// Report assembles the controller's public state for /placementz.
+func (a *AdaptiveController) Report() placement.Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return placement.Report{
+		GeneratedAt:      time.Now(),
+		Enabled:          a.started && !a.stopped,
+		Rounds:           a.rounds,
+		SkippedNotLeader: a.skippedNotLeader,
+		MovesInFlight:    len(a.sem),
+		Tenants:          append([]placement.TenantStatus(nil), a.tenants...),
+		Recent:           append([]placement.ActionRecord(nil), a.recent...),
+	}
+}
+
+// placementView samples the cluster into the planner's input: one
+// TenantView per database (SLA signals where the monitor tracks them), one
+// MachineView per live machine with effective utilisation, plus the
+// observed per-replica load map shared with the rebalancer. prev and alpha
+// EWMA-smooth the observed loads across calls (alpha 1 takes the raw
+// sample); the returned map is the new smoothed state.
+func (c *Cluster) placementView(prev map[string]sla.Resources, alpha float64) ([]placement.TenantView, []placement.MachineView, map[string]sla.Resources) {
+	// Sample the monitor outside c.mu (it has its own locking).
+	signals := map[string]placement.TenantSignal{}
+	loads := map[string]sla.Resources{}
+	if c.slamon != nil {
+		rep := c.slamon.Report()
+		for _, db := range rep.Databases {
+			sig := placement.TenantSignal{
+				DB:            db.Database,
+				SLA:           db.SLA,
+				Compliant:     db.Compliant,
+				WindowSeconds: rep.WindowSeconds,
+				Violation:     db.LastViolation,
+			}
+			if db.LastWindow != nil {
+				sig.HasWindow = true
+				sig.Window = *db.LastWindow
+			}
+			signals[db.Database] = sig
+		}
+	}
+
+	c.mu.Lock()
+	cands := c.movementCandidatesLocked(nil)
+	// Observed per-replica load: profile the last window's committed TPS
+	// share across the replicas, so skew math chases traffic, not
+	// reservations, EWMA-blended with the previous round's estimate — one
+	// window is a noisy sample. Computed before effective loads so both
+	// views agree.
+	for _, cand := range cands {
+		est, hasPrev := prev[cand.db]
+		sig, ok := signals[cand.db]
+		if ok && sig.HasWindow && sig.Window.TPS > 0 && len(cand.replicas) > 0 {
+			raw := sla.Profile(0, sig.Window.TPS/float64(len(cand.replicas)))
+			if hasPrev {
+				est = est.Scale(1 - alpha).Add(raw.Scale(alpha))
+			} else {
+				est = raw
+			}
+		}
+		if est != (sla.Resources{}) {
+			loads[cand.db] = est
+		}
+	}
+	cands = c.movementCandidatesLocked(loads)
+	eff := c.effectiveLoadsLocked(cands)
+
+	tenants := make([]placement.TenantView, 0, len(cands))
+	for _, cand := range cands {
+		sig, ok := signals[cand.db]
+		if !ok {
+			// Untracked database: no SLA evidence, so the classifier
+			// holds it warm and only budget repair / skew moves apply.
+			sig = placement.TenantSignal{DB: cand.db}
+		}
+		tenants = append(tenants, placement.TenantView{
+			Signal:   sig,
+			Replicas: cand.replicas,
+			Copying:  cand.copying,
+		})
+	}
+
+	machines := make([]placement.MachineView, 0, len(eff))
+	for _, id := range c.order {
+		m := c.machines[id]
+		if m == nil || m.Failed() {
+			continue
+		}
+		mv := placement.MachineView{ID: id, Util: utilOf(eff[id], m.Capacity()), Hosts: map[string]bool{}}
+		for _, cand := range cands {
+			if contains(cand.replicas, id) {
+				mv.Hosts[cand.db] = true
+			}
+		}
+		machines = append(machines, mv)
+	}
+	c.mu.Unlock()
+	return tenants, machines, loads
+}

@@ -548,6 +548,7 @@ func (c *Cluster) FailMachine(id string) ([]string, error) {
 	affected = dedupSorted(affected)
 	c.mu.Unlock()
 	m.fail()
+	c.metrics.reg.TraceEvent("recovery", id, "machine_failed", fmt.Sprintf("affected=%v", affected))
 	return affected, nil
 }
 

@@ -29,6 +29,7 @@ const (
 	ctlOpCopyAbort      = "copy_abort"
 	ctlOpCopyComplete   = "copy_complete"
 	ctlOpSetReadHome    = "set_read_home"
+	ctlOpRetireReplica  = "retire_replica"
 )
 
 // ctlCmd is one replicated control-plane command, JSON-encoded into the
@@ -178,6 +179,24 @@ func (st *ctlState) Apply(index uint64, data []byte) any {
 	case ctlOpSetReadHome:
 		if db, ok := st.s.DBs[cmd.DB]; ok && contains(db.Replicas, cmd.Machine) {
 			db.ReadHome = cmd.Machine
+		}
+	case ctlOpRetireReplica:
+		// Replica retirement (adaptive shrink, migration tail) must be
+		// replicated: the retired machine's engine copy is dropped, so a
+		// failover that resurrected the machine into the replica set from
+		// an older record would route reads to a machine without the data.
+		// Idempotent, and never drops the last replica — a retried retire
+		// racing a machine failure must not empty the set.
+		if db, ok := st.s.DBs[cmd.DB]; ok && len(db.Replicas) > 1 {
+			for i, rid := range db.Replicas {
+				if rid == cmd.Machine {
+					db.Replicas = append(db.Replicas[:i], db.Replicas[i+1:]...)
+					if db.ReadHome == cmd.Machine && len(db.Replicas) > 0 {
+						db.ReadHome = db.Replicas[0]
+					}
+					break
+				}
+			}
 		}
 	}
 	return nil

@@ -100,11 +100,21 @@ func (m *Machine) Failed() bool {
 // fail marks the machine as failed and closes its engine, modelling a
 // power or disk failure: all in-memory state is lost, and any log bytes not
 // yet flushed are lost with it. The durable log prefix survives for Restart.
+// The dying engine's log is sealed before the unsynced tail is truncated:
+// a statement, commit, or background 2PC resolver still executing against
+// the dead engine must not reach the store after the crash point, or its
+// frame — positioned by the stale pre-crash log size — would corrupt the
+// surviving log and make the next recovery truncate durable history (see
+// wal.Log.Seal).
 func (m *Machine) fail() {
 	m.mu.Lock()
 	m.failed = true
 	m.mu.Unlock()
-	m.Engine().Close()
+	eng := m.Engine()
+	eng.Close()
+	if w := eng.WAL(); w != nil {
+		w.Seal()
+	}
 	if cr, ok := m.walStore.(wal.Crasher); ok {
 		cr.Crash(0)
 	}

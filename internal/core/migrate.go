@@ -49,7 +49,7 @@ func (c *Cluster) MigrateReplica(db, fromID, toID string) error {
 	}
 
 	// The target is now a full replica; retire the source.
-	if err := c.retireReplica(db, fromID); err != nil {
+	if err := c.RetireReplica(db, fromID); err != nil {
 		return err
 	}
 	if reserved {
@@ -58,6 +58,105 @@ func (c *Cluster) MigrateReplica(db, fromID, toID string) error {
 		}
 	}
 	return nil
+}
+
+// GrowReplica raises db's replica degree by one, copying onto the target
+// with Algorithm 1. The database's declared SLA reservation (if any) is
+// taken on the target up front, exactly as MigrateReplica does, so
+// concurrent placements cannot oversubscribe the machine. This is the
+// adaptive provisioning controller's grow primitive.
+func (c *Cluster) GrowReplica(db, targetID string) error {
+	c.mu.Lock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	req := ds.req
+	c.mu.Unlock()
+
+	target, err := c.Machine(targetID)
+	if err != nil {
+		return err
+	}
+	reserved := false
+	if req != (sla.Resources{}) {
+		if !target.reserve(req) {
+			return fmt.Errorf("%w: growing %s onto %s", ErrNoCapacity, db, targetID)
+		}
+		reserved = true
+	}
+	if err := c.CreateReplica(db, targetID); err != nil {
+		if reserved {
+			target.release(req)
+		}
+		return err
+	}
+	return nil
+}
+
+// ShrinkReplica lowers db's replica degree by one, retiring the replica on
+// the given machine and releasing its SLA reservation there. The retire is
+// replicated; the last replica is never shrunk. This is the adaptive
+// provisioning controller's shrink primitive.
+func (c *Cluster) ShrinkReplica(db, fromID string) error {
+	c.mu.Lock()
+	ds, ok := c.dbs[db]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	}
+	req := ds.req
+	c.mu.Unlock()
+
+	if err := c.RetireReplica(db, fromID); err != nil {
+		return err
+	}
+	if req != (sla.Resources{}) {
+		if m, merr := c.Machine(fromID); merr == nil {
+			m.release(req)
+		}
+	}
+	return nil
+}
+
+// RetireReplica removes one replica of db from a machine through the
+// replicated control plane: the removal commits to the consensus log before
+// the machine's copy is dropped, so a controller failover never resurrects
+// the retired machine into the replica set after its data is gone. Refuses
+// to retire during an in-flight copy or down to zero replicas. Retryable
+// with ErrNotLeader/ErrNoQuorum like every control mutation.
+func (c *Cluster) RetireReplica(db, machineID string) error {
+	c.mu.Lock()
+	ds, ok := c.dbs[db]
+	switch {
+	case !ok:
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoDatabase, db)
+	case ds.copying != nil:
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrCopyInProgress, db)
+	case !contains(ds.replicas, machineID):
+		c.mu.Unlock()
+		return fmt.Errorf("core: %s does not host %s", machineID, db)
+	case len(ds.replicas) <= 1:
+		c.mu.Unlock()
+		return fmt.Errorf("%w: cannot retire the last replica of %s", ErrNoReplicas, db)
+	}
+	c.mu.Unlock()
+
+	if cp := c.ctl; cp != nil {
+		// Hold cp.mu across propose and materialization (the
+		// CreateDatabaseOn pattern) so no other proposal interleaves
+		// between the log accepting the retire and the local state
+		// reflecting it.
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		if _, err := cp.propose(ctlCmd{Op: ctlOpRetireReplica, DB: db, Machine: machineID}); err != nil {
+			return err
+		}
+	}
+	return c.retireReplica(db, machineID)
 }
 
 // retireReplica removes one replica of db from a machine: the machine stops

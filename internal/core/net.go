@@ -39,6 +39,7 @@ func (c *Cluster) resolveOutcome(s *replicaSession, gid uint64, commit bool) {
 				// in-doubt branch by presumed abort and delta catch-up
 				// repairs any divergence, so there is nothing to deliver.
 				c.metrics.bgResolved.With("machine_failed").Inc()
+				c.metrics.reg.TraceEvent("2pc", gidString(gid), op+"_skip", s.machine.ID())
 				return
 			}
 			err := callLink(s.link, op, true, deliver)

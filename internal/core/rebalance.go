@@ -1,17 +1,25 @@
 package core
 
 import (
+	"sort"
+
 	"sdp/internal/sla"
 )
 
 // The paper leaves "more sophisticated methods for allocating databases to
 // machines" as future work and restricts Algorithm 2 to never move existing
 // databases. This file implements the natural extension it gestures at: a
-// greedy rebalancer that migrates replicas of SLA-managed databases off the
-// most-loaded machine whenever that strictly reduces the cluster's peak
-// utilisation. Every move goes through MigrateReplica, so serving
-// transactions are never interrupted and each move counts against the SLA's
-// reallocation_rate.
+// greedy rebalancer that migrates replicas off the most-loaded machine
+// whenever that strictly reduces the cluster's peak utilisation. Every move
+// goes through MigrateReplica, so serving transactions are never
+// interrupted and each move counts against the SLA's reallocation_rate.
+//
+// Candidate selection is shared with the adaptive provisioning controller
+// (adaptive.go): both plan over the same placementCandidate view, in which
+// every database is visible — SLA-managed databases carry their declared
+// reservation, databases created without an SLA carry their observed load
+// or a nominal footprint. Skew correction therefore sees the whole cluster,
+// not just the PlaceWithSLA subset.
 
 // Move records one replica migration performed by Rebalance.
 type Move struct {
@@ -24,44 +32,111 @@ type Move struct {
 type RebalanceReport struct {
 	Moves []Move
 	// PeakBefore and PeakAfter are the maximum machine utilisations (the
-	// dominant resource dimension, as a fraction of capacity) before and
-	// after.
+	// dominant resource dimension of the machines' effective loads, as a
+	// fraction of capacity) before and after.
 	PeakBefore float64
 	PeakAfter  float64
 }
 
-// utilisation returns the machine's dominant-dimension load fraction.
+// utilisation returns the machine's dominant-dimension reserved-load
+// fraction (SLA reservations only; the rebalancer itself plans over
+// effective loads, see placementCandidate).
 func (m *Machine) utilisation() float64 {
-	used := m.Used()
-	cap := m.Capacity()
-	frac := func(u, c float64) float64 {
-		if c <= 0 {
-			return 0
+	return utilOf(m.Used(), m.Capacity())
+}
+
+// placementCandidate is one database as the movement planners see it:
+// the unit both Rebalance and the adaptive controller select over.
+type placementCandidate struct {
+	db string
+	// req is the declared per-replica SLA reservation, zero for databases
+	// created without PlaceWithSLA. Targets are checked against req so
+	// reservations are never oversubscribed.
+	req sla.Resources
+	// load is the effective per-replica load used for skew math: the
+	// observed load when the caller supplies one, the declared
+	// reservation otherwise, and a nominal footprint for unmanaged idle
+	// databases (so they are visible to skew correction at all).
+	load     sla.Resources
+	replicas []string
+	copying  bool
+}
+
+// nominalDBLoad is the effective footprint assumed for a database with
+// neither an observed load nor a declared reservation. Non-zero so that a
+// machine buried under hundreds of unmanaged databases still reads as
+// loaded; small so one such database never looks worth moving on its own.
+var nominalDBLoad = sla.Resources{CPU: 0.02, Memory: 0.02, Disk: 0.005, DiskBW: 0.01}
+
+// movementCandidatesLocked builds the shared candidate view. loads maps
+// database name to an observed per-replica load (nil is fine). Partitioned
+// databases are excluded — replica copies are unsupported there. Caller
+// holds c.mu.
+func (c *Cluster) movementCandidatesLocked(loads map[string]sla.Resources) []placementCandidate {
+	names := make([]string, 0, len(c.dbs))
+	for name := range c.dbs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]placementCandidate, 0, len(names))
+	for _, name := range names {
+		ds := c.dbs[name]
+		if ds.partitioned() {
+			continue
 		}
-		return u / c
+		cand := placementCandidate{
+			db:       name,
+			req:      ds.req,
+			load:     ds.req,
+			replicas: append([]string(nil), ds.replicas...),
+			copying:  ds.copying != nil,
+		}
+		if l, ok := loads[name]; ok && l != (sla.Resources{}) {
+			cand.load = l
+		} else if cand.load == (sla.Resources{}) {
+			cand.load = nominalDBLoad
+		}
+		out = append(out, cand)
 	}
-	max := frac(used.CPU, cap.CPU)
-	if f := frac(used.Memory, cap.Memory); f > max {
-		max = f
+	return out
+}
+
+// effectiveLoadsLocked sums the candidates' per-replica loads onto the live
+// machines hosting them. Caller holds c.mu.
+func (c *Cluster) effectiveLoadsLocked(cands []placementCandidate) map[string]sla.Resources {
+	eff := make(map[string]sla.Resources, len(c.machines))
+	for _, id := range c.order {
+		if m := c.machines[id]; m != nil && !m.Failed() {
+			eff[id] = sla.Resources{}
+		}
 	}
-	if f := frac(used.Disk, cap.Disk); f > max {
-		max = f
+	for _, cand := range cands {
+		for _, id := range cand.replicas {
+			if cur, ok := eff[id]; ok {
+				eff[id] = cur.Add(cand.load)
+			}
+		}
 	}
-	if f := frac(used.DiskBW, cap.DiskBW); f > max {
-		max = f
-	}
-	return max
+	return eff
 }
 
 // Rebalance migrates up to maxMoves replicas to reduce the cluster's peak
-// machine utilisation. It only considers databases placed with PlaceWithSLA
-// (those carry a resource requirement); a move is performed only when the
-// peak strictly decreases and the target has capacity.
+// machine utilisation, planning over declared reservations (and nominal
+// footprints for unmanaged databases). A move is performed only when the
+// peak strictly decreases and the target has reservation capacity.
 func (c *Cluster) Rebalance(maxMoves int) (RebalanceReport, error) {
-	report := RebalanceReport{PeakBefore: c.peakUtilisation()}
+	return c.RebalanceWithLoads(maxMoves, nil)
+}
+
+// RebalanceWithLoads is Rebalance with observed per-replica loads
+// substituted for declared reservations where available — the load-aware
+// entry point the adaptive controller uses, so its skew correction chases
+// actual traffic rather than paper reservations.
+func (c *Cluster) RebalanceWithLoads(maxMoves int, loads map[string]sla.Resources) (RebalanceReport, error) {
+	report := RebalanceReport{PeakBefore: c.peakEffective(loads)}
 	report.PeakAfter = report.PeakBefore
 	for len(report.Moves) < maxMoves {
-		move, ok := c.planMove()
+		move, ok := c.planMove(loads, 0)
 		if !ok {
 			break
 		}
@@ -70,75 +145,74 @@ func (c *Cluster) Rebalance(maxMoves int) (RebalanceReport, error) {
 			return report, err
 		}
 		report.Moves = append(report.Moves, move)
-		report.PeakAfter = c.peakUtilisation()
+		report.PeakAfter = c.peakEffective(loads)
 	}
 	return report, nil
 }
 
-// peakUtilisation returns the highest live-machine utilisation.
-func (c *Cluster) peakUtilisation() float64 {
+// peakEffective returns the highest live-machine effective utilisation.
+func (c *Cluster) peakEffective(loads map[string]sla.Resources) float64 {
 	c.mu.Lock()
-	ms := make([]*Machine, 0, len(c.machines))
-	for _, m := range c.machines {
-		if !m.Failed() {
-			ms = append(ms, m)
-		}
-	}
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	eff := c.effectiveLoadsLocked(c.movementCandidatesLocked(loads))
 	peak := 0.0
-	for _, m := range ms {
-		if u := m.utilisation(); u > peak {
+	for id, used := range eff {
+		if u := utilOf(used, c.machines[id].Capacity()); u > peak {
 			peak = u
 		}
 	}
 	return peak
 }
 
-// planMove finds the best single migration: take the most-loaded machine,
-// and try to move one of its SLA-managed replicas to the least-loaded
-// machine that fits it, provided the peak strictly improves.
-func (c *Cluster) planMove() (Move, bool) {
+// planMove finds the best single migration: take the machine with the
+// highest effective load, and try to move one of its replicas to the
+// least-loaded machine that fits it, provided the peak strictly improves.
+// minGain is the required relative peak reduction (0 = any strict
+// improvement); the adaptive controller passes a non-zero gain so noisy
+// observed loads cannot ping-pong replicas between near-equal machines.
+func (c *Cluster) planMove(loads map[string]sla.Resources, minGain float64) (Move, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	// Most-loaded live machine.
+	cands := c.movementCandidatesLocked(loads)
+	eff := c.effectiveLoadsLocked(cands)
+
+	// Most-loaded live machine by effective utilisation.
 	var hottest *Machine
+	hotUtil := 0.0
 	for _, id := range c.order {
 		m := c.machines[id]
 		if m.Failed() {
 			continue
 		}
-		if hottest == nil || m.utilisation() > hottest.utilisation() {
-			hottest = m
+		if u := utilOf(eff[id], m.Capacity()); hottest == nil || u > hotUtil {
+			hottest, hotUtil = m, u
 		}
 	}
 	if hottest == nil {
 		return Move{}, false
 	}
-	peak := hottest.utilisation()
+	peak := hotUtil
 
-	// Its SLA-managed databases, largest requirement first would be
-	// classic; we simply scan in name order for determinism.
-	for _, db := range hottest.Engine().Databases() {
-		ds := c.dbs[db]
-		if ds == nil || ds.req == (sla.Resources{}) || ds.copying != nil {
-			continue
-		}
-		if !contains(ds.replicas, hottest.id) {
+	for _, cand := range cands {
+		if cand.copying || !contains(cand.replicas, hottest.id) {
 			continue
 		}
 		// Candidate targets: live machines not hosting db, coldest first.
+		// Declared reservations must still fit; effective load decides
+		// preference and improvement.
 		var best *Machine
+		bestUtil := 0.0
 		for _, id := range c.order {
 			m := c.machines[id]
-			if m.Failed() || m == hottest || contains(ds.replicas, id) {
+			if m.Failed() || m == hottest || contains(cand.replicas, id) {
 				continue
 			}
-			if !m.Used().Add(ds.req).Fits(m.Capacity()) {
+			if !m.Used().Add(cand.req).Fits(m.Capacity()) {
 				continue
 			}
-			if best == nil || m.utilisation() < best.utilisation() {
-				best = m
+			if u := utilOf(eff[id], m.Capacity()); best == nil || u < bestUtil {
+				best, bestUtil = m, u
 			}
 		}
 		if best == nil {
@@ -146,14 +220,14 @@ func (c *Cluster) planMove() (Move, bool) {
 		}
 		// Does the move strictly reduce the peak? After the move the
 		// hottest machine drops by the db's share; the target rises.
-		hotAfter := utilOf(hottest.Used().Sub(ds.req), hottest.Capacity())
-		tgtAfter := utilOf(best.Used().Add(ds.req), best.Capacity())
+		hotAfter := utilOf(eff[hottest.id].Sub(cand.load), hottest.Capacity())
+		tgtAfter := utilOf(eff[best.id].Add(cand.load), best.Capacity())
 		newPeak := hotAfter
 		if tgtAfter > newPeak {
 			newPeak = tgtAfter
 		}
-		if newPeak+1e-9 < peak {
-			return Move{DB: db, From: hottest.id, To: best.id}, true
+		if newPeak+1e-9 < peak*(1-minGain) {
+			return Move{DB: cand.db, From: hottest.id, To: best.id}, true
 		}
 	}
 	return Move{}, false

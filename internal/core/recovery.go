@@ -168,8 +168,15 @@ func (c *Cluster) catchUpReplica(db string, target *Machine) error {
 			cs.copied[tbl] = true
 		}
 	}
+	clean := make([]string, 0, len(cs.copied))
+	for tbl := range cs.copied {
+		clean = append(clean, tbl)
+	}
+	sort.Strings(clean)
 	ds.copying = cs
 	c.mu.Unlock()
+	c.metrics.reg.TraceEvent("copy", db, "catchup_plan",
+		fmt.Sprintf("target=%s clean=%v", targetID, clean))
 
 	if cp := c.ctl; cp != nil {
 		cp.mu.Lock()
@@ -420,6 +427,7 @@ func (c *Cluster) RestartMachine(id string) (*sqldb.RecoveryStats, error) {
 		if rerr := eng.ResolvePrepared(gid, false); rerr != nil {
 			return stats, rerr
 		}
+		c.metrics.reg.TraceEvent("2pc", gidString(gid), "presumed_abort", id)
 	}
 	c.mu.Lock()
 	for db, tables := range stats.InDoubtTables {
@@ -462,7 +470,7 @@ func (c *Cluster) RestartMachine(id string) (*sqldb.RecoveryStats, error) {
 		}
 	}
 	c.metrics.reg.TraceEvent("recovery", id, "machine_restarted",
-		fmt.Sprintf("replayed=%d in_doubt=%d", stats.Applied, stats.InDoubt))
+		fmt.Sprintf("replayed=%d in_doubt=%d doubt_tables=%v", stats.Applied, stats.InDoubt, stats.InDoubtTables))
 	return stats, nil
 }
 

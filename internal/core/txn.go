@@ -9,6 +9,7 @@ import (
 	"sdp/internal/netsim"
 	"sdp/internal/obs"
 	"sdp/internal/sqldb"
+	"sdp/internal/wal"
 )
 
 // Txn is a distributed transaction managed by the cluster controller. Reads
@@ -500,13 +501,16 @@ func IsRejection(err error) bool { return errors.Is(err, ErrRejected) }
 // (not-leader redirects and quorum loss heal once a leader re-emerges), or
 // any simulated-network fault — dropped or delayed messages, lost replies,
 // partitioned or timed-out calls all abort the transaction cleanly and
-// invite a retry.
+// invite a retry. A sealed log is the same story as a failed machine: the
+// statement was in flight when the machine crashed and discovered it only
+// at its next log append.
 func IsRetryable(err error) bool {
 	return errors.Is(err, sqldb.ErrDeadlock) ||
 		errors.Is(err, sqldb.ErrLockTimeout) ||
 		errors.Is(err, sqldb.ErrTxnAborted) ||
 		errors.Is(err, ErrRejected) ||
 		errors.Is(err, ErrMachineFailed) ||
+		errors.Is(err, wal.ErrSealed) ||
 		errors.Is(err, ErrPrepareTimeout) ||
 		errors.Is(err, ErrUnreachable) ||
 		errors.Is(err, ErrStaleRoute) ||

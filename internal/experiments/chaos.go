@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -15,6 +16,8 @@ import (
 	"sdp/internal/history"
 	"sdp/internal/netsim"
 	"sdp/internal/obs"
+	"sdp/internal/placement"
+	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 	"sdp/internal/tpcw"
 	"sdp/internal/wal"
@@ -43,6 +46,12 @@ type ChaosConfig struct {
 	// state machines to converge. Negative runs the paper's original
 	// single process-pair controller with no controller chaos.
 	Controllers int
+	// Placement additionally runs the adaptive provisioning controller
+	// during the soak: an SLA monitor feeds the decision loop, which grows,
+	// shrinks, and migrates replicas while the scheduler crashes machines
+	// and kills controller leaders under it. The invariants must hold with
+	// the loop's Algorithm 1 copies racing the injected faults.
+	Placement bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -96,6 +105,12 @@ type ChaosReport struct {
 	CtlElections     uint64 // consensus elections started during the run
 	CtlLeaderChanges uint64 // distinct leadership changes observed
 
+	// Adaptive placement during the soak (Placement runs only).
+	Placement         bool
+	PlacementGrows    uint64
+	PlacementShrinks  uint64
+	PlacementMigrates uint64
+
 	// Controller failure handling.
 	PrepareTimeouts uint64
 	CommitTimeouts  uint64
@@ -129,6 +144,10 @@ func (r *ChaosReport) WriteText(w io.Writer) {
 	if r.CtlKills > 0 || r.CtlRestarts > 0 || r.CtlElections > 0 {
 		fmt.Fprintf(w, "  control:  %d controller kills (%d at PREPARE, %d mid-copy), %d restarts, %d elections, %d leader changes\n",
 			r.CtlKills, r.CtlPhaseKills, r.CtlMidCopyKills, r.CtlRestarts, r.CtlElections, r.CtlLeaderChanges)
+	}
+	if r.Placement {
+		fmt.Fprintf(w, "  placement: %d grows, %d shrinks, %d migrates under fault injection\n",
+			r.PlacementGrows, r.PlacementShrinks, r.PlacementMigrates)
 	}
 	if r.Passed() {
 		fmt.Fprintf(w, "  invariants: serializable, replicas converged, no leaked locks\n")
@@ -174,6 +193,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 
 	engineCfg := sqldb.DefaultConfig()
 	engineCfg.LockTimeout = 100 * time.Millisecond
+	// The placement soak feeds an SLA monitor so the adaptive controller
+	// has live signals to act on; windows are coarse because chaos-run
+	// throughput swings wildly and the loop should chase sustained state,
+	// not fault transients.
+	var mon *sla.Monitor
+	if cfg.Placement {
+		mon = sla.NewMonitor(reg, sla.MonitorOptions{Window: 250 * time.Millisecond})
+	}
 	// Conservative + Option 1 is the paper's always-serializable pairing:
 	// under it every surviving history must be one-copy serializable no
 	// matter what the network does — which is exactly what we assert.
@@ -184,6 +211,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		EngineConfig: engineCfg,
 		Recorder:     rec,
 		Metrics:      reg,
+		SLAMonitor:   mon,
 		WAL:          &wal.Config{},
 		Network:      net,
 		CallTimeout:  200 * time.Millisecond,
@@ -229,6 +257,27 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		Classify: classify,
 	}
 
+	// The adaptive controller soaks alongside the fault schedule: its
+	// grows/shrinks/migrates ride the same faulted network and race the
+	// scheduler's crashes and leader kills. A denied or orphaned action is
+	// fine — the loop is level-triggered — but no schedule may break the
+	// end-of-run invariants.
+	var ctl *core.AdaptiveController
+	if cfg.Placement {
+		report.Placement = true
+		mon.Track("app", sla.SLA{
+			MinThroughput:     1,
+			MaxRejectFraction: 0.95,
+			MaxMeanLatency:    2 * time.Millisecond,
+		})
+		ctl = c.NewAdaptiveController(core.AdaptiveConfig{
+			Interval:           100 * time.Millisecond,
+			Budget:             placement.Budget{MinReplicas: 2, MaxReplicas: 3},
+			MaxConcurrentMoves: 1,
+		})
+		ctl.Start()
+	}
+
 	// Traffic and the fault scheduler run side by side for the duration.
 	var st tpcw.Stats
 	var wg sync.WaitGroup
@@ -242,8 +291,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	wg.Wait()
 
 	// Settle: perfect network, every machine live and caught up, every
-	// out-of-band 2PC resolution delivered.
+	// out-of-band 2PC resolution delivered. The decision loop stops (and
+	// its in-flight copies drain) before the scheduler's final restore, so
+	// the invariant checks see a cluster no one is still reshaping.
 	net.Quiesce()
+	if ctl != nil {
+		ctl.Stop()
+		report.PlacementGrows, report.PlacementShrinks, report.PlacementMigrates = ctl.Actions()
+	}
 	sched.restoreAll()
 	c.DrainResolvers()
 
@@ -275,6 +330,19 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 
 	checkChaosInvariants(c, rec, report)
+	if len(report.Violations) > 0 && os.Getenv("SDP_CHAOS_DEBUG") == "1" {
+		reps, _ := c.Replicas("app")
+		fmt.Fprintf(os.Stderr, "DEBUG final replicas: %v\n", reps)
+		for _, ev := range reg.Trace().Events() {
+			interesting := ev.Scope == "copy" || ev.Scope == "recovery" || ev.Scope == "placement" ||
+				(ev.Scope == "2pc" && strings.HasPrefix(ev.Phase, "takeover")) ||
+				(ev.Scope == "2pc" && strings.HasPrefix(ev.Phase, "resolve")) ||
+				(ev.Scope == "2pc" && ev.Phase == "presumed_abort")
+			if interesting {
+				fmt.Fprintf(os.Stderr, "DEBUG %s %s %s %s %s\n", ev.Time.Format("15:04:05.000"), ev.Scope, ev.ID, ev.Phase, ev.Detail)
+			}
+		}
+	}
 	return report, nil
 }
 
@@ -599,6 +667,32 @@ func checkChaosInvariants(c *core.Cluster, rec *history.Recorder, report *ChaosR
 			if want != got {
 				report.Violations = append(report.Violations,
 					fmt.Sprintf("replica divergence on table %s between %s and %s", tbl, ref.ID(), m.ID()))
+				if os.Getenv("SDP_CHAOS_DEBUG") == "1" {
+					wrows := strings.Split(want, "\n")
+					grows := strings.Split(got, "\n")
+					wset := make(map[string]bool, len(wrows))
+					for _, r := range wrows {
+						wset[r] = true
+					}
+					gset := make(map[string]bool, len(grows))
+					for _, r := range grows {
+						gset[r] = true
+					}
+					n := 0
+					for _, r := range wrows {
+						if !gset[r] && n < 6 {
+							fmt.Fprintf(os.Stderr, "DEBUG %s: only on %s: %s\n", tbl, ref.ID(), r)
+							n++
+						}
+					}
+					n = 0
+					for _, r := range grows {
+						if !wset[r] && n < 6 {
+							fmt.Fprintf(os.Stderr, "DEBUG %s: only on %s: %s\n", tbl, m.ID(), r)
+							n++
+						}
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,221 @@
+package placement
+
+import "sort"
+
+// MachineView is one live machine as the planner sees it: its effective
+// load utilisation and the set of databases it hosts.
+type MachineView struct {
+	// ID is the machine identifier.
+	ID string
+	// Util is the machine's dominant-dimension utilisation in [0,1+],
+	// computed from effective loads (observed where available, declared
+	// reservations otherwise).
+	Util float64
+	// Hosts is the set of databases with a replica on this machine.
+	Hosts map[string]bool
+}
+
+// TenantView is one tenant as the planner sees it: its sampled signal plus
+// the cluster facts the policy needs (current replica set, whether an
+// Algorithm 1 copy is already in flight).
+type TenantView struct {
+	// Signal is the tenant's sampled SLA state.
+	Signal TenantSignal
+	// Replicas is the tenant's current replica machine set.
+	Replicas []string
+	// Copying reports an in-flight Algorithm 1 copy for this tenant; the
+	// planner never stacks a second degree change on top of one.
+	Copying bool
+}
+
+// ActionKind enumerates the planner's replica-degree actions. Migrations
+// are planned separately by the load-aware rebalancer, which shares its
+// candidate selection with this planner in the core package.
+type ActionKind string
+
+// The degree-changing action kinds.
+const (
+	// Grow adds one replica of DB on machine To via an Algorithm 1 copy.
+	Grow ActionKind = "grow"
+	// Shrink retires DB's replica on machine From.
+	Shrink ActionKind = "shrink"
+	// Migrate moves DB's replica From→To (copy then retire). Emitted by
+	// the core rebalancer, not by Plan; declared here so reports and
+	// metrics share one vocabulary.
+	Migrate ActionKind = "migrate"
+)
+
+// Action is one planned replica-degree change.
+type Action struct {
+	// Kind is the action kind.
+	Kind ActionKind `json:"kind"`
+	// DB is the database acted on.
+	DB string `json:"db"`
+	// From is the machine losing a replica (shrink, migrate).
+	From string `json:"from,omitempty"`
+	// To is the machine gaining a replica (grow, migrate).
+	To string `json:"to,omitempty"`
+	// Reason is a one-line human explanation ("hot: mean latency 9.1ms
+	// vs 10ms bound").
+	Reason string `json:"reason,omitempty"`
+}
+
+// PlanConfig parameterises one planning round.
+type PlanConfig struct {
+	// Classifier tunes the hot/warm/cold thresholds.
+	Classifier ClassifierConfig
+	// Budget bounds per-tenant replica degrees.
+	Budget Budget
+	// MaxActions caps the number of actions emitted per round; zero
+	// selects 4. The loop is level-triggered — anything deferred is
+	// re-planned next round from fresh signals.
+	MaxActions int
+}
+
+// PlanResult is one planning round's output: the actions to execute and
+// the class assigned to every tenant (for metrics and the /placementz
+// report).
+type PlanResult struct {
+	// Actions are the planned degree changes, at most MaxActions.
+	Actions []Action
+	// Classes maps each tenant to its assigned class.
+	Classes map[string]Class
+	// Targets maps each tenant to its budget-clamped target degree.
+	Targets map[string]int
+}
+
+// Plan runs one round of the grow/shrink policy over every tenant. It is
+// deterministic: tenants are considered hottest-first (then by name), grow
+// targets are the lowest-utilisation live machine not already hosting the
+// tenant, and shrink victims are the highest-utilisation hosting machine.
+// Tenants with an in-flight copy, no evidence, or a degree already at
+// target produce no action.
+func Plan(tenants []TenantView, machines []MachineView, cfg PlanConfig) PlanResult {
+	maxActions := cfg.MaxActions
+	if maxActions <= 0 {
+		maxActions = 4
+	}
+	res := PlanResult{
+		Classes: make(map[string]Class, len(tenants)),
+		Targets: make(map[string]int, len(tenants)),
+	}
+
+	ordered := append([]TenantView{}, tenants...)
+	for i := range ordered {
+		res.Classes[ordered[i].Signal.DB] = Classify(ordered[i].Signal, cfg.Classifier)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		ci, cj := res.Classes[ordered[i].Signal.DB], res.Classes[ordered[j].Signal.DB]
+		if ci != cj {
+			return ci > cj // hot before warm before cold
+		}
+		return ordered[i].Signal.DB < ordered[j].Signal.DB
+	})
+
+	// Track utilisation deltas as actions are planned so one round does
+	// not pile every grow onto the same momentarily-coldest machine.
+	util := make(map[string]float64, len(machines))
+	byID := make(map[string]MachineView, len(machines))
+	for _, m := range machines {
+		util[m.ID] = m.Util
+		byID[m.ID] = m
+	}
+
+	for _, t := range ordered {
+		db := t.Signal.DB
+		class := res.Classes[db]
+		target := cfg.Budget.Target(db, class, len(t.Replicas))
+		res.Targets[db] = target
+		if len(res.Actions) >= maxActions || t.Copying {
+			continue
+		}
+		switch {
+		case target > len(t.Replicas):
+			to, ok := coldestNonHosting(db, byID, util)
+			if !ok {
+				continue
+			}
+			res.Actions = append(res.Actions, Action{
+				Kind: Grow, DB: db, To: to,
+				Reason: growReason(t.Signal, class),
+			})
+			util[to] += growCost(t, util)
+		case target < len(t.Replicas) && len(t.Replicas) > 1:
+			from, ok := hottestHosting(t.Replicas, util)
+			if !ok {
+				continue
+			}
+			res.Actions = append(res.Actions, Action{
+				Kind: Shrink, DB: db, From: from,
+				Reason: shrinkReason(t.Signal),
+			})
+		}
+	}
+	return res
+}
+
+// coldestNonHosting picks the lowest-utilisation live machine without a
+// replica of db, breaking ties by ID for determinism.
+func coldestNonHosting(db string, machines map[string]MachineView, util map[string]float64) (string, bool) {
+	best, found := "", false
+	for id, m := range machines {
+		if m.Hosts[db] {
+			continue
+		}
+		if !found || util[id] < util[best] || (util[id] == util[best] && id < best) {
+			best, found = id, true
+		}
+	}
+	return best, found
+}
+
+// hottestHosting picks the highest-utilisation machine out of the
+// tenant's replica set, breaking ties by ID.
+func hottestHosting(replicas []string, util map[string]float64) (string, bool) {
+	best, found := "", false
+	for _, id := range replicas {
+		if _, ok := util[id]; !ok {
+			continue // not a live machine this round
+		}
+		if !found || util[id] > util[best] || (util[id] == util[best] && id < best) {
+			best, found = id, true
+		}
+	}
+	return best, found
+}
+
+// growCost estimates the utilisation a new replica adds to its target:
+// the tenant's mean per-replica share of its current hosts' load, floored
+// at a nominal footprint. Only used to spread same-round grows.
+func growCost(t TenantView, util map[string]float64) float64 {
+	const nominal = 0.05
+	if len(t.Replicas) == 0 {
+		return nominal
+	}
+	sum := 0.0
+	for _, id := range t.Replicas {
+		sum += util[id]
+	}
+	cost := sum / float64(len(t.Replicas)) / float64(len(t.Replicas))
+	if cost < nominal {
+		cost = nominal
+	}
+	return cost
+}
+
+func growReason(s TenantSignal, class Class) string {
+	if !s.Compliant {
+		return "hot: SLA violating"
+	}
+	if class == Hot && s.SLA.MaxMeanLatency > 0 {
+		return "hot: latency near declared ceiling"
+	}
+	return "under replica floor"
+}
+
+func shrinkReason(s TenantSignal) string {
+	if s.SLA.MinThroughput > 0 {
+		return "cold: offered load far under declared floor"
+	}
+	return "over replica budget"
+}

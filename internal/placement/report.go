@@ -1,0 +1,103 @@
+package placement
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// TenantStatus is one tenant's row in a placement report.
+type TenantStatus struct {
+	// DB is the database name.
+	DB string `json:"db"`
+	// Class is the tenant's current classification ("hot", "warm",
+	// "cold").
+	Class string `json:"class"`
+	// Replicas is the current replica degree.
+	Replicas int `json:"replicas"`
+	// Target is the budget-clamped degree the controller steers toward.
+	Target int `json:"target"`
+	// Compliant mirrors the SLA monitor's verdict.
+	Compliant bool `json:"compliant"`
+	// OfferedTPS is the offered load in the last sampled window.
+	OfferedTPS float64 `json:"offered_tps"`
+}
+
+// ActionRecord is one executed (or failed) placement action.
+type ActionRecord struct {
+	// Action is the planned change.
+	Action
+	// At is when the action finished.
+	At time.Time `json:"at"`
+	// Err is the non-retryable failure, empty on success. Retryable
+	// control-plane errors (leadership moved mid-action) are recorded
+	// too — the next round simply re-plans.
+	Err string `json:"err,omitempty"`
+}
+
+// Report is the adaptive placement controller's public state, served by
+// the admin plane at /placementz.
+type Report struct {
+	// GeneratedAt is when the report was assembled.
+	GeneratedAt time.Time `json:"generated_at"`
+	// Enabled reports whether any adaptive controller loop is running.
+	Enabled bool `json:"enabled"`
+	// Rounds counts completed decision rounds.
+	Rounds uint64 `json:"rounds"`
+	// SkippedNotLeader counts rounds skipped because this controller
+	// replica did not hold the quorum lease (the leader runs the loop;
+	// followers stand by).
+	SkippedNotLeader uint64 `json:"skipped_not_leader"`
+	// MovesInFlight is the number of copies/retires currently executing.
+	MovesInFlight int `json:"moves_in_flight"`
+	// Tenants is the per-tenant classification table from the most
+	// recent round, sorted by name.
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+	// Recent is a bounded ring of the most recent actions, oldest first.
+	Recent []ActionRecord `json:"recent,omitempty"`
+}
+
+// Merge combines per-cluster reports into one platform-wide report:
+// counters sum, tenant tables and recent-action rings concatenate (each
+// cluster owns a disjoint set of databases), and the result is enabled if
+// any input is. The zero Report merges as an identity.
+func Merge(reports ...Report) Report {
+	out := Report{GeneratedAt: time.Now()}
+	for _, r := range reports {
+		out.Enabled = out.Enabled || r.Enabled
+		out.Rounds += r.Rounds
+		out.SkippedNotLeader += r.SkippedNotLeader
+		out.MovesInFlight += r.MovesInFlight
+		out.Tenants = append(out.Tenants, r.Tenants...)
+		out.Recent = append(out.Recent, r.Recent...)
+	}
+	return out
+}
+
+// WriteText renders the report as the human-readable flavour of
+// /placementz?format=text.
+func (r Report) WriteText(w io.Writer) {
+	state := "disabled"
+	if r.Enabled {
+		state = "enabled"
+	}
+	fmt.Fprintf(w, "adaptive placement: %s  rounds=%d skipped_not_leader=%d moves_in_flight=%d\n",
+		state, r.Rounds, r.SkippedNotLeader, r.MovesInFlight)
+	if len(r.Tenants) > 0 {
+		fmt.Fprintf(w, "\n%-20s %-5s %8s %6s %9s %11s\n", "DB", "CLASS", "REPLICAS", "TARGET", "COMPLIANT", "OFFERED_TPS")
+		for _, t := range r.Tenants {
+			fmt.Fprintf(w, "%-20s %-5s %8d %6d %9v %11.1f\n", t.DB, t.Class, t.Replicas, t.Target, t.Compliant, t.OfferedTPS)
+		}
+	}
+	if len(r.Recent) > 0 {
+		fmt.Fprintf(w, "\nrecent actions:\n")
+		for _, a := range r.Recent {
+			status := "ok"
+			if a.Err != "" {
+				status = a.Err
+			}
+			fmt.Fprintf(w, "  %s %s %s from=%s to=%s (%s) [%s]\n",
+				a.At.Format(time.RFC3339), a.Kind, a.DB, a.From, a.To, a.Reason, status)
+		}
+	}
+}

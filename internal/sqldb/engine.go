@@ -24,6 +24,18 @@ type Config struct {
 	// buffer-pool miss.
 	MissLatency time.Duration
 
+	// Workers bounds how many statements the engine executes at once,
+	// modelling the machine's serving capacity (CPU cores / DBMS worker
+	// threads). Each statement occupies a worker slot for StmtServiceTime
+	// before touching data, so a saturated machine queues statements — the
+	// physics that makes adding a replica add serving capacity. Zero
+	// disables the model (unbounded concurrency, no service delay).
+	Workers int
+
+	// StmtServiceTime is the simulated per-statement service time charged
+	// while a worker slot is held. Only meaningful with Workers > 0.
+	StmtServiceTime time.Duration
+
 	// LockTimeout bounds lock waits; zero means wait forever (deadlocks are
 	// still detected immediately via the wait-for graph).
 	LockTimeout time.Duration
@@ -116,6 +128,13 @@ type Engine struct {
 	locks *lockManager
 	plans *planCache
 
+	// workers is the capacity-model semaphore (nil when Config.Workers is
+	// zero). A statement holds one slot for StmtServiceTime before it
+	// executes; the slot is released before any lock is acquired, so the
+	// queue models CPU saturation and can never deadlock against the lock
+	// manager.
+	workers chan struct{}
+
 	mu     sync.RWMutex // guards catalog
 	dbs    map[string]map[string]*Table
 	closed bool
@@ -158,13 +177,17 @@ type recorderBox struct{ r Recorder }
 
 // NewEngine creates an engine with the given configuration.
 func NewEngine(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		pool:  NewBufferPool(cfg.PoolPages, cfg.MissLatency),
 		locks: newLockManager(cfg.LockTimeout),
 		plans: newPlanCache(cfg.PlanCacheSize),
 		dbs:   make(map[string]map[string]*Table),
 	}
+	if cfg.Workers > 0 {
+		e.workers = make(chan struct{}, cfg.Workers)
+	}
+	return e
 }
 
 // Config returns the engine's configuration.

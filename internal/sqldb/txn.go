@@ -280,6 +280,18 @@ func (t *Txn) execPlanned(stmt Statement, plan *stmtPlan, params []Value, reuse 
 		t.rollbackLocked()
 		return nil, fmt.Errorf("%w: database %s was dropped", ErrTxnAborted, t.db)
 	}
+	// Capacity model: occupy one of the machine's worker slots for the
+	// statement's service time before touching data. The slot is released
+	// before lock acquisition, so saturation queues here (as CPU-bound
+	// statements queue on a real machine) without ever interacting with
+	// the lock manager.
+	if w := t.engine.workers; w != nil {
+		w <- struct{}{}
+		if st := t.engine.cfg.StmtServiceTime; st > 0 {
+			time.Sleep(st)
+		}
+		<-w
+	}
 	t.optHandled = false
 	traced := t.trace.Traced() && t.engine.cfg.Spans != nil
 	var spanStart time.Time

@@ -88,6 +88,24 @@ func (s *Controller) AddColo(c *colo.Controller, region string) {
 	s.mu.Unlock()
 }
 
+// Colos returns every registered colo controller, sorted by name — the
+// enumerator platform-wide sweeps (adaptive placement, admin reports) walk
+// instead of re-deriving colo names from the health report.
+func (s *Controller) Colos() []*colo.Controller {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.colos))
+	for n := range s.colos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*colo.Controller, len(names))
+	for i, n := range names {
+		out[i] = s.colos[n].ctrl
+	}
+	s.mu.Unlock()
+	return out
+}
+
 // Colo returns the named colo controller.
 func (s *Controller) Colo(name string) (*colo.Controller, error) {
 	s.mu.Lock()

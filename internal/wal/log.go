@@ -1,11 +1,16 @@
 package wal
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"sdp/internal/obs"
 )
+
+// ErrSealed is the sticky error of a log that has been sealed by a machine
+// crash: the store it wrote to is no longer its to touch.
+var ErrSealed = errors.New("wal: log sealed by crash")
 
 // Config tunes a Log.
 type Config struct {
@@ -205,6 +210,24 @@ func (l *Log) flushLocked(flushTo int64, batch int) {
 		l.metrics.Flushes.Inc()
 		l.metrics.FlushBatch.Observe(float64(batch))
 	}
+	l.cond.Broadcast()
+}
+
+// Seal permanently fails the log: every later Append or Sync returns
+// ErrSealed. A machine crash seals the dying engine's log before truncating
+// the store's unsynced tail. Without the seal, a statement still executing on
+// the dead engine could append a frame afterwards: its embedded LSN (taken
+// from this log's stale size) would disagree with its store offset, and the
+// next recovery scan would mistake the displaced frame for a torn tail —
+// truncating durable commits and checkpoints behind it. Seal serialises with
+// in-flight appends on the log mutex, so once it returns nothing more reaches
+// the store through this log.
+func (l *Log) Seal() {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = ErrSealed
+	}
+	l.mu.Unlock()
 	l.cond.Broadcast()
 }
 

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -237,5 +238,80 @@ func TestFileStore(t *testing.T) {
 	recs, torn, err = New(s2, Config{}, nil).Recover()
 	if err != nil || !torn || len(recs) != 9 {
 		t.Fatalf("after file truncate: err=%v torn=%v records=%d", err, torn, len(recs))
+	}
+}
+
+// TestSealStopsAppends models the machine-crash sequence (engine closed,
+// log sealed, unsynced tail truncated): a straggling goroutine holding the
+// dead log must get ErrSealed rather than write a displaced frame into the
+// store a successor log now owns.
+func TestSealStopsAppends(t *testing.T) {
+	s := NewMemStore()
+	l := New(s, Config{}, nil)
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 1, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	// An appended-but-unsynced record is the pre-crash in-flight tail.
+	if _, err := l.Append(Record{Type: RecCommit, Txn: 2, DB: "db"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Seal()
+	s.Crash(0) // drop the unsynced tail, as Machine.fail does
+
+	if _, err := l.Append(Record{Type: RecCommit, Txn: 3, DB: "db"}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("append on sealed log: err = %v, want ErrSealed", err)
+	}
+	if _, err := l.AppendSync(Record{Type: RecCommit, Txn: 4, DB: "db"}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("appendsync on sealed log: err = %v, want ErrSealed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrSealed) {
+		t.Fatalf("sync on sealed log: err = %v, want ErrSealed", err)
+	}
+
+	// A successor log over the same store (the restarted engine) recovers
+	// exactly the durable prefix and keeps working.
+	l2 := New(s, Config{}, nil)
+	recs, torn, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn || len(recs) != 1 || recs[0].Txn != 1 {
+		t.Fatalf("recover after seal+crash: torn=%v records=%d", torn, len(recs))
+	}
+	if _, err := l2.AppendSync(Record{Type: RecCommit, Txn: 5, DB: "db"}); err != nil {
+		t.Fatalf("successor log append: %v", err)
+	}
+}
+
+// TestSealSerializesWithConcurrentAppends hammers a log with appenders
+// while sealing it: once Seal returns, the store's length must never move
+// again — no straggler writes a frame after the crash point.
+func TestSealSerializesWithConcurrentAppends(t *testing.T) {
+	s := NewMemStore()
+	l := New(s, Config{}, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := uint64(1); ; i++ {
+				if _, err := l.Append(Record{Type: RecCommit, Txn: i, DB: "db"}); err != nil {
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(g)
+	}
+	l.Seal()
+	sizeAtSeal := s.Size()
+	close(stop)
+	wg.Wait()
+	if got := s.Size(); got != sizeAtSeal {
+		t.Fatalf("store grew after Seal returned: %d -> %d", sizeAtSeal, got)
 	}
 }

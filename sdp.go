@@ -20,12 +20,14 @@ package sdp
 
 import (
 	"net/http"
+	"sync"
 	"time"
 
 	"sdp/internal/admin"
 	"sdp/internal/colo"
 	"sdp/internal/core"
 	"sdp/internal/obs"
+	"sdp/internal/placement"
 	"sdp/internal/sla"
 	"sdp/internal/sqldb"
 	"sdp/internal/system"
@@ -197,6 +199,9 @@ type Platform struct {
 	sys  *system.Controller
 	mon  *sla.Monitor
 	auth wireAuth
+
+	plMu sync.Mutex
+	pl   []*core.AdaptiveController
 }
 
 // New creates an empty platform with the given configuration.
@@ -273,6 +278,87 @@ func (p *Platform) SLAReport() sla.ComplianceReport { return p.mon.Report() }
 
 // Health aggregates every layer's liveness into one report.
 func (p *Platform) Health() system.Health { return p.sys.Health() }
+
+// PlacementOptions tunes adaptive replica provisioning (StartPlacement).
+// The zero value gives sensible defaults: 500ms decision rounds, replica
+// degrees held between the platform's configured degree and one above it,
+// and two concurrent moves per cluster.
+type PlacementOptions struct {
+	// Interval is the decision-loop period (default 500ms).
+	Interval time.Duration
+	// MinReplicas and MaxReplicas bound every tenant's replica degree
+	// (TCDRM-style budget). Zero MinReplicas selects the platform's
+	// configured replication degree; zero MaxReplicas selects one above
+	// MinReplicas.
+	MinReplicas int
+	MaxReplicas int
+	// MaxConcurrentMoves caps Algorithm 1 copies in flight per cluster
+	// (default 2).
+	MaxConcurrentMoves int
+}
+
+// StartPlacement closes the loop from the SLA monitor into placement: every
+// hosting cluster in every colo gets an adaptive provisioning controller
+// that classifies tenants hot/warm/cold from their compliance windows,
+// grows and shrinks replica degrees within the budget, and corrects load
+// skew by replica migration. Clusters provisioned after the call are not
+// covered until placement is restarted. Idempotent while running.
+func (p *Platform) StartPlacement(o PlacementOptions) {
+	minReplicas := o.MinReplicas
+	if minReplicas <= 0 {
+		minReplicas = p.cfg.Replicas
+		if minReplicas <= 0 {
+			minReplicas = 2
+		}
+	}
+	maxReplicas := o.MaxReplicas
+	if maxReplicas <= 0 {
+		maxReplicas = minReplicas + 1
+	}
+	cfg := core.AdaptiveConfig{
+		Interval:           o.Interval,
+		Budget:             placement.Budget{MinReplicas: minReplicas, MaxReplicas: maxReplicas},
+		MaxConcurrentMoves: o.MaxConcurrentMoves,
+	}
+	p.plMu.Lock()
+	defer p.plMu.Unlock()
+	if len(p.pl) > 0 {
+		return
+	}
+	for _, co := range p.sys.Colos() {
+		for _, cl := range co.Clusters() {
+			ctl := cl.NewAdaptiveController(cfg)
+			ctl.Start()
+			p.pl = append(p.pl, ctl)
+		}
+	}
+}
+
+// StopPlacement halts every adaptive placement loop, waiting for in-flight
+// replica copies to finish. Idempotent.
+func (p *Platform) StopPlacement() {
+	p.plMu.Lock()
+	ctls := p.pl
+	p.pl = nil
+	p.plMu.Unlock()
+	for _, ctl := range ctls {
+		ctl.Stop()
+	}
+}
+
+// PlacementReport merges every running adaptive controller's state into the
+// platform-wide report served at /placementz. With placement stopped (or
+// never started) it returns an empty, disabled report.
+func (p *Platform) PlacementReport() placement.Report {
+	p.plMu.Lock()
+	ctls := append([]*core.AdaptiveController(nil), p.pl...)
+	p.plMu.Unlock()
+	reports := make([]placement.Report, len(ctls))
+	for i, ctl := range ctls {
+		reports[i] = ctl.Report()
+	}
+	return placement.Merge(reports...)
+}
 
 // AdminHandler returns the admin-plane HTTP handler (metrics, probes,
 // traces, SLA report, pprof) for mounting in tests or a custom server.
